@@ -1,0 +1,92 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//! Appel young-data exclusion during major collections, and node-affine
+//! chunk reuse.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mgc_core::GcConfig;
+use mgc_numa::Topology;
+use mgc_runtime::{Machine, MachineConfig};
+use mgc_workloads::{churn, Scale, Workload};
+use std::time::Duration;
+
+fn run_with_gc_config(gc: GcConfig) -> f64 {
+    let mut config = MachineConfig::new(Topology::amd_magny_cours_48(), 8).with_gc(gc);
+    config.gc.verify_after_gc = false;
+    let mut machine = Machine::new(config);
+    churn::spawn(
+        &mut machine,
+        churn::ChurnParams {
+            objects_per_worker: 4_000,
+            object_words: 16,
+            survive_every: 16,
+            workers: 16,
+        },
+    );
+    machine.run().elapsed_ns
+}
+
+fn bench_young_exclusion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations/major_young_data");
+    group.bench_function("exclude_young_(paper)", |b| {
+        b.iter(|| run_with_gc_config(GcConfig::default()))
+    });
+    group.bench_function("promote_young_(ablation)", |b| {
+        b.iter(|| {
+            run_with_gc_config(GcConfig {
+                promote_young_in_major: true,
+                ..GcConfig::default()
+            })
+        })
+    });
+    group.finish();
+}
+
+fn bench_chunk_affinity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations/chunk_node_affinity");
+    group.bench_function("affine_(paper)", |b| {
+        b.iter(|| run_with_gc_config(GcConfig::default()))
+    });
+    group.bench_function("non_affine_(ablation)", |b| {
+        b.iter(|| {
+            run_with_gc_config(GcConfig {
+                chunk_node_affinity: false,
+                ..GcConfig::default()
+            })
+        })
+    });
+    group.finish();
+}
+
+fn bench_workload_virtual_time(c: &mut Criterion) {
+    // Also report how long the simulator itself takes to run one small
+    // Barnes-Hut iteration set, as a guard against regressions in the
+    // harness.
+    let mut group = c.benchmark_group("ablations/simulator_cost");
+    group.bench_function("barnes_hut_tiny_8_threads", |b| {
+        b.iter(|| {
+            mgc_workloads::run_workload(
+                &Topology::amd_magny_cours_48(),
+                8,
+                mgc_numa::AllocPolicy::Local,
+                Workload::BarnesHut,
+                Scale::tiny(),
+            )
+            .elapsed_ns
+        })
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = ablations;
+    config = config();
+    targets = bench_young_exclusion, bench_chunk_affinity, bench_workload_virtual_time
+}
+criterion_main!(ablations);

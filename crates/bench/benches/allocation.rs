@@ -1,0 +1,61 @@
+//! Microbenchmarks of the allocation fast path and of rope construction
+//! through the full runtime.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mgc_heap::{Heap, HeapConfig};
+use mgc_numa::NodeId;
+use mgc_runtime::{Machine, MachineConfig, TaskResult, TaskSpec};
+use std::time::Duration;
+
+fn bench_nursery_alloc(c: &mut Criterion) {
+    c.bench_function("alloc/nursery_bump_allocation", |b| {
+        b.iter_batched(
+            || Heap::new(HeapConfig::default(), &[NodeId::new(0)], 1),
+            |mut heap| {
+                let mut last = None;
+                for i in 0..1_000u64 {
+                    if let Ok(obj) = heap.alloc_raw(0, &[i, i + 1]) {
+                        last = Some(obj);
+                    } else {
+                        break;
+                    }
+                }
+                (heap, last)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_runtime_churn(c: &mut Criterion) {
+    c.bench_function("alloc/runtime_churn_simulation", |b| {
+        b.iter(|| {
+            let mut machine = Machine::new(MachineConfig::small_for_tests(2));
+            machine.spawn_root(TaskSpec::new("churn", |ctx| {
+                let mark = ctx.root_mark();
+                for i in 0..2_000u64 {
+                    ctx.alloc_raw(&[i; 8]);
+                    if i % 8 == 0 {
+                        ctx.truncate_roots(mark);
+                    }
+                }
+                TaskResult::Unit
+            }));
+            machine.run().elapsed_ns
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = allocation;
+    config = config();
+    targets = bench_nursery_alloc, bench_runtime_churn
+}
+criterion_main!(allocation);

@@ -1,0 +1,51 @@
+//! Smoke benchmarks that exercise one point of each figure's parameter
+//! space (full figures are produced by the `fig4`–`fig7` and `sweep`
+//! binaries; see the crate documentation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mgc_numa::{AllocPolicy, Topology};
+use mgc_workloads::{run_workload, Scale, Workload};
+use std::time::Duration;
+
+fn bench_figure_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    for (name, topology, policy) in [
+        ("fig4_intel_local", Topology::intel_xeon_32(), AllocPolicy::Local),
+        ("fig5_amd_local", Topology::amd_magny_cours_48(), AllocPolicy::Local),
+        ("fig6_amd_interleaved", Topology::amd_magny_cours_48(), AllocPolicy::Interleaved),
+        ("fig7_amd_socket0", Topology::amd_magny_cours_48(), AllocPolicy::SocketZero),
+    ] {
+        group.bench_function(format!("{name}/dmm_8_threads"), |b| {
+            b.iter(|| run_workload(&topology, 8, policy, Workload::Dmm, Scale::tiny()).elapsed_ns)
+        });
+    }
+    group.finish();
+}
+
+fn bench_smvm_policy_contrast(c: &mut Criterion) {
+    // The §4.3 observation in miniature: SMVM under socket-zero vs local.
+    let mut group = c.benchmark_group("figures/smvm_policy");
+    let topology = Topology::amd_magny_cours_48();
+    for policy in [AllocPolicy::Local, AllocPolicy::SocketZero] {
+        group.bench_function(policy.label(), |b| {
+            b.iter(|| {
+                run_workload(&topology, 12, policy, Workload::Smvm, Scale::tiny()).elapsed_ns
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = figures;
+    config = config();
+    targets = bench_figure_points, bench_smvm_policy_contrast
+}
+criterion_main!(figures);

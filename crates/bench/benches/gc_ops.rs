@@ -1,0 +1,123 @@
+//! Microbenchmarks of the collector's individual operations (minor, major,
+//! promotion, global), measured directly against `mgc-core`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mgc_core::{Collector, GcConfig};
+use mgc_heap::{Addr, Heap, HeapConfig};
+use mgc_numa::NodeId;
+use std::time::Duration;
+
+fn fresh() -> (Heap, Collector) {
+    let nodes = [NodeId::new(0), NodeId::new(1)];
+    let heap = Heap::new(HeapConfig::default(), &nodes, 2);
+    let mut config = GcConfig::default();
+    config.verify_after_gc = false;
+    let collector = Collector::new(config, 2, 2);
+    (heap, collector)
+}
+
+fn fill_nursery(heap: &mut Heap, vproc: usize) -> Vec<Addr> {
+    let mut roots = Vec::new();
+    while let Ok(obj) = heap.alloc_raw(vproc, &[7; 16]) {
+        roots.push(obj);
+        if roots.len() % 4 != 0 {
+            // Three quarters of the data is garbage.
+            roots.pop();
+        }
+    }
+    roots
+}
+
+fn bench_minor(c: &mut Criterion) {
+    c.bench_function("gc/minor_collection", |b| {
+        b.iter_batched(
+            || {
+                let (mut heap, collector) = fresh();
+                let roots = fill_nursery(&mut heap, 0);
+                (heap, collector, roots)
+            },
+            |(mut heap, mut collector, mut roots)| {
+                collector.minor(&mut heap, 0, &mut roots);
+                (heap, collector)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_major(c: &mut Criterion) {
+    c.bench_function("gc/major_collection", |b| {
+        b.iter_batched(
+            || {
+                let (mut heap, mut collector) = fresh();
+                let mut roots = fill_nursery(&mut heap, 0);
+                collector.minor(&mut heap, 0, &mut roots);
+                collector.minor(&mut heap, 0, &mut roots);
+                (heap, collector, roots)
+            },
+            |(mut heap, mut collector, mut roots)| {
+                collector.major(&mut heap, 0, &mut roots);
+                (heap, collector)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_promotion(c: &mut Criterion) {
+    c.bench_function("gc/promotion_of_small_graph", |b| {
+        b.iter_batched(
+            || {
+                let (mut heap, collector) = fresh();
+                let leaf = heap.alloc_raw(0, &[1; 8]).unwrap();
+                let root = heap.alloc_vector(0, &[leaf.raw(), leaf.raw()]).unwrap();
+                (heap, collector, root)
+            },
+            |(mut heap, mut collector, root)| {
+                let (promoted, _) = collector.promote(&mut heap, 0, root);
+                (heap, collector, promoted)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_global(c: &mut Criterion) {
+    c.bench_function("gc/global_collection", |b| {
+        b.iter_batched(
+            || {
+                let (mut heap, mut collector) = fresh();
+                let mut roots_per_vproc = vec![Vec::new(), Vec::new()];
+                for vproc in 0..2 {
+                    for i in 0..200u64 {
+                        let obj = heap.alloc_raw(vproc, &[i; 8]).unwrap();
+                        let (promoted, _) = collector.promote(&mut heap, vproc, obj);
+                        if i % 4 == 0 {
+                            roots_per_vproc[vproc].push(promoted);
+                        }
+                    }
+                }
+                (heap, collector, roots_per_vproc)
+            },
+            |(mut heap, mut collector, mut roots)| {
+                collector.global(&mut heap, &mut roots);
+                (heap, collector)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = gc_ops;
+    config = config();
+    targets = bench_minor, bench_major, bench_promotion, bench_global
+}
+criterion_main!(gc_ops);

@@ -1,0 +1,4 @@
+//! Regenerates Figure 6 of the paper. See `mgc-bench` crate docs.
+fn main() {
+    mgc_bench::run_and_report(&mgc_bench::figure6());
+}

@@ -1,0 +1,13 @@
+//! Regenerates every figure and Table 1 in one run, writing CSV files under
+//! `results/`. Control the workload scale with `MGC_SCALE=tiny|small|paper`.
+fn main() {
+    println!("{}", mgc_bench::table1());
+    for spec in [
+        mgc_bench::figure4(),
+        mgc_bench::figure5(),
+        mgc_bench::figure6(),
+        mgc_bench::figure7(),
+    ] {
+        mgc_bench::run_and_report(&spec);
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 1 of the paper (bandwidth between a node and the rest
+//! of the system) from the topology models.
+fn main() {
+    println!("{}", mgc_bench::table1());
+}

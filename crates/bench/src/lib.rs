@@ -1,0 +1,266 @@
+//! Benchmark harness: regenerates every table and figure of the paper's
+//! evaluation section.
+//!
+//! | Artefact | Binary | What it reproduces |
+//! |----------|--------|--------------------|
+//! | Figure 4 | `fig4` | Speedups of the five benchmarks on the Intel Xeon machine |
+//! | Figure 5 | `fig5` | Speedups on the AMD Opteron machine, local allocation |
+//! | Figure 6 | `fig6` | Speedups on the AMD machine, interleaved allocation |
+//! | Figure 7 | `fig7` | Speedups on the AMD machine, socket-zero allocation |
+//! | Table 1  | `table1` | Modelled bandwidth between a node and the rest of the system |
+//! | all      | `sweep` | Every figure plus Table 1, written as CSV under `results/` |
+//!
+//! Absolute speedups depend on the workload scale (the default is a scaled
+//! down input set — set `MGC_SCALE=paper` for the published sizes); the
+//! qualitative shape — which benchmarks scale, where they flatten, and how
+//! the three allocation policies order — is the reproduction target.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mgc_numa::{AllocPolicy, Topology};
+use mgc_workloads::{speedup_series, Scale, SpeedupPoint, Workload};
+use std::fmt::Write as _;
+
+/// Description of one speedup figure.
+#[derive(Debug, Clone)]
+pub struct FigureSpec {
+    /// Figure name, e.g. `"figure4"`.
+    pub name: &'static str,
+    /// Human-readable description.
+    pub title: &'static str,
+    /// The machine model.
+    pub topology: Topology,
+    /// The page/chunk placement policy.
+    pub policy: AllocPolicy,
+    /// Thread counts on the x axis.
+    pub threads: Vec<usize>,
+}
+
+/// Figure 4: the Intel machine with local allocation.
+pub fn figure4() -> FigureSpec {
+    FigureSpec {
+        name: "figure4",
+        title: "Speedup on Intel Xeon X7560 (32 cores), local allocation",
+        topology: Topology::intel_xeon_32(),
+        policy: AllocPolicy::Local,
+        threads: vec![1, 4, 8, 12, 16, 24, 32],
+    }
+}
+
+/// Figure 5: the AMD machine with local allocation (the paper's default).
+pub fn figure5() -> FigureSpec {
+    FigureSpec {
+        name: "figure5",
+        title: "Speedup on AMD Opteron 6172 (48 cores), local allocation",
+        topology: Topology::amd_magny_cours_48(),
+        policy: AllocPolicy::Local,
+        threads: vec![1, 4, 8, 12, 24, 36, 48],
+    }
+}
+
+/// Figure 6: the AMD machine with interleaved allocation (GHC-style).
+pub fn figure6() -> FigureSpec {
+    FigureSpec {
+        name: "figure6",
+        title: "Speedup on AMD Opteron 6172 (48 cores), interleaved allocation",
+        policy: AllocPolicy::Interleaved,
+        ..figure5()
+    }
+}
+
+/// Figure 7: the AMD machine with socket-zero allocation.
+pub fn figure7() -> FigureSpec {
+    FigureSpec {
+        name: "figure7",
+        title: "Speedup on AMD Opteron 6172 (48 cores), socket-zero allocation",
+        policy: AllocPolicy::SocketZero,
+        ..figure5()
+    }
+}
+
+/// The series of one figure: a speedup curve per benchmark.
+#[derive(Debug, Clone)]
+pub struct FigureData {
+    /// The figure this data belongs to.
+    pub spec_name: &'static str,
+    /// `(benchmark, curve)` pairs in the paper's legend order.
+    pub series: Vec<(Workload, Vec<SpeedupPoint>)>,
+}
+
+/// Runs every benchmark of a figure.
+///
+/// Speedups in Figures 6 and 7 are plotted relative to the *same*
+/// single-thread baseline as Figure 5 (the paper plots them "relative to the
+/// single-processor performance for the AMD machine in Figure 5"), which is
+/// what `baseline_policy` arranges.
+pub fn run_figure(spec: &FigureSpec, scale: Scale) -> FigureData {
+    let series = Workload::FIGURES
+        .iter()
+        .map(|&workload| {
+            let baseline = mgc_workloads::run_workload(
+                &spec.topology,
+                1,
+                AllocPolicy::Local,
+                workload,
+                scale,
+            )
+            .elapsed_ns;
+            let points = speedup_series(
+                &spec.topology,
+                &spec.threads,
+                spec.policy,
+                workload,
+                scale,
+                Some(baseline),
+            );
+            (workload, points)
+        })
+        .collect();
+    FigureData {
+        spec_name: spec.name,
+        series,
+    }
+}
+
+/// Formats a figure as an aligned text table (threads × benchmarks).
+pub fn format_figure(spec: &FigureSpec, data: &FigureData) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {} — {}", spec.name, spec.title);
+    let _ = write!(out, "{:>8}", "threads");
+    for (workload, _) in &data.series {
+        let _ = write!(out, " {:>22}", workload.label());
+    }
+    let _ = writeln!(out);
+    for (i, &threads) in spec.threads.iter().enumerate() {
+        let _ = write!(out, "{threads:>8}");
+        for (_, points) in &data.series {
+            let _ = write!(out, " {:>22.2}", points[i].speedup);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Formats a figure as CSV (`benchmark,threads,speedup,elapsed_ns`).
+pub fn figure_csv(data: &FigureData) -> String {
+    let mut out = String::from("benchmark,threads,speedup,elapsed_ns\n");
+    for (workload, points) in &data.series {
+        for p in points {
+            let _ = writeln!(
+                out,
+                "{},{},{:.4},{:.0}",
+                workload.label(),
+                p.threads,
+                p.speedup,
+                p.elapsed_ns
+            );
+        }
+    }
+    out
+}
+
+/// Reproduces Table 1: the modelled bandwidth between a single node and the
+/// rest of the system, for both machines.
+pub fn table1() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Table 1 — theoretical bandwidth (GB/s) between a node and the rest of the system");
+    let _ = writeln!(out, "{:<28} {:>10} {:>10}", "", "AMD (GB/s)", "Intel (GB/s)");
+    let amd = Topology::amd_magny_cours_48();
+    let intel = Topology::intel_xeon_32();
+    let (amd_local, amd_same, amd_cross) = amd.table1_bandwidths();
+    let (intel_local, intel_same, intel_cross) = intel.table1_bandwidths();
+    let fmt = |v: Option<f64>| v.map_or("n/a".to_string(), |x| format!("{x:.1}"));
+    let _ = writeln!(
+        out,
+        "{:<28} {:>10.1} {:>10.1}",
+        "Local Memory", amd_local, intel_local
+    );
+    let _ = writeln!(
+        out,
+        "{:<28} {:>10} {:>10}",
+        "Node in same package",
+        fmt(amd_same),
+        fmt(intel_same)
+    );
+    let _ = writeln!(
+        out,
+        "{:<28} {:>10.1} {:>10.1}",
+        "Node on another package", amd_cross, intel_cross
+    );
+    out
+}
+
+/// Reads the workload scale from the `MGC_SCALE` environment variable
+/// (`paper`, `small`, or `tiny`; default `tiny` so the harness finishes
+/// quickly on a laptop).
+pub fn scale_from_env() -> Scale {
+    match std::env::var("MGC_SCALE").as_deref() {
+        Ok("paper") => Scale::paper(),
+        Ok("small") => Scale::small(),
+        Ok("tiny") | Err(_) => Scale::tiny(),
+        Ok(other) => {
+            eprintln!("unknown MGC_SCALE `{other}`, using tiny");
+            Scale::tiny()
+        }
+    }
+}
+
+/// Runs a figure end-to-end, printing the table and writing CSV under
+/// `results/`.
+pub fn run_and_report(spec: &FigureSpec) {
+    let scale = scale_from_env();
+    let data = run_figure(spec, scale);
+    println!("{}", format_figure(spec, &data));
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join(format!("{}.csv", spec.name));
+        if std::fs::write(&path, figure_csv(&data)).is_ok() {
+            println!("wrote {}", path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_specs_match_paper_axes() {
+        assert_eq!(figure4().threads, vec![1, 4, 8, 12, 16, 24, 32]);
+        assert_eq!(figure5().threads, vec![1, 4, 8, 12, 24, 36, 48]);
+        assert_eq!(figure6().policy, AllocPolicy::Interleaved);
+        assert_eq!(figure7().policy, AllocPolicy::SocketZero);
+        assert_eq!(figure4().topology.num_cores(), 32);
+        assert_eq!(figure5().topology.num_cores(), 48);
+    }
+
+    #[test]
+    fn table1_contains_paper_numbers() {
+        let t = table1();
+        assert!(t.contains("21.3"));
+        assert!(t.contains("19.2"));
+        assert!(t.contains("6.4"));
+        assert!(t.contains("17.1"));
+        assert!(t.contains("25.6"));
+        assert!(t.contains("n/a"));
+    }
+
+    #[test]
+    fn figure_formatting_includes_every_benchmark() {
+        let spec = FigureSpec {
+            name: "test",
+            title: "test figure",
+            topology: Topology::dual_node_test(),
+            policy: AllocPolicy::Local,
+            threads: vec![1, 2],
+        };
+        let data = run_figure(&spec, Scale::tiny());
+        let text = format_figure(&spec, &data);
+        for workload in Workload::FIGURES {
+            assert!(text.contains(workload.label()));
+        }
+        let csv = figure_csv(&data);
+        assert_eq!(csv.lines().count(), 1 + 5 * 2);
+    }
+}

@@ -1,0 +1,92 @@
+//! Collector configuration and tuning knobs.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the garbage collector's triggers and policies.
+///
+/// The defaults follow the paper, scaled down to the reproduction's smaller
+/// workloads (the paper's global threshold is 32 MB per vproc on a machine
+/// with 128 GB of RAM).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GcConfig {
+    /// A minor collection triggers a major collection when the size of the
+    /// freshly re-divided nursery falls below this fraction of the local
+    /// heap (§3.3: "when the size of the new nursery area falls below a
+    /// certain threshold").
+    pub nursery_threshold_fraction: f64,
+    /// A global collection is triggered when the bytes of global-heap chunks
+    /// in use exceed `num_vprocs * global_threshold_per_vproc_bytes`
+    /// (§3.4: "the number of vprocs times 32MB").
+    pub global_threshold_per_vproc_bytes: usize,
+    /// Ablation knob: when `true`, a major collection also promotes the
+    /// young data instead of exempting it (disables the Appel optimisation
+    /// the paper relies on to avoid premature promotion).
+    pub promote_young_in_major: bool,
+    /// Ablation knob: when `false`, freed global-heap chunks lose their node
+    /// affinity and are handed to whichever vproc asks first.
+    pub chunk_node_affinity: bool,
+    /// When `true`, the heap invariants (§2.3) are re-verified after every
+    /// collection; expensive, intended for tests.
+    pub verify_after_gc: bool,
+}
+
+impl Default for GcConfig {
+    fn default() -> Self {
+        GcConfig {
+            nursery_threshold_fraction: 0.20,
+            global_threshold_per_vproc_bytes: 2 * 1024 * 1024,
+            promote_young_in_major: false,
+            chunk_node_affinity: true,
+            verify_after_gc: false,
+        }
+    }
+}
+
+impl GcConfig {
+    /// A configuration suitable for unit tests: small thresholds so every
+    /// collection kind triggers quickly, and invariant verification enabled.
+    pub fn small_for_tests() -> Self {
+        GcConfig {
+            nursery_threshold_fraction: 0.25,
+            global_threshold_per_vproc_bytes: 32 * 1024,
+            promote_young_in_major: false,
+            chunk_node_affinity: true,
+            verify_after_gc: true,
+        }
+    }
+
+    /// The paper's configuration: 32 MB of global-heap chunks per vproc
+    /// before a global collection is triggered.
+    pub fn paper_scale() -> Self {
+        GcConfig {
+            global_threshold_per_vproc_bytes: 32 * 1024 * 1024,
+            ..GcConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_follow_paper_design() {
+        let c = GcConfig::default();
+        assert!(!c.promote_young_in_major);
+        assert!(c.chunk_node_affinity);
+        assert!(c.nursery_threshold_fraction > 0.0 && c.nursery_threshold_fraction < 1.0);
+    }
+
+    #[test]
+    fn paper_scale_uses_32mb_per_vproc() {
+        assert_eq!(
+            GcConfig::paper_scale().global_threshold_per_vproc_bytes,
+            32 * 1024 * 1024
+        );
+    }
+
+    #[test]
+    fn test_config_verifies() {
+        assert!(GcConfig::small_for_tests().verify_after_gc);
+    }
+}

@@ -1,0 +1,131 @@
+//! Collector statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// The kind of a collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CollectionKind {
+    /// Minor collection: nursery survivors copied into the old-data area.
+    Minor,
+    /// Major collection: old data promoted to the global heap.
+    Major,
+    /// Promotion of a single object graph (sharing with another vproc).
+    Promotion,
+    /// Global stop-the-world parallel collection of the global heap.
+    Global,
+}
+
+impl CollectionKind {
+    /// A short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            CollectionKind::Minor => "minor",
+            CollectionKind::Major => "major",
+            CollectionKind::Promotion => "promotion",
+            CollectionKind::Global => "global",
+        }
+    }
+}
+
+impl std::fmt::Display for CollectionKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Counters for one vproc's collector activity (or the whole machine's when
+/// aggregated).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct GcStats {
+    /// Number of minor collections.
+    pub minor_collections: u64,
+    /// Number of major collections.
+    pub major_collections: u64,
+    /// Number of object promotions.
+    pub promotions: u64,
+    /// Number of global collections this vproc participated in.
+    pub global_collections: u64,
+    /// Bytes copied within the local heap by minor collections.
+    pub minor_copied_bytes: u64,
+    /// Bytes promoted to the global heap by major collections.
+    pub major_promoted_bytes: u64,
+    /// Bytes promoted to the global heap by explicit promotions.
+    pub promotion_bytes: u64,
+    /// Bytes copied between global chunks by global collections.
+    pub global_copied_bytes: u64,
+    /// Virtual nanoseconds spent in minor collections.
+    pub minor_pause_ns: f64,
+    /// Virtual nanoseconds spent in major collections.
+    pub major_pause_ns: f64,
+    /// Virtual nanoseconds spent in global collections.
+    pub global_pause_ns: f64,
+}
+
+impl GcStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total number of collections of any kind.
+    pub fn total_collections(&self) -> u64 {
+        self.minor_collections + self.major_collections + self.global_collections
+    }
+
+    /// Total bytes moved by the collector.
+    pub fn total_moved_bytes(&self) -> u64 {
+        self.minor_copied_bytes
+            + self.major_promoted_bytes
+            + self.promotion_bytes
+            + self.global_copied_bytes
+    }
+
+    /// Total virtual time spent collecting, in nanoseconds.
+    pub fn total_pause_ns(&self) -> f64 {
+        self.minor_pause_ns + self.major_pause_ns + self.global_pause_ns
+    }
+
+    /// Merges another record into this one.
+    pub fn merge(&mut self, other: &GcStats) {
+        self.minor_collections += other.minor_collections;
+        self.major_collections += other.major_collections;
+        self.promotions += other.promotions;
+        self.global_collections += other.global_collections;
+        self.minor_copied_bytes += other.minor_copied_bytes;
+        self.major_promoted_bytes += other.major_promoted_bytes;
+        self.promotion_bytes += other.promotion_bytes;
+        self.global_copied_bytes += other.global_copied_bytes;
+        self.minor_pause_ns += other.minor_pause_ns;
+        self.major_pause_ns += other.major_pause_ns;
+        self.global_pause_ns += other.global_pause_ns;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_merge() {
+        let mut a = GcStats::new();
+        a.minor_collections = 3;
+        a.minor_copied_bytes = 100;
+        a.minor_pause_ns = 5.0;
+        let mut b = GcStats::new();
+        b.major_collections = 1;
+        b.major_promoted_bytes = 50;
+        b.global_pause_ns = 7.0;
+        a.merge(&b);
+        assert_eq!(a.total_collections(), 4);
+        assert_eq!(a.total_moved_bytes(), 150);
+        assert!((a.total_pause_ns() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(CollectionKind::Minor.to_string(), "minor");
+        assert_eq!(CollectionKind::Global.label(), "global");
+        assert_eq!(CollectionKind::Promotion.label(), "promotion");
+        assert_eq!(CollectionKind::Major.label(), "major");
+    }
+}

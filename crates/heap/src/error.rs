@@ -1,0 +1,118 @@
+//! Error types for heap operations.
+
+use crate::addr::Addr;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by heap allocation and access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeapError {
+    /// The vproc's nursery has no room for the requested allocation; the
+    /// caller must run a minor collection and retry.
+    NurseryFull {
+        /// Words requested (including the header word).
+        requested_words: usize,
+        /// Words still free in the nursery.
+        free_words: usize,
+    },
+    /// The old-data area of a local heap has no room; this indicates the
+    /// local heap is too small for the survivors of a minor collection.
+    OldAreaFull {
+        /// Words requested (including the header word).
+        requested_words: usize,
+    },
+    /// The vproc's current global-heap chunk has no room; the caller must
+    /// acquire a fresh chunk (this is the synchronisation point described in
+    /// §3.3) and retry.
+    ChunkFull {
+        /// Words requested (including the header word).
+        requested_words: usize,
+    },
+    /// The vproc has no current global-heap chunk at all.
+    NoCurrentChunk,
+    /// An object larger than a global-heap chunk was requested.
+    ObjectTooLarge {
+        /// Words requested (including the header word).
+        requested_words: usize,
+        /// Maximum allocatable words.
+        max_words: usize,
+    },
+    /// An address does not fall inside any mapped heap region.
+    Unmapped {
+        /// The offending address.
+        addr: Addr,
+    },
+    /// A payload did not match its descriptor's declared size.
+    PayloadSizeMismatch {
+        /// Words the descriptor declares.
+        expected: usize,
+        /// Words supplied.
+        supplied: usize,
+    },
+    /// An unknown mixed-object descriptor ID was used.
+    UnknownDescriptor {
+        /// The offending header ID.
+        id: u16,
+    },
+}
+
+impl fmt::Display for HeapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeapError::NurseryFull {
+                requested_words,
+                free_words,
+            } => write!(
+                f,
+                "nursery full: requested {requested_words} words, {free_words} free"
+            ),
+            HeapError::OldAreaFull { requested_words } => {
+                write!(f, "old-data area full: requested {requested_words} words")
+            }
+            HeapError::ChunkFull { requested_words } => {
+                write!(f, "global-heap chunk full: requested {requested_words} words")
+            }
+            HeapError::NoCurrentChunk => write!(f, "vproc has no current global-heap chunk"),
+            HeapError::ObjectTooLarge {
+                requested_words,
+                max_words,
+            } => write!(
+                f,
+                "object of {requested_words} words exceeds the maximum of {max_words}"
+            ),
+            HeapError::Unmapped { addr } => write!(f, "address {addr} is not mapped"),
+            HeapError::PayloadSizeMismatch { expected, supplied } => write!(
+                f,
+                "payload of {supplied} words does not match descriptor size {expected}"
+            ),
+            HeapError::UnknownDescriptor { id } => {
+                write!(f, "unknown object descriptor id {id}")
+            }
+        }
+    }
+}
+
+impl Error for HeapError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = HeapError::NurseryFull {
+            requested_words: 10,
+            free_words: 3,
+        };
+        assert!(e.to_string().contains("nursery full"));
+        assert!(e.to_string().contains("10"));
+        let e = HeapError::Unmapped { addr: Addr::new(64) };
+        assert!(e.to_string().contains("0x40"));
+    }
+
+    #[test]
+    fn error_trait_object_compatible() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<HeapError>();
+    }
+}

@@ -1,0 +1,303 @@
+//! The chunked global heap (paper §3.1, §3.3, §3.4).
+//!
+//! The global heap is a collection of fixed-size [`Chunk`]s. Chunks carry
+//! the NUMA node they were physically allocated on; when a chunk is freed
+//! (after a global collection) it goes onto its node's free list and is
+//! preferentially reused by vprocs on that node, preserving node affinity.
+
+use crate::addr::Addr;
+use crate::chunk::{Chunk, ChunkId, ChunkState};
+use crate::space::{AddressSpace, RegionOwner};
+use mgc_numa::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Counters describing global-heap activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GlobalHeapStats {
+    /// Chunks created from fresh address space.
+    pub chunks_created: u64,
+    /// Chunk acquisitions satisfied from a node-local free list.
+    pub chunks_reused_local: u64,
+    /// Chunk acquisitions satisfied from another node's free list (only when
+    /// affinity is disabled or the local list is empty and stealing is
+    /// allowed).
+    pub chunks_reused_remote: u64,
+}
+
+/// The global heap: all chunks plus the per-node free lists.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GlobalHeap {
+    chunk_size_words: usize,
+    chunks: Vec<Chunk>,
+    free_by_node: Vec<Vec<ChunkId>>,
+    /// Whether chunk reuse honours node affinity (the paper's design). The
+    /// ablation benchmark disables this.
+    node_affinity: bool,
+    stats: GlobalHeapStats,
+}
+
+impl GlobalHeap {
+    /// Creates an empty global heap for a machine with `num_nodes` nodes and
+    /// the given chunk size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size_words` or `num_nodes` is zero.
+    pub fn new(chunk_size_words: usize, num_nodes: usize) -> Self {
+        assert!(chunk_size_words > 0, "chunks must be non-empty");
+        assert!(num_nodes > 0, "a machine must have at least one node");
+        GlobalHeap {
+            chunk_size_words,
+            chunks: Vec::new(),
+            free_by_node: vec![Vec::new(); num_nodes],
+            node_affinity: true,
+            stats: GlobalHeapStats::default(),
+        }
+    }
+
+    /// Enables or disables node-affine chunk reuse (enabled by default).
+    pub fn set_node_affinity(&mut self, enabled: bool) {
+        self.node_affinity = enabled;
+    }
+
+    /// Whether node-affine chunk reuse is enabled.
+    pub fn node_affinity(&self) -> bool {
+        self.node_affinity
+    }
+
+    /// Chunk size in words.
+    pub fn chunk_size_words(&self) -> usize {
+        self.chunk_size_words
+    }
+
+    /// Chunk size in bytes.
+    pub fn chunk_size_bytes(&self) -> usize {
+        self.chunk_size_words * crate::addr::WORD_BYTES
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> GlobalHeapStats {
+        self.stats
+    }
+
+    /// Total number of chunks ever created.
+    pub fn num_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Number of chunks currently in use (not on a free list).
+    pub fn chunks_in_use(&self) -> usize {
+        self.chunks
+            .iter()
+            .filter(|c| c.state() != ChunkState::Free)
+            .count()
+    }
+
+    /// Bytes of chunk space currently in use; this is the quantity the
+    /// global-collection trigger compares against its threshold (§3.4).
+    pub fn bytes_in_use(&self) -> usize {
+        self.chunks_in_use() * self.chunk_size_bytes()
+    }
+
+    /// Bytes actually occupied by objects in in-use chunks.
+    pub fn live_bytes_upper_bound(&self) -> usize {
+        self.chunks
+            .iter()
+            .filter(|c| c.state() != ChunkState::Free)
+            .map(Chunk::used_bytes)
+            .sum()
+    }
+
+    /// Borrow a chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not exist.
+    pub fn chunk(&self, id: ChunkId) -> &Chunk {
+        &self.chunks[id.index()]
+    }
+
+    /// Mutably borrow a chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not exist.
+    pub fn chunk_mut(&mut self, id: ChunkId) -> &mut Chunk {
+        &mut self.chunks[id.index()]
+    }
+
+    /// All chunk ids currently in a given state.
+    pub fn chunks_in_state(&self, state: ChunkState) -> Vec<ChunkId> {
+        self.chunks
+            .iter()
+            .filter(|c| c.state() == state)
+            .map(Chunk::id)
+            .collect()
+    }
+
+    /// Iterates over all chunks.
+    pub fn iter(&self) -> impl Iterator<Item = &Chunk> + '_ {
+        self.chunks.iter()
+    }
+
+    /// Acquires a chunk for use by a vproc whose preferred node is `node`
+    /// (already resolved through the placement policy). Reuses a free chunk
+    /// with node affinity when possible, otherwise maps a fresh chunk.
+    ///
+    /// The returned chunk is empty and in the [`ChunkState::Free`] state; the
+    /// caller decides its new state.
+    pub fn acquire_chunk(&mut self, node: NodeId, space: &mut AddressSpace) -> ChunkId {
+        // Node-affine reuse first.
+        if let Some(id) = self.free_by_node[node.index()].pop() {
+            self.stats.chunks_reused_local += 1;
+            return id;
+        }
+        if !self.node_affinity {
+            // Affinity disabled: take any free chunk and pretend it now lives
+            // on the requested node (modelling a page migration / ignoring
+            // placement, as the ablation does).
+            for list in self.free_by_node.iter_mut() {
+                if let Some(id) = list.pop() {
+                    self.stats.chunks_reused_remote += 1;
+                    self.chunks[id.index()].set_node(node);
+                    return id;
+                }
+            }
+        }
+        // Map a brand new chunk.
+        let id = ChunkId(self.chunks.len() as u32);
+        let blocks = 1; // the address space block size equals the chunk size
+        let base = space.map(RegionOwner::Global { chunk: id }, blocks);
+        let chunk = Chunk::new(id, base, node, self.chunk_size_words);
+        self.chunks.push(chunk);
+        self.stats.chunks_created += 1;
+        id
+    }
+
+    /// Returns a chunk to its node's free list, clearing its contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk is already free.
+    pub fn release_chunk(&mut self, id: ChunkId) {
+        let chunk = &mut self.chunks[id.index()];
+        assert!(
+            chunk.state() != ChunkState::Free,
+            "{id:?} released while already free"
+        );
+        chunk.reset();
+        let node = chunk.node();
+        self.free_by_node[node.index()].push(id);
+    }
+
+    /// Number of free chunks currently available on `node`.
+    pub fn free_chunks_on(&self, node: NodeId) -> usize {
+        self.free_by_node[node.index()].len()
+    }
+
+    /// The base address of a chunk.
+    pub fn chunk_base(&self, id: ChunkId) -> Addr {
+        self.chunks[id.index()].base()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::{Header, ObjectKind};
+
+    fn setup() -> (GlobalHeap, AddressSpace) {
+        let heap = GlobalHeap::new(256, 4);
+        let space = AddressSpace::new(256);
+        (heap, space)
+    }
+
+    #[test]
+    fn acquire_creates_then_reuses_with_affinity() {
+        let (mut heap, mut space) = setup();
+        let a = heap.acquire_chunk(NodeId::new(2), &mut space);
+        heap.chunk_mut(a).set_state(ChunkState::Filled);
+        assert_eq!(heap.stats().chunks_created, 1);
+        assert_eq!(heap.chunk(a).node(), NodeId::new(2));
+
+        heap.release_chunk(a);
+        assert_eq!(heap.free_chunks_on(NodeId::new(2)), 1);
+
+        // A vproc on node 2 gets the same chunk back.
+        let b = heap.acquire_chunk(NodeId::new(2), &mut space);
+        assert_eq!(a, b);
+        assert_eq!(heap.stats().chunks_reused_local, 1);
+
+        // A vproc on node 0 does NOT reuse node 2's chunk: affinity.
+        heap.chunk_mut(b).set_state(ChunkState::Filled);
+        heap.release_chunk(b);
+        let c = heap.acquire_chunk(NodeId::new(0), &mut space);
+        assert_ne!(c, b);
+        assert_eq!(heap.chunk(c).node(), NodeId::new(0));
+        assert_eq!(heap.stats().chunks_created, 2);
+    }
+
+    #[test]
+    fn affinity_disabled_steals_any_free_chunk() {
+        let (mut heap, mut space) = setup();
+        heap.set_node_affinity(false);
+        let a = heap.acquire_chunk(NodeId::new(3), &mut space);
+        heap.chunk_mut(a).set_state(ChunkState::Filled);
+        heap.release_chunk(a);
+        let b = heap.acquire_chunk(NodeId::new(1), &mut space);
+        assert_eq!(a, b);
+        assert_eq!(heap.chunk(b).node(), NodeId::new(1));
+        assert_eq!(heap.stats().chunks_reused_remote, 1);
+    }
+
+    #[test]
+    fn usage_accounting() {
+        let (mut heap, mut space) = setup();
+        let a = heap.acquire_chunk(NodeId::new(0), &mut space);
+        heap.chunk_mut(a).set_state(ChunkState::Current { vproc: 0 });
+        let b = heap.acquire_chunk(NodeId::new(1), &mut space);
+        heap.chunk_mut(b).set_state(ChunkState::Filled);
+        assert_eq!(heap.chunks_in_use(), 2);
+        assert_eq!(heap.bytes_in_use(), 2 * 256 * 8);
+        heap.chunk_mut(a)
+            .alloc(Header::new(ObjectKind::Raw, 3).encode(), &[1, 2, 3])
+            .unwrap();
+        assert_eq!(heap.live_bytes_upper_bound(), 4 * 8);
+        heap.release_chunk(b);
+        assert_eq!(heap.chunks_in_use(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already free")]
+    fn double_release_panics() {
+        let (mut heap, mut space) = setup();
+        let a = heap.acquire_chunk(NodeId::new(0), &mut space);
+        heap.chunk_mut(a).set_state(ChunkState::Filled);
+        heap.release_chunk(a);
+        heap.release_chunk(a);
+    }
+
+    #[test]
+    fn chunks_in_state_filters() {
+        let (mut heap, mut space) = setup();
+        let a = heap.acquire_chunk(NodeId::new(0), &mut space);
+        let b = heap.acquire_chunk(NodeId::new(0), &mut space);
+        heap.chunk_mut(a).set_state(ChunkState::FromSpace);
+        heap.chunk_mut(b).set_state(ChunkState::ToSpace);
+        assert_eq!(heap.chunks_in_state(ChunkState::FromSpace), vec![a]);
+        assert_eq!(heap.chunks_in_state(ChunkState::ToSpace), vec![b]);
+        assert_eq!(heap.num_chunks(), 2);
+        assert_eq!(heap.iter().count(), 2);
+    }
+
+    #[test]
+    fn chunk_addresses_come_from_address_space() {
+        let (mut heap, mut space) = setup();
+        let a = heap.acquire_chunk(NodeId::new(0), &mut space);
+        let base = heap.chunk_base(a);
+        assert_eq!(
+            space.owner_of(base),
+            RegionOwner::Global { chunk: a }
+        );
+    }
+}

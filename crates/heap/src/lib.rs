@@ -1,0 +1,67 @@
+//! Object model, Appel-style local heaps, and the chunked global heap for
+//! the Manticore NUMA garbage collector reproduction.
+//!
+//! This crate provides the *mechanism* layer of the memory system described
+//! in §3 of *Garbage Collection for Multicore NUMA Machines*:
+//!
+//! * the 64-bit object header word and the raw/vector/mixed object kinds
+//!   ([`Header`], [`ObjectKind`], Figure 1 of the paper);
+//! * the object-descriptor table standing in for the compiler-generated
+//!   scanning functions ([`DescriptorTable`], §3.2);
+//! * per-vproc [`LocalHeap`]s with the Appel semi-generational nursery /
+//!   young / old geometry (Figures 2 and 3);
+//! * the chunked [`GlobalHeap`] with per-node free lists and node-affine
+//!   chunk reuse (§3.1, §3.4);
+//! * the [`Heap`] facade tying them together over a simulated NUMA-aware
+//!   address space, including the evacuation primitive every collection is
+//!   built from; and
+//! * invariant checkers for the two no-cross-heap-pointer rules (§2.3).
+//!
+//! The collection algorithms themselves (minor, major, promotion, global)
+//! live in the `mgc-core` crate.
+//!
+//! # Example
+//!
+//! ```
+//! use mgc_heap::{Heap, HeapConfig};
+//! use mgc_numa::NodeId;
+//!
+//! // A heap for two vprocs pinned to two different NUMA nodes.
+//! let mut heap = Heap::new(HeapConfig::small_for_tests(), &[NodeId::new(0), NodeId::new(1)], 2);
+//! let point = heap.alloc_raw(0, &[1, 2, 3])?;
+//! let wrapper = heap.alloc_vector(0, &[point.raw()])?;
+//! assert_eq!(heap.payload(point), vec![1, 2, 3]);
+//! assert_eq!(heap.read_field(wrapper, 0), point.raw());
+//! # Ok::<(), mgc_heap::HeapError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod addr;
+mod chunk;
+mod descriptor;
+mod error;
+mod global;
+#[allow(clippy::module_inception)]
+mod heap;
+mod header;
+mod local;
+mod object;
+mod space;
+mod verify;
+
+pub use addr::{word_as_pointer, Addr, Word, WORD_BYTES};
+pub use chunk::{Chunk, ChunkId, ChunkObjects, ChunkState};
+pub use descriptor::{Descriptor, DescriptorId, DescriptorTable};
+pub use error::HeapError;
+pub use global::{GlobalHeap, GlobalHeapStats};
+pub use heap::{EvacTarget, Heap, HeapConfig, HeapStats, Space};
+pub use header::{
+    Header, HeaderSlot, ObjectKind, FIRST_MIXED_ID, MAX_ID, MAX_LEN_WORDS, RAW_ID, VECTOR_ID,
+};
+pub use local::{LocalHeap, LocalHeapStats, LocalObjects, LocalRegion};
+pub use object::{f64_to_word, i64_to_word, word_to_f64, word_to_i64};
+pub use space::{AddressSpace, RegionOwner};
+pub use verify::{verify_global_heap, verify_heap, verify_local_heap, InvariantViolation};

@@ -1,0 +1,210 @@
+//! Heap invariant verification (paper §2.3).
+//!
+//! The runtime maintains two invariants without write barriers or static
+//! analysis:
+//!
+//! 1. there are no pointers from one vproc's local heap into another's, and
+//! 2. there are no pointers from the global heap into any local heap.
+//!
+//! The checkers in this module walk every live-ish object (everything that
+//! has been allocated and not superseded) and report any violation. They are
+//! used throughout the test suites and by the runtime's debug mode after
+//! every collection.
+
+use crate::addr::{word_as_pointer, Addr};
+use crate::chunk::ChunkState;
+use crate::heap::{Heap, Space};
+use std::fmt;
+
+/// A single violation of the heap invariants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// The object holding the offending field.
+    pub holder: Addr,
+    /// The space the holder lives in.
+    pub holder_space: Space,
+    /// The payload index of the offending field.
+    pub field: usize,
+    /// The address the field points to.
+    pub target: Addr,
+    /// The space the target lives in.
+    pub target_space: Space,
+    /// Human-readable description of the rule that was broken.
+    pub rule: &'static str,
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{rule}: object {holder} ({holder_space:?}) field {field} points to {target} ({target_space:?})",
+            rule = self.rule,
+            holder = self.holder,
+            holder_space = self.holder_space,
+            field = self.field,
+            target = self.target,
+            target_space = self.target_space,
+        )
+    }
+}
+
+fn check_fields(
+    heap: &Heap,
+    obj: Addr,
+    violations: &mut Vec<InvariantViolation>,
+    rule: impl Fn(Space, Space) -> Option<&'static str>,
+) {
+    let header = heap.header_of(obj);
+    let holder_space = heap.space_of(obj);
+    let indices = match heap.pointer_field_indices(header) {
+        Ok(indices) => indices,
+        Err(_) => return,
+    };
+    for index in indices {
+        let word = heap.read_field(obj, index);
+        let Some(target) = word_as_pointer(word) else {
+            continue;
+        };
+        let target_space = heap.space_of(target);
+        if let Some(rule) = rule(holder_space, target_space) {
+            violations.push(InvariantViolation {
+                holder: obj,
+                holder_space,
+                field: index,
+                target,
+                target_space,
+                rule,
+            });
+        }
+    }
+}
+
+/// Checks the pointer discipline of one vproc's local heap: every pointer
+/// field must target the same vproc's local heap or the global heap.
+pub fn verify_local_heap(heap: &Heap, vproc: usize) -> Vec<InvariantViolation> {
+    let mut violations = Vec::new();
+    let local = heap.local(vproc);
+    let objects: Vec<Addr> = local
+        .old_objects()
+        .chain(local.young_objects())
+        .chain(local.nursery_objects())
+        .map(|(addr, _)| addr)
+        .collect();
+    for obj in objects {
+        check_fields(heap, obj, &mut violations, |_holder, target| match target {
+            Space::LocalNursery { vproc: v }
+            | Space::LocalYoung { vproc: v }
+            | Space::LocalOld { vproc: v } => {
+                if v == vproc {
+                    None
+                } else {
+                    Some("no pointers between distinct local heaps")
+                }
+            }
+            Space::LocalFree { .. } => Some("pointer into reclaimed local-heap space"),
+            Space::Global { .. } => None,
+            Space::Unmapped => Some("pointer to unmapped memory"),
+        });
+    }
+    violations
+}
+
+/// Checks the pointer discipline of the global heap: no pointer field of any
+/// global object may target a local heap.
+pub fn verify_global_heap(heap: &Heap) -> Vec<InvariantViolation> {
+    let mut violations = Vec::new();
+    let chunk_ids: Vec<_> = heap
+        .global()
+        .iter()
+        .filter(|c| c.state() != ChunkState::Free)
+        .map(|c| c.id())
+        .collect();
+    for chunk_id in chunk_ids {
+        let objects: Vec<Addr> = heap.global().chunk(chunk_id).objects().collect();
+        for obj in objects {
+            check_fields(heap, obj, &mut violations, |_holder, target| match target {
+                Space::Global { .. } => None,
+                Space::Unmapped => Some("pointer to unmapped memory"),
+                _ => Some("no pointers from the global heap into a local heap"),
+            });
+        }
+    }
+    violations
+}
+
+/// Runs every invariant check over the whole heap.
+pub fn verify_heap(heap: &Heap) -> Vec<InvariantViolation> {
+    let mut violations = verify_global_heap(heap);
+    for vproc in 0..heap.num_vprocs() {
+        violations.extend(verify_local_heap(heap, vproc));
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heap::HeapConfig;
+    use mgc_numa::NodeId;
+
+    fn heap() -> Heap {
+        Heap::new(
+            HeapConfig::small_for_tests(),
+            &[NodeId::new(0), NodeId::new(1)],
+            2,
+        )
+    }
+
+    #[test]
+    fn clean_heap_has_no_violations() {
+        let mut heap = heap();
+        let a = heap.alloc_raw(0, &[1]).unwrap();
+        let _v = heap.alloc_vector(0, &[a.raw(), 0]).unwrap();
+        assert!(verify_heap(&heap).is_empty());
+    }
+
+    #[test]
+    fn cross_local_pointer_detected() {
+        let mut heap = heap();
+        let foreign = heap.alloc_raw(1, &[5]).unwrap();
+        let holder = heap.alloc_vector(0, &[foreign.raw()]).unwrap();
+        let violations = verify_local_heap(&heap, 0);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].holder, holder);
+        assert_eq!(violations[0].target, foreign);
+        assert!(violations[0].rule.contains("distinct local heaps"));
+        assert!(violations[0].to_string().contains("field 0"));
+    }
+
+    #[test]
+    fn global_to_local_pointer_detected() {
+        let mut heap = heap();
+        let local_obj = heap.alloc_raw(0, &[3]).unwrap();
+        let header = crate::header::Header::new(crate::header::ObjectKind::Vector, 1).encode();
+        heap.alloc_in_global(0, header, &[local_obj.raw()]).unwrap();
+        let violations = verify_global_heap(&heap);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].rule.contains("global heap"));
+    }
+
+    #[test]
+    fn pointers_to_global_are_fine_from_both_sides() {
+        let mut heap = heap();
+        let header = crate::header::Header::new(crate::header::ObjectKind::Raw, 1).encode();
+        let global_obj = heap.alloc_in_global(0, header, &[11]).unwrap();
+        heap.alloc_vector(0, &[global_obj.raw()]).unwrap();
+        let vec_header = crate::header::Header::new(crate::header::ObjectKind::Vector, 1).encode();
+        heap.alloc_in_global(1, vec_header, &[global_obj.raw()])
+            .unwrap();
+        assert!(verify_heap(&heap).is_empty());
+    }
+
+    #[test]
+    fn raw_objects_never_flag_violations() {
+        let mut heap = heap();
+        // A raw object whose bits happen to look like a foreign address.
+        let foreign = heap.alloc_raw(1, &[1]).unwrap();
+        heap.alloc_raw(0, &[foreign.raw()]).unwrap();
+        assert!(verify_heap(&heap).is_empty());
+    }
+}

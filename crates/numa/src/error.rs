@@ -1,0 +1,73 @@
+//! Error types for topology construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or validating a [`crate::Topology`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// The topology has no packages/nodes/cores at all.
+    Empty,
+    /// A node refers to a package index that does not exist.
+    UnknownPackage {
+        /// The offending package index.
+        package: usize,
+    },
+    /// A bandwidth or latency value was not strictly positive.
+    NonPositiveBandwidth {
+        /// Source node index.
+        src: usize,
+        /// Destination node index.
+        dst: usize,
+    },
+    /// A core count of zero was requested for a node.
+    EmptyNode {
+        /// The offending node index.
+        node: usize,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::Empty => write!(f, "topology has no nodes or cores"),
+            TopologyError::UnknownPackage { package } => {
+                write!(f, "node refers to unknown package {package}")
+            }
+            TopologyError::NonPositiveBandwidth { src, dst } => {
+                write!(f, "non-positive bandwidth between node {src} and node {dst}")
+            }
+            TopologyError::EmptyNode { node } => {
+                write!(f, "node {node} has zero cores")
+            }
+        }
+    }
+}
+
+impl Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            TopologyError::Empty,
+            TopologyError::UnknownPackage { package: 3 },
+            TopologyError::NonPositiveBandwidth { src: 0, dst: 1 },
+            TopologyError::EmptyNode { node: 2 },
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TopologyError>();
+    }
+}

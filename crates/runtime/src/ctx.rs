@@ -1,0 +1,379 @@
+//! The task execution context: the API a program (workload) uses.
+//!
+//! Task bodies never hold raw heap addresses across allocation points —
+//! any allocation may trigger a collection that moves objects. Instead they
+//! hold [`Handle`]s, which index the task's root set; the collector rewrites
+//! the root set in place, so handles stay valid for the task's lifetime.
+//!
+//! Besides allocation and field access, the context exposes:
+//!
+//! * [`TaskCtx::work`] — charge pure compute to the simulated clock;
+//! * [`TaskCtx::spawn`] / [`TaskCtx::fork_join`] — implicitly-threaded
+//!   parallelism over the vproc deques (stolen work is promoted lazily);
+//! * [`TaskCtx::send`] / [`TaskCtx::recv`] — CML-style message passing
+//!   (messages are promoted to the global heap);
+//! * [`TaskCtx::create_proxy`] / [`TaskCtx::resolve_proxy`] — object proxies
+//!   for global structures that need to reference vproc-local objects.
+
+use crate::channel::{ChannelId, ProxyId};
+use crate::machine::RuntimeState;
+use crate::task::{Delivery, Handle, JoinCell, Task, TaskResult, TaskSpec};
+use mgc_heap::{f64_to_word, word_to_f64, Addr, DescriptorId, Word};
+
+/// How one field of a mixed-type object is initialised.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FieldInit {
+    /// A pointer field referencing another heap object (or null).
+    Ptr(Option<Handle>),
+    /// A raw 64-bit value.
+    Raw(Word),
+    /// A raw floating-point value.
+    F64(f64),
+}
+
+/// The execution context handed to every task body.
+pub struct TaskCtx<'a> {
+    state: &'a mut RuntimeState,
+    vproc: usize,
+    roots: &'a mut Vec<Addr>,
+    values: &'a [Word],
+    delivery_taken: &'a mut bool,
+    delivery: Delivery,
+}
+
+impl std::fmt::Debug for TaskCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskCtx")
+            .field("vproc", &self.vproc)
+            .field("roots", &self.roots.len())
+            .field("values", &self.values.len())
+            .finish()
+    }
+}
+
+impl<'a> TaskCtx<'a> {
+    pub(crate) fn new(
+        state: &'a mut RuntimeState,
+        vproc: usize,
+        roots: &'a mut Vec<Addr>,
+        values: &'a [Word],
+        delivery_taken: &'a mut bool,
+        delivery: Delivery,
+    ) -> Self {
+        TaskCtx {
+            state,
+            vproc,
+            roots,
+            values,
+            delivery_taken,
+            delivery,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Identity and inputs
+    // ------------------------------------------------------------------
+
+    /// The vproc this task is running on.
+    pub fn vproc(&self) -> usize {
+        self.vproc
+    }
+
+    /// Number of vprocs in the machine.
+    pub fn num_vprocs(&self) -> usize {
+        self.state.num_vprocs()
+    }
+
+    /// The `i`-th pointer input of this task (its `i`-th root).
+    ///
+    /// For a fork/join continuation, the children's pointer results follow
+    /// the continuation's own pointer inputs, in child order.
+    pub fn input(&self, i: usize) -> Handle {
+        assert!(i < self.roots.len(), "task has only {} roots", self.roots.len());
+        Handle(i)
+    }
+
+    /// Number of pointer inputs / live handles.
+    pub fn num_roots(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// The `i`-th raw input value. For a fork/join continuation, the
+    /// children's value results follow the continuation's own value inputs.
+    pub fn value(&self, i: usize) -> Word {
+        self.values[i]
+    }
+
+    /// The `i`-th raw input, interpreted as an `f64`.
+    pub fn value_f64(&self, i: usize) -> f64 {
+        word_to_f64(self.values[i])
+    }
+
+    /// Number of raw input values.
+    pub fn num_values(&self) -> usize {
+        self.values.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Compute cost
+    // ------------------------------------------------------------------
+
+    /// Charges `ops` machine operations of pure compute (arithmetic,
+    /// branches) to this vproc's virtual clock.
+    pub fn work(&mut self, ops: u64) {
+        self.state.charge_work(self.vproc, ops);
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation
+    // ------------------------------------------------------------------
+
+    /// Allocates a raw-data object and returns a handle to it.
+    pub fn alloc_raw(&mut self, payload: &[Word]) -> Handle {
+        self.state
+            .reserve_nursery(self.vproc, self.roots, payload.len());
+        let addr = self
+            .state
+            .alloc_reserved(self.vproc, |heap, vproc| heap.alloc_raw(vproc, payload));
+        self.state.charge_alloc(self.vproc, (payload.len() + 1) * 8);
+        self.push_root(addr)
+    }
+
+    /// Allocates a raw-data object holding `f64` values.
+    pub fn alloc_f64_slice(&mut self, values: &[f64]) -> Handle {
+        let words: Vec<Word> = values.iter().map(|&v| f64_to_word(v)).collect();
+        self.alloc_raw(&words)
+    }
+
+    /// Allocates a vector of pointers; `None` entries become null.
+    pub fn alloc_vector(&mut self, elements: &[Option<Handle>]) -> Handle {
+        // Reserve first: a collection here may move the referenced objects,
+        // so handles are resolved to addresses only afterwards.
+        self.state
+            .reserve_nursery(self.vproc, self.roots, elements.len());
+        let words: Vec<Word> = elements
+            .to_vec()
+            .into_iter()
+            .map(|h| match h {
+                Some(handle) => self.resolve(handle).raw(),
+                None => 0,
+            })
+            .collect();
+        let addr = self
+            .state
+            .alloc_reserved(self.vproc, |heap, vproc| heap.alloc_vector(vproc, &words));
+        self.state.charge_alloc(self.vproc, (words.len() + 1) * 8);
+        self.push_root(addr)
+    }
+
+    /// Allocates a mixed-type object laid out according to `descriptor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the field kinds disagree with the registered descriptor
+    /// (pointer fields must be `FieldInit::Ptr`).
+    pub fn alloc_mixed(&mut self, descriptor: DescriptorId, fields: &[FieldInit]) -> Handle {
+        // Reserve first: a collection here may move the referenced objects,
+        // so handles are resolved to addresses only afterwards.
+        self.state
+            .reserve_nursery(self.vproc, self.roots, fields.len());
+        let words: Vec<Word> = fields
+            .to_vec()
+            .into_iter()
+            .map(|f| match f {
+                FieldInit::Ptr(Some(handle)) => self.resolve(handle).raw(),
+                FieldInit::Ptr(None) => 0,
+                FieldInit::Raw(w) => w,
+                FieldInit::F64(v) => f64_to_word(v),
+            })
+            .collect();
+        let addr = self.state.alloc_reserved(self.vproc, |heap, vproc| {
+            heap.alloc_mixed(vproc, descriptor, &words)
+        });
+        self.state.charge_alloc(self.vproc, (words.len() + 1) * 8);
+        self.push_root(addr)
+    }
+
+    // ------------------------------------------------------------------
+    // Field access
+    // ------------------------------------------------------------------
+
+    /// Reads a raw field of the object behind `handle`.
+    pub fn read_raw(&mut self, handle: Handle, index: usize) -> Word {
+        let addr = self.resolve(handle);
+        self.state.charge_access(self.vproc, addr, 8);
+        self.state.heap.read_field(addr, index)
+    }
+
+    /// Reads a raw field as an `f64`.
+    pub fn read_f64(&mut self, handle: Handle, index: usize) -> f64 {
+        word_to_f64(self.read_raw(handle, index))
+    }
+
+    /// Reads a pointer field and registers the target as a new root,
+    /// returning its handle (or `None` for a null field).
+    pub fn read_ptr(&mut self, handle: Handle, index: usize) -> Option<Handle> {
+        let addr = self.resolve(handle);
+        self.state.charge_access(self.vproc, addr, 8);
+        let word = self.state.heap.read_field(addr, index);
+        if word == 0 {
+            None
+        } else {
+            Some(self.push_root(Addr::new(word)))
+        }
+    }
+
+    /// Reads the whole payload of a raw object as words, charging a single
+    /// bulk access (the workloads use this for rope leaves).
+    pub fn read_words(&mut self, handle: Handle) -> Vec<Word> {
+        let addr = self.resolve(handle);
+        let bytes = self.state.heap.object_bytes(addr);
+        self.state.charge_access(self.vproc, addr, bytes);
+        self.state.heap.payload(addr)
+    }
+
+    /// Reads the whole payload of a raw object as `f64`s.
+    pub fn read_f64s(&mut self, handle: Handle) -> Vec<f64> {
+        self.read_words(handle).into_iter().map(word_to_f64).collect()
+    }
+
+    /// The number of payload words of the object behind `handle`.
+    pub fn len(&mut self, handle: Handle) -> usize {
+        let addr = self.resolve(handle);
+        self.state.heap.header_of(addr).len_words as usize
+    }
+
+    /// True if the object behind `handle` has no payload (never the case for
+    /// objects allocated through this API).
+    pub fn is_empty(&mut self, handle: Handle) -> bool {
+        self.len(handle) == 0
+    }
+
+    // ------------------------------------------------------------------
+    // Root management
+    // ------------------------------------------------------------------
+
+    /// A mark of the current number of roots; combined with
+    /// [`TaskCtx::truncate_roots`] it lets loops discard intermediate
+    /// handles so the root set does not grow without bound.
+    pub fn root_mark(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Drops every root registered after `mark`. Handles issued after the
+    /// mark become invalid.
+    pub fn truncate_roots(&mut self, mark: usize) {
+        self.roots.truncate(mark);
+    }
+
+    /// Re-registers the object behind `handle` so it survives a
+    /// [`TaskCtx::truncate_roots`] call with an earlier mark, returning the
+    /// new handle.
+    pub fn keep(&mut self, handle: Handle, mark: usize) -> Handle {
+        let addr = self.resolve(handle);
+        self.roots.truncate(mark);
+        self.push_root(addr)
+    }
+
+    /// Resolves a handle to the current address of its object, following any
+    /// forwarding pointers left behind by promotions and updating the root
+    /// slot so later accesses are direct.
+    fn resolve(&mut self, handle: Handle) -> Addr {
+        let resolved = self.state.resolve_addr(self.roots[handle.index()]);
+        self.roots[handle.index()] = resolved;
+        resolved
+    }
+
+    fn push_root(&mut self, addr: Addr) -> Handle {
+        self.roots.push(addr);
+        Handle(self.roots.len() - 1)
+    }
+
+    // ------------------------------------------------------------------
+    // Parallelism
+    // ------------------------------------------------------------------
+
+    /// Spawns an independent task (no result delivery) on this vproc's
+    /// deque, where it can be stolen by idle vprocs.
+    pub fn spawn(&mut self, mut spec: TaskSpec, ptr_inputs: &[Handle]) {
+        spec.ptr_inputs = ptr_inputs.iter().map(|h| self.resolve(*h)).collect();
+        let task = Task::from_spec(spec, Delivery::Discard, self.vproc);
+        self.state.push_task(self.vproc, task);
+    }
+
+    /// Forks `children` and schedules `continuation` to run when all of them
+    /// have completed. The children's results are appended to the
+    /// continuation's inputs in child order: pointer results after its own
+    /// pointer inputs, value results after its own value inputs.
+    ///
+    /// The current task's pending result delivery (if it was itself a child
+    /// of a fork) is transferred to the continuation, continuation-passing
+    /// style; the current body's return value is then ignored.
+    pub fn fork_join(
+        &mut self,
+        children: Vec<(TaskSpec, Vec<Handle>)>,
+        continuation: TaskSpec,
+        continuation_inputs: &[Handle],
+    ) {
+        assert!(!children.is_empty(), "fork_join requires at least one child");
+        let mut cont_spec = continuation;
+        cont_spec.ptr_inputs = continuation_inputs
+            .iter()
+            .map(|h| self.resolve(*h))
+            .collect();
+        let cont_task = Task::from_spec(cont_spec, self.delivery, self.vproc);
+        *self.delivery_taken = true;
+
+        let join = self.state.new_join(JoinCell::new(children.len(), cont_task));
+        for (slot, (mut spec, inputs)) in children.into_iter().enumerate() {
+            spec.ptr_inputs = inputs.iter().map(|h| self.resolve(*h)).collect();
+            let task = Task::from_spec(spec, Delivery::Join { join, slot }, self.vproc);
+            self.state.push_task(self.vproc, task);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Explicit concurrency (CML-style)
+    // ------------------------------------------------------------------
+
+    /// Sends the object behind `message` on `channel`. The message is
+    /// promoted to the global heap (§3.1) so any vproc may receive it.
+    pub fn send(&mut self, channel: ChannelId, message: Handle) {
+        let addr = self.resolve(message);
+        self.state.channel_send(self.vproc, channel, addr);
+    }
+
+    /// Receives the oldest message from `channel`, if any.
+    pub fn recv(&mut self, channel: ChannelId) -> Option<Handle> {
+        let addr = self.state.channel_recv(self.vproc, channel)?;
+        Some(self.push_root(addr))
+    }
+
+    /// Creates an object proxy for a local object, so that global runtime
+    /// structures can refer to it without violating the heap invariants.
+    pub fn create_proxy(&mut self, handle: Handle) -> ProxyId {
+        let addr = self.resolve(handle);
+        self.state.create_proxy(self.vproc, addr)
+    }
+
+    /// Resolves a proxy. Resolving from a vproc other than the owner forces
+    /// the underlying object to be promoted to the global heap.
+    pub fn resolve_proxy(&mut self, proxy: ProxyId) -> Handle {
+        let addr = self.state.resolve_proxy(self.vproc, proxy);
+        self.push_root(addr)
+    }
+
+    // ------------------------------------------------------------------
+    // Results
+    // ------------------------------------------------------------------
+
+    /// Convenience constructor for returning a pointer result.
+    pub fn result_ptr(&self, handle: Handle) -> TaskResult {
+        TaskResult::Ptr(handle)
+    }
+
+    /// Convenience constructor for returning an `f64` result.
+    pub fn result_f64(&self, value: f64) -> TaskResult {
+        TaskResult::Value(f64_to_word(value))
+    }
+}

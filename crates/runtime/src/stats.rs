@@ -1,0 +1,94 @@
+//! Run-level statistics and reports.
+
+use mgc_core::GcStats;
+use mgc_numa::TrafficStats;
+use serde::{Deserialize, Serialize};
+
+/// Statistics for one vproc over a whole run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct VprocRunStats {
+    /// Tasks executed by this vproc.
+    pub tasks_run: u64,
+    /// Tasks this vproc stole from other vprocs.
+    pub steals: u64,
+    /// Objects promoted because work or results crossed vprocs.
+    pub lazy_promotions: u64,
+    /// Virtual nanoseconds this vproc spent busy (compute + memory + GC).
+    pub busy_ns: f64,
+}
+
+/// The result of running a program on the simulated machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Total virtual time of the run, in nanoseconds.
+    pub elapsed_ns: f64,
+    /// Number of scheduling rounds executed.
+    pub rounds: u64,
+    /// Number of vprocs used.
+    pub vprocs: usize,
+    /// Per-vproc scheduling statistics.
+    pub per_vproc: Vec<VprocRunStats>,
+    /// Aggregated collector statistics.
+    pub gc: GcStats,
+    /// Machine-wide traffic statistics by locality class.
+    pub traffic: TrafficStats,
+}
+
+impl RunReport {
+    /// Total virtual time in seconds.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.elapsed_ns / 1e9
+    }
+
+    /// Total tasks executed across all vprocs.
+    pub fn total_tasks(&self) -> u64 {
+        self.per_vproc.iter().map(|v| v.tasks_run).sum()
+    }
+
+    /// Total steals across all vprocs.
+    pub fn total_steals(&self) -> u64 {
+        self.per_vproc.iter().map(|v| v.steals).sum()
+    }
+
+    /// Fraction of total virtual time spent in garbage collection.
+    pub fn gc_fraction(&self) -> f64 {
+        if self.elapsed_ns == 0.0 {
+            return 0.0;
+        }
+        (self.gc.total_pause_ns() / self.vprocs as f64) / self.elapsed_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_accessors() {
+        let report = RunReport {
+            elapsed_ns: 2e9,
+            rounds: 10,
+            vprocs: 2,
+            per_vproc: vec![
+                VprocRunStats {
+                    tasks_run: 5,
+                    steals: 1,
+                    lazy_promotions: 2,
+                    busy_ns: 1e9,
+                },
+                VprocRunStats {
+                    tasks_run: 3,
+                    steals: 0,
+                    lazy_promotions: 0,
+                    busy_ns: 0.5e9,
+                },
+            ],
+            gc: GcStats::default(),
+            traffic: TrafficStats::default(),
+        };
+        assert_eq!(report.elapsed_seconds(), 2.0);
+        assert_eq!(report.total_tasks(), 8);
+        assert_eq!(report.total_steals(), 1);
+        assert_eq!(report.gc_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Virtual processors (vprocs).
+//!
+//! A vproc is the runtime's abstraction of a computational resource (§2.2 of
+//! the paper): it is pinned to a physical core, owns a local heap and a
+//! work-stealing deque, and accumulates the cost of the work it performs
+//! during the current scheduling round.
+
+use crate::stats::VprocRunStats;
+use crate::task::Task;
+use mgc_numa::{CoreId, NodeId, VprocRoundCost};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Per-vproc scheduler state.
+pub(crate) struct VProc {
+    pub(crate) id: usize,
+    pub(crate) core: CoreId,
+    pub(crate) node: NodeId,
+    pub(crate) deque: VecDeque<Task>,
+    pub(crate) round_cost: VprocRoundCost,
+    pub(crate) stats: VprocRunStats,
+}
+
+impl fmt::Debug for VProc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VProc")
+            .field("id", &self.id)
+            .field("core", &self.core)
+            .field("node", &self.node)
+            .field("queued_tasks", &self.deque.len())
+            .finish()
+    }
+}
+
+impl VProc {
+    pub(crate) fn new(id: usize, core: CoreId, node: NodeId, num_nodes: usize) -> Self {
+        VProc {
+            id,
+            core,
+            node,
+            deque: VecDeque::new(),
+            round_cost: VprocRoundCost::new(core, num_nodes),
+            stats: VprocRunStats::default(),
+        }
+    }
+
+    /// Pushes a task on the owner's end of the deque.
+    pub(crate) fn push(&mut self, task: Task) {
+        self.deque.push_back(task);
+    }
+
+    /// Pops a task from the owner's end of the deque (LIFO: the most recently
+    /// spawned work, which is the most cache- and locality-friendly).
+    pub(crate) fn pop_local(&mut self) -> Option<Task> {
+        self.deque.pop_back()
+    }
+
+    /// Steals a task from the thief-facing end of the deque (FIFO: the
+    /// oldest, typically largest, unit of work).
+    pub(crate) fn steal_from(&mut self) -> Option<Task> {
+        self.deque.pop_front()
+    }
+
+    /// Takes the accumulated round cost, leaving an empty one behind.
+    pub(crate) fn take_round_cost(&mut self, num_nodes: usize) -> VprocRoundCost {
+        std::mem::replace(&mut self.round_cost, VprocRoundCost::new(self.core, num_nodes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{Delivery, TaskResult, TaskSpec};
+
+    fn task(name: &'static str) -> Task {
+        Task::from_spec(TaskSpec::new(name, |_| TaskResult::Unit), Delivery::Discard, 0)
+    }
+
+    #[test]
+    fn owner_pops_lifo_thief_steals_fifo() {
+        let mut vp = VProc::new(0, CoreId::new(0), NodeId::new(0), 2);
+        vp.push(task("a"));
+        vp.push(task("b"));
+        vp.push(task("c"));
+        assert_eq!(vp.pop_local().unwrap().name(), "c");
+        assert_eq!(vp.steal_from().unwrap().name(), "a");
+        assert_eq!(vp.pop_local().unwrap().name(), "b");
+        assert!(vp.pop_local().is_none());
+        assert!(vp.steal_from().is_none());
+    }
+
+    #[test]
+    fn round_cost_take_resets() {
+        let mut vp = VProc::new(1, CoreId::new(3), NodeId::new(1), 4);
+        vp.round_cost.add_cpu_ns(100.0);
+        let taken = vp.take_round_cost(4);
+        assert_eq!(taken.cpu_ns, 100.0);
+        assert_eq!(vp.round_cost.cpu_ns, 0.0);
+        assert_eq!(vp.round_cost.core, CoreId::new(3));
+    }
+
+    #[test]
+    fn debug_shows_queue_length() {
+        let mut vp = VProc::new(0, CoreId::new(0), NodeId::new(0), 1);
+        vp.push(task("x"));
+        assert!(format!("{vp:?}").contains("queued_tasks: 1"));
+    }
+}

@@ -1,0 +1,274 @@
+//! Integration tests for the runtime: fork/join parallelism, work stealing
+//! with lazy promotion, channels, proxies, and GC under allocation pressure.
+
+use mgc_heap::{i64_to_word, word_to_i64, HeapConfig};
+use mgc_numa::{AllocPolicy, Topology};
+use mgc_runtime::{Machine, MachineConfig, TaskResult, TaskSpec};
+
+fn machine(vprocs: usize) -> Machine {
+    Machine::new(MachineConfig::small_for_tests(vprocs))
+}
+
+#[test]
+fn fork_join_sums_child_values() {
+    let mut m = machine(2);
+    m.spawn_root(TaskSpec::new("root", |ctx| {
+        let children: Vec<_> = (0..8i64)
+            .map(|i| {
+                (
+                    TaskSpec::new("child", move |ctx| {
+                        ctx.work(100);
+                        TaskResult::Value(i64_to_word(i * i))
+                    }),
+                    vec![],
+                )
+            })
+            .collect();
+        ctx.fork_join(
+            children,
+            TaskSpec::new("sum", |ctx| {
+                let total: i64 = (0..ctx.num_values())
+                    .map(|i| word_to_i64(ctx.value(i)))
+                    .sum();
+                TaskResult::Value(i64_to_word(total))
+            }),
+            &[],
+        );
+        TaskResult::Unit
+    }));
+    let report = m.run();
+    let expected: i64 = (0..8).map(|i| i * i).sum();
+    assert_eq!(m.take_result(), Some((i64_to_word(expected), false)));
+    // 1 root + 8 children + 1 continuation.
+    assert_eq!(report.total_tasks(), 10);
+}
+
+#[test]
+fn nested_fork_join_builds_a_tree_sum() {
+    // Recursive divide-and-conquer sum over a range, exercising deep
+    // continuation chains.
+    fn sum_range(lo: i64, hi: i64) -> TaskSpec {
+        TaskSpec::new("sum-range", move |ctx| {
+            if hi - lo <= 4 {
+                ctx.work((hi - lo) as u64);
+                return TaskResult::Value(i64_to_word((lo..hi).sum()));
+            }
+            let mid = (lo + hi) / 2;
+            ctx.fork_join(
+                vec![(sum_range(lo, mid), vec![]), (sum_range(mid, hi), vec![])],
+                TaskSpec::new("combine", |ctx| {
+                    let a = word_to_i64(ctx.value(0));
+                    let b = word_to_i64(ctx.value(1));
+                    TaskResult::Value(i64_to_word(a + b))
+                }),
+                &[],
+            );
+            TaskResult::Unit
+        })
+    }
+
+    for vprocs in [1, 2, 4] {
+        let mut m = machine(vprocs);
+        m.spawn_root(sum_range(0, 1000));
+        m.run();
+        assert_eq!(
+            m.take_result(),
+            Some((i64_to_word((0..1000).sum()), false)),
+            "vprocs = {vprocs}"
+        );
+    }
+}
+
+#[test]
+fn pointer_results_cross_vprocs_via_promotion() {
+    let mut m = machine(4);
+    m.spawn_root(TaskSpec::new("root", |ctx| {
+        let children: Vec<_> = (0..16i64)
+            .map(|i| {
+                (
+                    TaskSpec::new("make-box", move |ctx| {
+                        // Heavy enough that one child exceeds the scheduling
+                        // quantum, so the other vprocs steal the rest, and
+                        // allocation-heavy enough that collections happen on
+                        // whichever vproc runs this.
+                        ctx.work(200_000);
+                        let mark = ctx.root_mark();
+                        for _ in 0..50 {
+                            ctx.alloc_raw(&[0xfeed; 16]);
+                            ctx.truncate_roots(mark);
+                        }
+                        let boxed = ctx.alloc_raw(&[i64_to_word(i), i64_to_word(i * 2)]);
+                        TaskResult::Ptr(boxed)
+                    }),
+                    vec![],
+                )
+            })
+            .collect();
+        ctx.fork_join(
+            children,
+            TaskSpec::new("sum-boxes", |ctx| {
+                let mut total = 0i64;
+                for i in 0..ctx.num_roots() {
+                    let handle = ctx.input(i);
+                    total += word_to_i64(ctx.read_raw(handle, 0));
+                    total += word_to_i64(ctx.read_raw(handle, 1));
+                }
+                TaskResult::Value(i64_to_word(total))
+            }),
+            &[],
+        );
+        TaskResult::Unit
+    }));
+    let report = m.run();
+    let expected: i64 = (0..16).map(|i| i + 2 * i).sum();
+    assert_eq!(m.take_result(), Some((i64_to_word(expected), false)));
+    // With 4 vprocs and only vproc 0 seeded, work must have been stolen.
+    assert!(report.total_steals() > 0, "expected work stealing to occur");
+    // No invariant violations survived the run.
+    assert!(mgc_heap::verify_heap(m.heap()).is_empty());
+}
+
+#[test]
+fn heavy_allocation_triggers_all_collection_kinds() {
+    let mut cfg = MachineConfig::small_for_tests(2);
+    cfg.heap = HeapConfig::small_for_tests();
+    let mut m = Machine::new(cfg);
+    m.spawn_root(TaskSpec::new("allocate-a-lot", |ctx| {
+        // Keep a growing list alive so data survives minors, ages to old,
+        // gets promoted by majors, and eventually forces a global GC.
+        let mut list = None;
+        for i in 0..4000u64 {
+            let mark = ctx.root_mark();
+            let cell = ctx.alloc_vector(&[list, None]);
+            let value = ctx.alloc_raw(&[i]);
+            // Rebuild the cons cell with the value attached.
+            let cons = ctx.alloc_vector(&[Some(value), list]);
+            let _ = cell;
+            list = Some(ctx.keep(cons, mark));
+        }
+        TaskResult::Unit
+    }));
+    let report = m.run();
+    assert!(report.gc.minor_collections > 0, "minors expected");
+    assert!(report.gc.major_collections > 0, "majors expected");
+    assert!(report.gc.global_collections > 0, "globals expected");
+    assert!(report.gc.total_moved_bytes() > 0);
+    assert!(mgc_heap::verify_heap(m.heap()).is_empty());
+}
+
+#[test]
+fn channels_promote_messages_and_deliver_in_order() {
+    let mut m = machine(2);
+    let channel = m.create_channel();
+    m.spawn_root(TaskSpec::new("producer-consumer", move |ctx| {
+        for i in 0..5i64 {
+            let msg = ctx.alloc_raw(&[i64_to_word(i)]);
+            ctx.send(channel, msg);
+        }
+        let mut received = 0i64;
+        let mut sum = 0i64;
+        while let Some(msg) = ctx.recv(channel) {
+            sum += word_to_i64(ctx.read_raw(msg, 0));
+            received += 1;
+        }
+        assert_eq!(received, 5);
+        TaskResult::Value(i64_to_word(sum))
+    }));
+    m.run();
+    assert_eq!(m.take_result(), Some((i64_to_word(0 + 1 + 2 + 3 + 4), false)));
+    let stats = m.channel_stats();
+    assert_eq!(stats.sends, 5);
+    assert_eq!(stats.receives, 5);
+    // Messages live in the global heap after sending.
+    assert!(mgc_heap::verify_heap(m.heap()).is_empty());
+}
+
+#[test]
+fn proxies_promote_only_when_resolved_remotely() {
+    let mut m = machine(2);
+    m.spawn_root(TaskSpec::new("proxy-demo", |ctx| {
+        let local = ctx.alloc_raw(&[i64_to_word(77)]);
+        let proxy = ctx.create_proxy(local);
+        // Resolving on the owner does not promote.
+        let same = ctx.resolve_proxy(proxy);
+        assert_eq!(word_to_i64(ctx.read_raw(same, 0)), 77);
+        TaskResult::Unit
+    }));
+    m.run();
+    let stats = m.channel_stats();
+    assert_eq!(stats.proxies_created, 1);
+    assert_eq!(stats.proxies_promoted, 0);
+}
+
+#[test]
+fn speedup_improves_with_more_vprocs_for_independent_work() {
+    // A perfectly parallel compute-heavy workload must get faster (in virtual
+    // time) as vprocs are added — the core property behind Figures 4 and 5.
+    let elapsed = |vprocs: usize| {
+        let mut m = Machine::new(MachineConfig::new(Topology::intel_xeon_32(), vprocs));
+        m.spawn_root(TaskSpec::new("fanout", |ctx| {
+            let children: Vec<_> = (0..64)
+                .map(|_| {
+                    (
+                        TaskSpec::new("crunch", |ctx| {
+                            ctx.work(2_000_000);
+                            TaskResult::Unit
+                        }),
+                        vec![],
+                    )
+                })
+                .collect();
+            ctx.fork_join(
+                children,
+                TaskSpec::new("done", |_| TaskResult::Unit),
+                &[],
+            );
+            TaskResult::Unit
+        }));
+        m.run().elapsed_ns
+    };
+    let t1 = elapsed(1);
+    let t8 = elapsed(8);
+    let t32 = elapsed(32);
+    assert!(t8 < t1 * 0.3, "8 vprocs should be well over 3x faster: {t1} vs {t8}");
+    assert!(t32 < t8, "32 vprocs should beat 8: {t8} vs {t32}");
+}
+
+#[test]
+fn socket_zero_policy_is_slower_under_memory_pressure() {
+    // Streaming through heap data with every page on node 0 must cost more
+    // virtual time than with local placement (the Figure 5 vs Figure 7 gap).
+    let elapsed = |policy: AllocPolicy| {
+        let mut cfg = MachineConfig::new(Topology::amd_magny_cours_48(), 16).with_policy(policy);
+        cfg.gc.verify_after_gc = false;
+        let mut m = Machine::new(cfg);
+        m.spawn_root(TaskSpec::new("spread", |ctx| {
+            let children: Vec<_> = (0..16)
+                .map(|_| {
+                    (
+                        TaskSpec::new("stream", |ctx| {
+                            let mark = ctx.root_mark();
+                            for _ in 0..200 {
+                                let leaf = ctx.alloc_raw(&[1u64; 512]);
+                                let data = ctx.read_words(leaf);
+                                ctx.work(data.len() as u64);
+                                ctx.truncate_roots(mark);
+                            }
+                            TaskResult::Unit
+                        }),
+                        vec![],
+                    )
+                })
+                .collect();
+            ctx.fork_join(children, TaskSpec::new("done", |_| TaskResult::Unit), &[]);
+            TaskResult::Unit
+        }));
+        m.run().elapsed_ns
+    };
+    let local = elapsed(AllocPolicy::Local);
+    let socket0 = elapsed(AllocPolicy::SocketZero);
+    assert!(
+        socket0 > local,
+        "socket-zero placement should be slower: local={local} socket0={socket0}"
+    );
+}

@@ -1,0 +1,144 @@
+//! A synthetic allocation-churn workload (the "synthetic benchmark" of the
+//! paper's §4.1), used to stress the collector directly: it allocates a
+//! stream of short-lived objects while keeping a configurable fraction
+//! alive, so the full minor → major → global promotion pipeline is
+//! exercised at a controllable rate.
+
+use mgc_heap::{i64_to_word, word_to_i64};
+use mgc_runtime::{Handle, Machine, TaskResult, TaskSpec};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the churn workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChurnParams {
+    /// Objects each parallel worker allocates.
+    pub objects_per_worker: usize,
+    /// Payload words per object.
+    pub object_words: usize,
+    /// One in `survive_every` objects is kept alive to the end of the run.
+    pub survive_every: usize,
+    /// Number of parallel workers.
+    pub workers: usize,
+}
+
+impl Default for ChurnParams {
+    fn default() -> Self {
+        ChurnParams {
+            objects_per_worker: 20_000,
+            object_words: 16,
+            survive_every: 64,
+            workers: 32,
+        }
+    }
+}
+
+impl ChurnParams {
+    /// A fast configuration for unit tests.
+    pub fn small() -> Self {
+        ChurnParams {
+            objects_per_worker: 2_000,
+            object_words: 8,
+            survive_every: 32,
+            workers: 4,
+        }
+    }
+}
+
+/// Spawns the churn workload; the root result is the total number of
+/// surviving objects (so tests can check none were lost by the collector).
+pub fn spawn(machine: &mut Machine, params: ChurnParams) {
+    machine.spawn_root(TaskSpec::new("churn-root", move |ctx| {
+        let children: Vec<_> = (0..params.workers)
+            .map(|worker| {
+                (
+                    TaskSpec::new("churn-worker", move |ctx| {
+                        let mut survivors: Vec<Handle> = Vec::new();
+                        let base_mark = ctx.root_mark();
+                        for i in 0..params.objects_per_worker {
+                            let payload =
+                                vec![i64_to_word((worker * 1_000_000 + i) as i64); params.object_words];
+                            let obj = ctx.alloc_raw(&payload);
+                            if i % params.survive_every == 0 {
+                                survivors.push(obj);
+                            } else {
+                                // Drop everything allocated since the last
+                                // survivor; the survivors keep their handles
+                                // because handles index the root set, which
+                                // only ever grows here.
+                                let keep = survivors.len();
+                                let _ = keep;
+                                if survivors.is_empty() {
+                                    ctx.truncate_roots(base_mark);
+                                } else {
+                                    ctx.truncate_roots(base_mark + survivors.len());
+                                }
+                            }
+                            ctx.work(params.object_words as u64 * 4);
+                        }
+                        // Validate that every survivor still holds its value.
+                        let mut intact = 0i64;
+                        for (index, handle) in survivors.iter().enumerate() {
+                            let expected = (worker * 1_000_000
+                                + index * params.survive_every) as i64;
+                            if word_to_i64(ctx.read_raw(*handle, 0)) == expected {
+                                intact += 1;
+                            }
+                        }
+                        TaskResult::Value(i64_to_word(intact))
+                    }),
+                    vec![],
+                )
+            })
+            .collect();
+        ctx.fork_join(
+            children,
+            TaskSpec::new("churn-sum", |ctx| {
+                let total: i64 = (0..ctx.num_values())
+                    .map(|i| word_to_i64(ctx.value(i)))
+                    .sum();
+                TaskResult::Value(i64_to_word(total))
+            }),
+            &[],
+        );
+        TaskResult::Unit
+    }));
+}
+
+/// The number of survivors a correct run must report.
+pub fn expected_survivors(params: ChurnParams) -> i64 {
+    (params.workers * params.objects_per_worker.div_ceil(params.survive_every)) as i64
+}
+
+/// Reads the survivor count of a finished churn run.
+pub fn take_survivors(machine: &mut Machine) -> Option<i64> {
+    machine.take_result().map(|(word, _)| word_to_i64(word))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgc_runtime::MachineConfig;
+
+    #[test]
+    fn no_survivor_is_lost_or_corrupted_by_collection() {
+        let params = ChurnParams::small();
+        let mut machine = Machine::new(MachineConfig::small_for_tests(2));
+        spawn(&mut machine, params);
+        let report = machine.run();
+        assert_eq!(take_survivors(&mut machine), Some(expected_survivors(params)));
+        // The whole point of churn: it must actually collect.
+        assert!(report.gc.minor_collections > 0);
+        assert!(mgc_heap::verify_heap(machine.heap()).is_empty());
+    }
+
+    #[test]
+    fn expected_survivors_counts_ceiling() {
+        let p = ChurnParams {
+            objects_per_worker: 10,
+            survive_every: 3,
+            workers: 2,
+            object_words: 1,
+        };
+        assert_eq!(expected_survivors(p), 8);
+    }
+}

@@ -1,0 +1,232 @@
+//! The paper's benchmark programs, written against the `mgc-runtime` API.
+//!
+//! §4.1 of *Garbage Collection for Multicore NUMA Machines* evaluates five
+//! programs plus one synthetic benchmark; this crate reproduces all of them:
+//!
+//! | Benchmark | Paper input | Module |
+//! |-----------|-------------|--------|
+//! | Barnes-Hut | 20 iterations, 400,000 particles (Plummer) | [`barnes_hut`] |
+//! | Raytracer | 512 × 512 image, no acceleration structure | [`raytracer`] |
+//! | Quicksort | 10,000,000 integers (NESL formulation) | [`quicksort`] |
+//! | SMVM | 1,091,362 non-zeroes × 16,614-element vector | [`smvm`] |
+//! | DMM | 600 × 600 dense matrices | [`dmm`] |
+//! | synthetic | allocation churn | [`churn`] |
+//!
+//! Every benchmark is expressed as fork/join tasks over rope-structured
+//! data, exactly the object demographics the Manticore collector is designed
+//! for: a torrent of small short-lived allocations, a modest amount of
+//! long-lived shared data (the Barnes-Hut tree, the SMVM vector), and no
+//! mutation.
+//!
+//! # Example
+//!
+//! ```
+//! use mgc_numa::{AllocPolicy, Topology};
+//! use mgc_workloads::{run_workload, Scale, Workload};
+//!
+//! let report = run_workload(
+//!     &Topology::dual_node_test(),
+//!     2,
+//!     AllocPolicy::Local,
+//!     Workload::Dmm,
+//!     Scale::tiny(),
+//! );
+//! assert!(report.elapsed_ns > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod barnes_hut;
+pub mod churn;
+pub mod dmm;
+pub mod quicksort;
+pub mod raytracer;
+mod rope;
+mod scale;
+pub mod smvm;
+
+pub use rope::{build_f64_rope, build_i64_rope, read_f64_rope, read_i64_rope, rope_len, LEAF_SIZE};
+pub use scale::Scale;
+
+use mgc_numa::{AllocPolicy, Topology};
+use mgc_runtime::{Machine, MachineConfig, RunReport};
+use serde::{Deserialize, Serialize};
+
+/// The benchmarks of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Workload {
+    /// Dense-matrix multiplication.
+    Dmm,
+    /// The ray tracer.
+    Raytracer,
+    /// Parallel quicksort.
+    Quicksort,
+    /// Barnes-Hut N-body simulation.
+    BarnesHut,
+    /// Sparse-matrix × dense-vector multiplication.
+    Smvm,
+    /// The synthetic allocation-churn benchmark.
+    Churn,
+}
+
+impl Workload {
+    /// The five benchmarks plotted in Figures 4–7, in the paper's legend
+    /// order.
+    pub const FIGURES: [Workload; 5] = [
+        Workload::Dmm,
+        Workload::Raytracer,
+        Workload::Quicksort,
+        Workload::BarnesHut,
+        Workload::Smvm,
+    ];
+
+    /// Every workload, including the synthetic one.
+    pub const ALL: [Workload; 6] = [
+        Workload::Dmm,
+        Workload::Raytracer,
+        Workload::Quicksort,
+        Workload::BarnesHut,
+        Workload::Smvm,
+        Workload::Churn,
+    ];
+
+    /// The label used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Workload::Dmm => "Dense-Matrix-Multiply",
+            Workload::Raytracer => "Raytracer",
+            Workload::Quicksort => "Quicksort",
+            Workload::BarnesHut => "Barnes-Hut",
+            Workload::Smvm => "SMVM",
+            Workload::Churn => "Synthetic-Churn",
+        }
+    }
+
+    /// Spawns this workload onto a machine.
+    pub fn spawn(self, machine: &mut Machine, scale: Scale) {
+        match self {
+            Workload::Dmm => dmm::spawn(machine, scale),
+            Workload::Raytracer => raytracer::spawn(machine, scale),
+            Workload::Quicksort => quicksort::spawn(machine, scale),
+            Workload::BarnesHut => barnes_hut::spawn(machine, scale),
+            Workload::Smvm => smvm::spawn(machine, scale),
+            Workload::Churn => churn::spawn(machine, churn::ChurnParams::default()),
+        }
+    }
+}
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Builds a machine for `topology` with `vprocs` vprocs and the given page
+/// placement policy, using the default (scaled-down) heap geometry.
+pub fn machine_for(topology: &Topology, vprocs: usize, policy: AllocPolicy) -> Machine {
+    let mut config = MachineConfig::new(topology.clone(), vprocs).with_policy(policy);
+    // A finer scheduling quantum than the library default, so that scaled-down
+    // benchmark inputs still spread across many vprocs instead of completing
+    // inside a single vproc's first quantum.
+    config.quantum_ns = 25_000.0;
+    Machine::new(config)
+}
+
+/// Runs one workload to completion and returns its report.
+pub fn run_workload(
+    topology: &Topology,
+    vprocs: usize,
+    policy: AllocPolicy,
+    workload: Workload,
+    scale: Scale,
+) -> RunReport {
+    let mut machine = machine_for(topology, vprocs, policy);
+    workload.spawn(&mut machine, scale);
+    machine.run()
+}
+
+/// One point of a speedup curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpeedupPoint {
+    /// Number of threads (vprocs).
+    pub threads: usize,
+    /// Virtual execution time in nanoseconds.
+    pub elapsed_ns: f64,
+    /// Speedup relative to the single-threaded run of the same series.
+    pub speedup: f64,
+}
+
+/// Runs `workload` at each thread count and returns the speedup curve
+/// relative to the single-thread run (the quantity plotted in Figures 4–7).
+pub fn speedup_series(
+    topology: &Topology,
+    threads: &[usize],
+    policy: AllocPolicy,
+    workload: Workload,
+    scale: Scale,
+    baseline_ns: Option<f64>,
+) -> Vec<SpeedupPoint> {
+    let baseline = baseline_ns.unwrap_or_else(|| {
+        run_workload(topology, 1, AllocPolicy::Local, workload, scale).elapsed_ns
+    });
+    threads
+        .iter()
+        .map(|&t| {
+            let elapsed = run_workload(topology, t, policy, workload, scale).elapsed_ns;
+            SpeedupPoint {
+                threads: t,
+                elapsed_ns: elapsed,
+                speedup: baseline / elapsed,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_labels_match_figure_legends() {
+        assert_eq!(Workload::Dmm.label(), "Dense-Matrix-Multiply");
+        assert_eq!(Workload::Smvm.to_string(), "SMVM");
+        assert_eq!(Workload::FIGURES.len(), 5);
+        assert_eq!(Workload::ALL.len(), 6);
+    }
+
+    #[test]
+    fn every_figure_workload_runs_on_a_small_machine() {
+        let topology = Topology::dual_node_test();
+        for workload in Workload::FIGURES {
+            let report = run_workload(
+                &topology,
+                2,
+                AllocPolicy::Local,
+                workload,
+                Scale::tiny(),
+            );
+            assert!(report.total_tasks() > 1, "{workload} should be parallel");
+            assert!(report.elapsed_ns > 0.0);
+        }
+    }
+
+    #[test]
+    fn speedup_series_reports_relative_improvement() {
+        let topology = Topology::dual_node_test();
+        // Use a scale large enough that the work spans several scheduling
+        // quanta; otherwise a single vproc finishes before anyone can steal.
+        let series = speedup_series(
+            &topology,
+            &[1, 4],
+            AllocPolicy::Local,
+            Workload::Dmm,
+            Scale(0.25),
+            None,
+        );
+        assert_eq!(series.len(), 2);
+        assert!((series[0].speedup - 1.0).abs() < 0.05);
+        assert!(series[1].speedup > 1.5, "4 threads should beat 1");
+    }
+}

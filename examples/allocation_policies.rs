@@ -1,0 +1,39 @@
+//! Compares the three physical page-placement policies of the paper's §4.3
+//! (local, interleaved, socket-zero) on the SMVM benchmark — the workload
+//! whose shared dense vector makes placement matter most.
+//!
+//! ```text
+//! cargo run --example allocation_policies --release
+//! ```
+
+use manticore_gc::numa::{AllocPolicy, Topology};
+use manticore_gc::workloads::{run_workload, Scale, Workload};
+
+fn main() {
+    let topology = Topology::amd_magny_cours_48();
+    let scale = Scale::tiny();
+    let threads = [1usize, 8, 24, 48];
+
+    println!("SMVM on the 48-core AMD model, virtual time in ms (lower is better)\n");
+    println!(
+        "{:>8} {:>14} {:>14} {:>14}",
+        "threads", "local", "interleaved", "socket0"
+    );
+    for &t in &threads {
+        let mut row = format!("{t:>8}");
+        for policy in [
+            AllocPolicy::Local,
+            AllocPolicy::Interleaved,
+            AllocPolicy::SocketZero,
+        ] {
+            let report = run_workload(&topology, t, policy, Workload::Smvm, scale);
+            row.push_str(&format!(" {:>14.3}", report.elapsed_ns / 1e6));
+        }
+        println!("{row}");
+    }
+    println!(
+        "\nExpected shape (paper §4.3): local wins at low thread counts; socket-zero\n\
+         collapses as every node hammers node 0; interleaved catches up on SMVM at\n\
+         high thread counts because the shared vector's pages are spread out."
+    );
+}

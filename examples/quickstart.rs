@@ -1,0 +1,75 @@
+//! Quickstart: build a simulated NUMA machine, run a small parallel program
+//! under the Manticore-style collector, and inspect what the memory system
+//! and the collector did.
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+
+use manticore_gc::heap::i64_to_word;
+use manticore_gc::numa::{AllocPolicy, Topology};
+use manticore_gc::runtime::{Machine, MachineConfig, TaskResult, TaskSpec};
+
+fn main() {
+    // A 48-core AMD "Magny Cours" machine (the paper's Appendix A.1),
+    // 16 vprocs, local page placement.
+    let config = MachineConfig::new(Topology::amd_magny_cours_48(), 16)
+        .with_policy(AllocPolicy::Local);
+    let mut machine = Machine::new(config);
+
+    // A fork/join program: every child builds a little list in its nursery,
+    // sums it, and returns the sum; the continuation adds everything up.
+    machine.spawn_root(TaskSpec::new("quickstart", |ctx| {
+        let children: Vec<_> = (0..64i64)
+            .map(|seed| {
+                (
+                    TaskSpec::new("build-and-sum", move |ctx| {
+                        let mut list = None;
+                        for i in 0..200i64 {
+                            let cell = ctx.alloc_raw(&[i64_to_word(seed + i)]);
+                            list = Some(ctx.alloc_vector(&[Some(cell), list]));
+                        }
+                        // Walk the list back.
+                        let mut sum = 0i64;
+                        let mut cursor = list;
+                        while let Some(cell) = cursor {
+                            let value = ctx.read_ptr(cell, 0).expect("list cells hold a value");
+                            sum += ctx.read_raw(value, 0) as i64;
+                            cursor = ctx.read_ptr(cell, 1);
+                        }
+                        ctx.work(4_000);
+                        TaskResult::Value(i64_to_word(sum))
+                    }),
+                    vec![],
+                )
+            })
+            .collect();
+        ctx.fork_join(
+            children,
+            TaskSpec::new("total", |ctx| {
+                let total: i64 = (0..ctx.num_values()).map(|i| ctx.value(i) as i64).sum();
+                TaskResult::Value(i64_to_word(total))
+            }),
+            &[],
+        );
+        TaskResult::Unit
+    }));
+
+    let report = machine.run();
+    let (result, _) = machine.take_result().expect("program produces a result");
+
+    println!("result              : {}", result as i64);
+    println!("virtual time        : {:.3} ms", report.elapsed_ns / 1e6);
+    println!("tasks executed      : {}", report.total_tasks());
+    println!("work steals         : {}", report.total_steals());
+    println!("minor collections   : {}", report.gc.minor_collections);
+    println!("major collections   : {}", report.gc.major_collections);
+    println!("global collections  : {}", report.gc.global_collections);
+    println!("bytes moved by GC   : {}", report.gc.total_moved_bytes());
+    println!(
+        "traffic (local/same-pkg/cross-pkg): {:?} / {:?} / {:?} bytes",
+        report.traffic.bytes_of(manticore_gc::numa::AccessClass::Local),
+        report.traffic.bytes_of(manticore_gc::numa::AccessClass::SamePackage),
+        report.traffic.bytes_of(manticore_gc::numa::AccessClass::CrossPackage),
+    );
+}

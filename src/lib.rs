@@ -1,0 +1,43 @@
+//! Umbrella crate for the reproduction of *Garbage Collection for Multicore
+//! NUMA Machines* (Auhagen, Bergstrom, Fluet, Reppy; 2011).
+//!
+//! The implementation is split into focused crates, re-exported here:
+//!
+//! * [`numa`] — machine topologies (the paper's AMD and Intel machines),
+//!   page-placement policies, and the bottleneck memory cost model;
+//! * [`heap`] — the object model (header word, descriptor table), Appel-style
+//!   local heaps, and the chunked global heap with node affinity;
+//! * [`gc`] — the collector itself: minor, major, promotion, and the global
+//!   stop-the-world parallel collection;
+//! * [`runtime`] — vprocs, fork/join work stealing with lazy promotion,
+//!   CML-style channels, and the discrete-event machine driver;
+//! * [`workloads`] — the paper's five benchmarks plus a synthetic
+//!   allocation-churn workload.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for the reproduced tables and figures.
+//!
+//! # Example
+//!
+//! ```
+//! use manticore_gc::numa::{AllocPolicy, Topology};
+//! use manticore_gc::workloads::{run_workload, Scale, Workload};
+//!
+//! let report = run_workload(
+//!     &Topology::intel_xeon_32(),
+//!     4,
+//!     AllocPolicy::Local,
+//!     Workload::Raytracer,
+//!     Scale::tiny(),
+//! );
+//! assert!(report.gc.minor_collections > 0 || report.elapsed_ns > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mgc_core as gc;
+pub use mgc_heap as heap;
+pub use mgc_numa as numa;
+pub use mgc_runtime as runtime;
+pub use mgc_workloads as workloads;

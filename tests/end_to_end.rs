@@ -1,0 +1,118 @@
+//! Workspace-level integration tests: the full stack (topology → heap →
+//! collector → runtime → workloads) exercised together, plus the qualitative
+//! properties the paper's evaluation rests on.
+
+use manticore_gc::gc::GcConfig;
+use manticore_gc::heap::HeapConfig;
+use manticore_gc::numa::{AllocPolicy, Topology};
+use manticore_gc::runtime::{Machine, MachineConfig};
+use manticore_gc::workloads::{churn, dmm, run_workload, smvm, Scale, Workload};
+
+#[test]
+fn all_collection_kinds_fire_and_results_stay_correct() {
+    // A DMM run on a machine with tiny heaps: minor, major, and global
+    // collections all trigger, and the numeric result is still exactly the
+    // sequential reference.
+    let scale = Scale::tiny();
+    let mut config = MachineConfig::new(Topology::dual_node_test(), 4)
+        .with_heap(HeapConfig::small_for_tests())
+        .with_gc(GcConfig::small_for_tests());
+    config.quantum_ns = 50_000.0;
+    let mut machine = Machine::new(config);
+    dmm::spawn(&mut machine, scale);
+    let report = machine.run();
+    let checksum = dmm::take_checksum(&mut machine).expect("dmm produces a checksum");
+    let reference = dmm::reference_checksum(scale);
+    assert!((checksum - reference).abs() < 1e-6 * reference.abs().max(1.0));
+    assert!(report.gc.minor_collections > 0);
+    assert!(manticore_gc::heap::verify_heap(machine.heap()).is_empty());
+}
+
+#[test]
+fn figure5_shape_abundant_parallelism_scales_better_than_shared_data() {
+    // The central qualitative claim of Figure 5: benchmarks with abundant
+    // parallelism and local data (Barnes-Hut's force phase here, at the tiny
+    // test scale) scale much better than SMVM, whose small shared dataset
+    // limits it.
+    let topology = Topology::amd_magny_cours_48();
+    let scale = Scale::tiny();
+    let speedup = |workload: Workload| {
+        let t1 = run_workload(&topology, 1, AllocPolicy::Local, workload, scale).elapsed_ns;
+        let t24 = run_workload(&topology, 24, AllocPolicy::Local, workload, scale).elapsed_ns;
+        t1 / t24
+    };
+    let bh_speedup = speedup(Workload::BarnesHut);
+    let smvm_speedup = speedup(Workload::Smvm);
+    assert!(
+        bh_speedup > smvm_speedup,
+        "Barnes-Hut ({bh_speedup:.2}x) should out-scale SMVM ({smvm_speedup:.2}x) at 24 threads"
+    );
+    assert!(bh_speedup > 3.0, "Barnes-Hut should scale well, got {bh_speedup:.2}x");
+}
+
+#[test]
+fn figure7_shape_socket_zero_collapses_at_scale() {
+    // Figure 5 vs Figure 7: with every page on node 0, adding threads beyond
+    // ~12 stops helping much; with local allocation it keeps helping.
+    let topology = Topology::amd_magny_cours_48();
+    let scale = Scale::tiny();
+    let time = |threads: usize, policy: AllocPolicy| {
+        run_workload(&topology, threads, policy, Workload::Churn, scale).elapsed_ns
+    };
+    let local_48 = time(48, AllocPolicy::Local);
+    let socket0_48 = time(48, AllocPolicy::SocketZero);
+    assert!(
+        socket0_48 > local_48,
+        "socket-zero at 48 threads ({socket0_48:.0} ns) must be slower than local ({local_48:.0} ns)"
+    );
+}
+
+#[test]
+fn interleaved_beats_socket_zero_under_contention() {
+    // §4.3: spreading pages across the nodes beats concentrating everything
+    // on node 0 once many threads are allocating and collecting at once.
+    let topology = Topology::amd_magny_cours_48();
+    let scale = Scale::tiny();
+    let interleaved =
+        run_workload(&topology, 36, AllocPolicy::Interleaved, Workload::Churn, scale).elapsed_ns;
+    let socket0 =
+        run_workload(&topology, 36, AllocPolicy::SocketZero, Workload::Churn, scale).elapsed_ns;
+    assert!(
+        interleaved < socket0,
+        "interleaved ({interleaved:.0}) should beat socket-zero ({socket0:.0}) for churn at 36 threads"
+    );
+}
+
+#[test]
+fn churn_survivors_survive_on_the_paper_machines() {
+    for topology in [Topology::amd_magny_cours_48(), Topology::intel_xeon_32()] {
+        let params = churn::ChurnParams::small();
+        let mut machine = Machine::new(MachineConfig::new(topology, 6));
+        churn::spawn(&mut machine, params);
+        machine.run();
+        assert_eq!(
+            churn::take_survivors(&mut machine),
+            Some(churn::expected_survivors(params))
+        );
+    }
+}
+
+#[test]
+fn smvm_checksum_is_policy_independent() {
+    // Placement affects time, never results.
+    let topology = Topology::amd_magny_cours_48();
+    let scale = Scale::tiny();
+    let mut checksums = Vec::new();
+    for policy in [
+        AllocPolicy::Local,
+        AllocPolicy::Interleaved,
+        AllocPolicy::SocketZero,
+    ] {
+        let mut machine = Machine::new(MachineConfig::new(topology.clone(), 8).with_policy(policy));
+        smvm::spawn(&mut machine, scale);
+        machine.run();
+        checksums.push(smvm::take_checksum(&mut machine).expect("smvm checksum"));
+    }
+    assert!((checksums[0] - smvm::reference_checksum(scale)).abs() < 1e-6);
+    assert!(checksums.iter().all(|&c| (c - checksums[0]).abs() < 1e-9));
+}

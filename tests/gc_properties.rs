@@ -1,0 +1,179 @@
+//! Property-based tests over the collector: randomly generated object graphs
+//! and collection schedules must never lose or corrupt reachable data, and
+//! must never violate the heap invariants.
+
+use manticore_gc::gc::{Collector, GcConfig};
+use manticore_gc::heap::{verify_heap, Addr, Heap, HeapConfig};
+use manticore_gc::numa::NodeId;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// A script step for the property tests.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Allocate a raw object with this payload seed and keep it as a root.
+    AllocKeep(u8, u8),
+    /// Allocate a vector referencing up to two existing roots.
+    AllocVector(u8, u8),
+    /// Drop one root (making its object garbage unless referenced elsewhere).
+    DropRoot(u8),
+    /// Run a minor collection.
+    Minor,
+    /// Run a minor followed by a major collection.
+    Major,
+    /// Promote one root's object graph.
+    Promote(u8),
+    /// Run a global collection.
+    Global,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Step::AllocKeep(a, b)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Step::AllocVector(a, b)),
+        any::<u8>().prop_map(Step::DropRoot),
+        Just(Step::Minor),
+        Just(Step::Major),
+        any::<u8>().prop_map(Step::Promote),
+        Just(Step::Global),
+    ]
+}
+
+/// Recursively reads the logical contents of an object so we can compare
+/// before/after collections. Raw objects yield their payload; vectors yield
+/// the contents of their referents.
+fn snapshot(heap: &Heap, addr: Addr, depth: usize) -> Vec<u64> {
+    if depth > 6 || addr.is_null() {
+        return vec![];
+    }
+    let addr = follow(heap, addr);
+    let header = heap.header_of(addr);
+    match header.kind {
+        manticore_gc::heap::ObjectKind::Raw => heap.payload(addr),
+        _ => {
+            let mut out = vec![0xFEED];
+            for i in 0..header.len_words as usize {
+                let word = heap.read_field(addr, i);
+                if word == 0 {
+                    out.push(0);
+                } else {
+                    out.extend(snapshot(heap, Addr::new(word), depth + 1));
+                }
+            }
+            out
+        }
+    }
+}
+
+fn follow(heap: &Heap, mut addr: Addr) -> Addr {
+    while let Some(f) = heap.forwarded_to(addr) {
+        addr = f;
+    }
+    addr
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_schedules_never_lose_reachable_data(steps in proptest::collection::vec(step_strategy(), 1..60)) {
+        let mut heap = Heap::new(HeapConfig::small_for_tests(), &[NodeId::new(0), NodeId::new(1)], 2);
+        let mut collector = Collector::new(GcConfig::small_for_tests(), 2, 2);
+        let mut roots: Vec<Addr> = Vec::new();
+        let mut counter = 0u64;
+
+        for step in steps {
+            match step {
+                Step::AllocKeep(seed, len) => {
+                    let len = (len % 12 + 1) as usize;
+                    counter += 1;
+                    let payload: Vec<u64> = (0..len as u64).map(|i| u64::from(seed) * 1000 + counter * 100 + i).collect();
+                    if let Ok(obj) = heap.alloc_raw(0, &payload) {
+                        roots.push(obj);
+                    } else {
+                        let outcome = collector.collect_local(&mut heap, 0, &mut roots);
+                        prop_assert!(outcome.cost.cpu_ns > 0.0);
+                        roots.push(heap.alloc_raw(0, &payload).expect("post-collection allocation succeeds"));
+                    }
+                }
+                Step::AllocVector(a, b) => {
+                    if roots.is_empty() { continue; }
+                    let x = roots[a as usize % roots.len()];
+                    let y = roots[b as usize % roots.len()];
+                    match heap.alloc_vector(0, &[x.raw(), y.raw()]) {
+                        Ok(v) => roots.push(v),
+                        Err(_) => {
+                            let _ = collector.collect_local(&mut heap, 0, &mut roots);
+                            // Re-resolve the referents after the collection.
+                            let x = follow(&heap, roots[a as usize % roots.len()]);
+                            let y = follow(&heap, roots[b as usize % roots.len()]);
+                            roots.push(heap.alloc_vector(0, &[x.raw(), y.raw()]).expect("post-collection allocation succeeds"));
+                        }
+                    }
+                }
+                Step::DropRoot(i) => {
+                    if !roots.is_empty() {
+                        let index = i as usize % roots.len();
+                        roots.remove(index);
+                    }
+                }
+                Step::Minor => { collector.minor(&mut heap, 0, &mut roots); }
+                Step::Major => {
+                    collector.minor(&mut heap, 0, &mut roots);
+                    collector.major(&mut heap, 0, &mut roots);
+                }
+                Step::Promote(i) => {
+                    if !roots.is_empty() {
+                        let index = i as usize % roots.len();
+                        let (new, _) = collector.promote(&mut heap, 0, roots[index]);
+                        roots[index] = new;
+                    }
+                }
+                Step::Global => {
+                    let mut per_vproc = vec![roots.clone(), Vec::new()];
+                    collector.global(&mut heap, &mut per_vproc);
+                    roots = per_vproc.swap_remove(0);
+                }
+            }
+
+            // Invariants hold after every step.
+            prop_assert!(verify_heap(&heap).is_empty());
+        }
+
+        // Snapshot every root, run the heaviest collection pipeline, and
+        // check the logical contents are unchanged.
+        let before: HashMap<usize, Vec<u64>> = roots.iter().enumerate()
+            .map(|(i, &r)| (i, snapshot(&heap, r, 0)))
+            .collect();
+        collector.collect_local(&mut heap, 0, &mut roots);
+        let mut per_vproc = vec![roots.clone(), Vec::new()];
+        collector.global(&mut heap, &mut per_vproc);
+        roots = per_vproc.swap_remove(0);
+        for (i, &root) in roots.iter().enumerate() {
+            prop_assert_eq!(&before[&i], &snapshot(&heap, root, 0), "root {} changed contents", i);
+        }
+        prop_assert!(verify_heap(&heap).is_empty());
+    }
+
+    #[test]
+    fn header_round_trips(id in 1u16..0x7FFF, len in 0u64..(1 << 48)) {
+        use manticore_gc::heap::{Header, ObjectKind};
+        let header = Header::new(ObjectKind::from_id(id), len);
+        let decoded = Header::decode(header.encode()).expect("headers decode");
+        prop_assert_eq!(decoded, header);
+    }
+
+    #[test]
+    fn placement_policies_always_return_valid_nodes(
+        policy_index in 0usize..4,
+        requests in proptest::collection::vec(0u16..8, 1..64),
+    ) {
+        use manticore_gc::numa::{AllocPolicy, PagePlacer};
+        let policy = AllocPolicy::ALL[policy_index];
+        let placer = PagePlacer::new(policy, 8);
+        for r in requests {
+            let node = placer.place(manticore_gc::numa::NodeId::new(r));
+            prop_assert!(node.index() < 8);
+        }
+    }
+}
