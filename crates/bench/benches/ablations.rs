@@ -1,4 +1,4 @@
-//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//! Ablation benchmarks for two of the collector's design choices:
 //! Appel young-data exclusion during major collections, and node-affine
 //! chunk reuse.
 

@@ -10,10 +10,26 @@ use std::time::Duration;
 fn bench_figure_points(c: &mut Criterion) {
     let mut group = c.benchmark_group("figures");
     for (name, topology, policy) in [
-        ("fig4_intel_local", Topology::intel_xeon_32(), AllocPolicy::Local),
-        ("fig5_amd_local", Topology::amd_magny_cours_48(), AllocPolicy::Local),
-        ("fig6_amd_interleaved", Topology::amd_magny_cours_48(), AllocPolicy::Interleaved),
-        ("fig7_amd_socket0", Topology::amd_magny_cours_48(), AllocPolicy::SocketZero),
+        (
+            "fig4_intel_local",
+            Topology::intel_xeon_32(),
+            AllocPolicy::Local,
+        ),
+        (
+            "fig5_amd_local",
+            Topology::amd_magny_cours_48(),
+            AllocPolicy::Local,
+        ),
+        (
+            "fig6_amd_interleaved",
+            Topology::amd_magny_cours_48(),
+            AllocPolicy::Interleaved,
+        ),
+        (
+            "fig7_amd_socket0",
+            Topology::amd_magny_cours_48(),
+            AllocPolicy::SocketZero,
+        ),
     ] {
         group.bench_function(format!("{name}/dmm_8_threads"), |b| {
             b.iter(|| run_workload(&topology, 8, policy, Workload::Dmm, Scale::tiny()).elapsed_ns)
@@ -28,9 +44,7 @@ fn bench_smvm_policy_contrast(c: &mut Criterion) {
     let topology = Topology::amd_magny_cours_48();
     for policy in [AllocPolicy::Local, AllocPolicy::SocketZero] {
         group.bench_function(policy.label(), |b| {
-            b.iter(|| {
-                run_workload(&topology, 12, policy, Workload::Smvm, Scale::tiny()).elapsed_ns
-            })
+            b.iter(|| run_workload(&topology, 12, policy, Workload::Smvm, Scale::tiny()).elapsed_ns)
         });
     }
     group.finish();

@@ -10,8 +10,10 @@ use std::time::Duration;
 fn fresh() -> (Heap, Collector) {
     let nodes = [NodeId::new(0), NodeId::new(1)];
     let heap = Heap::new(HeapConfig::default(), &nodes, 2);
-    let mut config = GcConfig::default();
-    config.verify_after_gc = false;
+    let config = GcConfig {
+        verify_after_gc: false,
+        ..GcConfig::default()
+    };
     let collector = Collector::new(config, 2, 2);
     (heap, collector)
 }
@@ -88,12 +90,12 @@ fn bench_global(c: &mut Criterion) {
             || {
                 let (mut heap, mut collector) = fresh();
                 let mut roots_per_vproc = vec![Vec::new(), Vec::new()];
-                for vproc in 0..2 {
+                for (vproc, roots) in roots_per_vproc.iter_mut().enumerate() {
                     for i in 0..200u64 {
                         let obj = heap.alloc_raw(vproc, &[i; 8]).unwrap();
                         let (promoted, _) = collector.promote(&mut heap, vproc, obj);
                         if i % 4 == 0 {
-                            roots_per_vproc[vproc].push(promoted);
+                            roots.push(promoted);
                         }
                     }
                 }

@@ -98,14 +98,9 @@ pub fn run_figure(spec: &FigureSpec, scale: Scale) -> FigureData {
     let series = Workload::FIGURES
         .iter()
         .map(|&workload| {
-            let baseline = mgc_workloads::run_workload(
-                &spec.topology,
-                1,
-                AllocPolicy::Local,
-                workload,
-                scale,
-            )
-            .elapsed_ns;
+            let baseline =
+                mgc_workloads::run_workload(&spec.topology, 1, AllocPolicy::Local, workload, scale)
+                    .elapsed_ns;
             let points = speedup_series(
                 &spec.topology,
                 &spec.threads,
@@ -164,8 +159,15 @@ pub fn figure_csv(data: &FigureData) -> String {
 /// rest of the system, for both machines.
 pub fn table1() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "# Table 1 — theoretical bandwidth (GB/s) between a node and the rest of the system");
-    let _ = writeln!(out, "{:<28} {:>10} {:>10}", "", "AMD (GB/s)", "Intel (GB/s)");
+    let _ = writeln!(
+        out,
+        "# Table 1 — theoretical bandwidth (GB/s) between a node and the rest of the system"
+    );
+    let _ = writeln!(
+        out,
+        "{:<28} {:>10} {:>10}",
+        "", "AMD (GB/s)", "Intel (GB/s)"
+    );
     let amd = Topology::amd_magny_cours_48();
     let intel = Topology::intel_xeon_32();
     let (amd_local, amd_same, amd_cross) = amd.table1_bandwidths();
@@ -213,11 +215,14 @@ pub fn run_and_report(spec: &FigureSpec) {
     let data = run_figure(spec, scale);
     println!("{}", format_figure(spec, &data));
     let dir = std::path::Path::new("results");
-    if std::fs::create_dir_all(dir).is_ok() {
-        let path = dir.join(format!("{}.csv", spec.name));
-        if std::fs::write(&path, figure_csv(&data)).is_ok() {
-            println!("wrote {}", path.display());
-        }
+    if let Err(err) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: could not create {}: {err}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{}.csv", spec.name));
+    match std::fs::write(&path, figure_csv(&data)) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(err) => eprintln!("warning: could not write {}: {err}", path.display()),
     }
 }
 

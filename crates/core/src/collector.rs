@@ -153,7 +153,14 @@ impl Collector {
             if root.is_null() {
                 continue;
             }
-            *root = self.forward_minor(heap, vproc, *root, &mut worklist, &mut copied_bytes, &mut cost);
+            *root = self.forward_minor(
+                heap,
+                vproc,
+                *root,
+                &mut worklist,
+                &mut copied_bytes,
+                &mut cost,
+            );
         }
 
         while let Some(obj) = worklist.pop() {
@@ -167,8 +174,14 @@ impl Collector {
                 let Some(ptr) = word_as_pointer(value) else {
                     continue;
                 };
-                let new =
-                    self.forward_minor(heap, vproc, ptr, &mut worklist, &mut copied_bytes, &mut cost);
+                let new = self.forward_minor(
+                    heap,
+                    vproc,
+                    ptr,
+                    &mut worklist,
+                    &mut copied_bytes,
+                    &mut cost,
+                );
                 if new != ptr {
                     heap.write_field(obj, index, new.raw());
                 }
@@ -237,6 +250,7 @@ impl Collector {
     /// collections and promotions. `include_young` selects whether young
     /// data is promoted too (the paper keeps it local; the ablation and the
     /// promotion path copy it).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn forward_to_global(
         &mut self,
         heap: &mut Heap,

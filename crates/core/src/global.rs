@@ -81,7 +81,9 @@ impl Collector {
             .map(|c| c.id())
             .collect();
         for &id in &from_space {
-            heap.global_mut().chunk_mut(id).set_state(ChunkState::FromSpace);
+            heap.global_mut()
+                .chunk_mut(id)
+                .set_state(ChunkState::FromSpace);
         }
         let from_space_chunks = from_space.len();
 
@@ -182,7 +184,11 @@ fn pick_scanner(heap: &Heap, node: NodeId, node_cursor: &mut [usize]) -> usize {
         .filter(|&v| heap.vproc_home_node(v) == node)
         .collect();
     let all: Vec<usize> = (0..heap.num_vprocs()).collect();
-    let pool = if candidates.is_empty() { &all } else { &candidates };
+    let pool = if candidates.is_empty() {
+        &all
+    } else {
+        &candidates
+    };
     let cursor = &mut node_cursor[node.index()];
     let vproc = pool[*cursor % pool.len()];
     *cursor += 1;
@@ -285,6 +291,7 @@ mod tests {
     /// vprocs. Returns the per-vproc roots of the live data.
     fn populate(heap: &mut Heap, collector: &mut Collector, vprocs: usize) -> Vec<Vec<Addr>> {
         let mut roots_per_vproc: Vec<Vec<Addr>> = vec![Vec::new(); vprocs];
+        #[allow(clippy::needless_range_loop)]
         for vproc in 0..vprocs {
             // Live data: a small list promoted to the global heap.
             let mut list = Addr::NULL;
@@ -318,10 +325,7 @@ mod tests {
         let (mut heap, mut collector) = setup(2);
         let mut roots = populate(&mut heap, &mut collector, 2);
         let in_use_before = heap.global().bytes_in_use();
-        let live_before: Vec<Vec<u64>> = roots
-            .iter()
-            .map(|r| list_values(&heap, r[0]))
-            .collect();
+        let live_before: Vec<Vec<u64>> = roots.iter().map(|r| list_values(&heap, r[0])).collect();
 
         let outcome = collector.global(&mut heap, &mut roots);
 
@@ -406,7 +410,10 @@ mod tests {
                 break;
             }
         }
-        assert!(trips, "sustained promotion must eventually request a global collection");
+        assert!(
+            trips,
+            "sustained promotion must eventually request a global collection"
+        );
     }
 
     #[test]
@@ -424,8 +431,7 @@ mod tests {
         let mut roots = populate(&mut heap, &mut collector, 2);
         collector.global(&mut heap, &mut roots);
         let live_after_first = heap.global().live_bytes_upper_bound();
-        let copied_first: Vec<Vec<u64>> =
-            roots.iter().map(|r| list_values(&heap, r[0])).collect();
+        let copied_first: Vec<Vec<u64>> = roots.iter().map(|r| list_values(&heap, r[0])).collect();
         collector.global(&mut heap, &mut roots);
         // A second collection with no new garbage copies the same live set.
         let live_after_second = heap.global().live_bytes_upper_bound();

@@ -148,7 +148,14 @@ impl Collector {
                 &mut cost,
             )
         };
-        self.drain_to_global(heap, vproc, true, &mut worklist, &mut promoted_bytes, &mut cost);
+        self.drain_to_global(
+            heap,
+            vproc,
+            true,
+            &mut worklist,
+            &mut promoted_bytes,
+            &mut cost,
+        );
 
         let stats = self.vproc_stats_mut(vproc);
         stats.promotions += 1;
@@ -447,7 +454,8 @@ mod tests {
                     }
                 }
                 Err(_) => {
-                    let mut roots: Vec<Addr> = keepers.iter().chain(window.iter()).copied().collect();
+                    let mut roots: Vec<Addr> =
+                        keepers.iter().chain(window.iter()).copied().collect();
                     let outcome = collector.collect_local(&mut heap, 0, &mut roots);
                     if outcome.triggered_major {
                         majors += 1;
@@ -458,7 +466,10 @@ mod tests {
                 }
             }
         }
-        assert!(majors > 0, "sustained allocation must trigger major collections");
+        assert!(
+            majors > 0,
+            "sustained allocation must trigger major collections"
+        );
         assert!(collector.vproc_stats(0).major_promoted_bytes > 0);
         assert!(mgc_heap::verify_heap(&heap).is_empty());
     }

@@ -33,7 +33,7 @@ impl Addr {
     /// Panics if `raw` is not word-aligned.
     pub fn new(raw: u64) -> Self {
         assert!(
-            raw % WORD_BYTES as u64 == 0,
+            raw.is_multiple_of(WORD_BYTES as u64),
             "heap addresses must be word-aligned, got {raw:#x}"
         );
         Addr(raw)

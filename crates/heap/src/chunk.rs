@@ -313,7 +313,8 @@ mod tests {
     #[test]
     fn reset_clears_allocation_but_keeps_node() {
         let mut c = chunk();
-        c.alloc(Header::new(ObjectKind::Raw, 1).encode(), &[7]).unwrap();
+        c.alloc(Header::new(ObjectKind::Raw, 1).encode(), &[7])
+            .unwrap();
         c.set_state(ChunkState::Filled);
         c.reset();
         assert_eq!(c.used_words(), 0);
@@ -325,7 +326,9 @@ mod tests {
     #[test]
     fn object_iteration_in_allocation_order() {
         let mut c = chunk();
-        let a = c.alloc(Header::new(ObjectKind::Raw, 2).encode(), &[1, 2]).unwrap();
+        let a = c
+            .alloc(Header::new(ObjectKind::Raw, 2).encode(), &[1, 2])
+            .unwrap();
         let b = c
             .alloc(Header::new(ObjectKind::Vector, 1).encode(), &[0])
             .unwrap();
@@ -336,7 +339,8 @@ mod tests {
     #[test]
     fn scan_pointer_tracks_progress() {
         let mut c = chunk();
-        c.alloc(Header::new(ObjectKind::Raw, 2).encode(), &[1, 2]).unwrap();
+        c.alloc(Header::new(ObjectKind::Raw, 2).encode(), &[1, 2])
+            .unwrap();
         assert!(!c.fully_scanned());
         c.set_scan(3);
         assert!(c.fully_scanned());

@@ -70,7 +70,10 @@ impl fmt::Display for HeapError {
                 write!(f, "old-data area full: requested {requested_words} words")
             }
             HeapError::ChunkFull { requested_words } => {
-                write!(f, "global-heap chunk full: requested {requested_words} words")
+                write!(
+                    f,
+                    "global-heap chunk full: requested {requested_words} words"
+                )
             }
             HeapError::NoCurrentChunk => write!(f, "vproc has no current global-heap chunk"),
             HeapError::ObjectTooLarge {
@@ -106,7 +109,9 @@ mod tests {
         };
         assert!(e.to_string().contains("nursery full"));
         assert!(e.to_string().contains("10"));
-        let e = HeapError::Unmapped { addr: Addr::new(64) };
+        let e = HeapError::Unmapped {
+            addr: Addr::new(64),
+        };
         assert!(e.to_string().contains("0x40"));
     }
 

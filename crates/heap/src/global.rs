@@ -254,7 +254,8 @@ mod tests {
     fn usage_accounting() {
         let (mut heap, mut space) = setup();
         let a = heap.acquire_chunk(NodeId::new(0), &mut space);
-        heap.chunk_mut(a).set_state(ChunkState::Current { vproc: 0 });
+        heap.chunk_mut(a)
+            .set_state(ChunkState::Current { vproc: 0 });
         let b = heap.acquire_chunk(NodeId::new(1), &mut space);
         heap.chunk_mut(b).set_state(ChunkState::Filled);
         assert_eq!(heap.chunks_in_use(), 2);
@@ -295,9 +296,6 @@ mod tests {
         let (mut heap, mut space) = setup();
         let a = heap.acquire_chunk(NodeId::new(0), &mut space);
         let base = heap.chunk_base(a);
-        assert_eq!(
-            space.owner_of(base),
-            RegionOwner::Global { chunk: a }
-        );
+        assert_eq!(space.owner_of(base), RegionOwner::Global { chunk: a });
     }
 }

@@ -60,7 +60,7 @@ impl ObjectKind {
     ///
     /// Panics if `id` is zero (IDs start at 1) or exceeds [`MAX_ID`].
     pub fn from_id(id: u16) -> Self {
-        assert!(id >= 1 && id <= MAX_ID, "object ID {id} out of range");
+        assert!((1..=MAX_ID).contains(&id), "object ID {id} out of range");
         match id {
             RAW_ID => ObjectKind::Raw,
             VECTOR_ID => ObjectKind::Vector,
@@ -192,7 +192,10 @@ mod tests {
             HeaderSlot::decode(0x1000),
             HeaderSlot::Forwarded(Addr::new(0x1000))
         );
-        assert_eq!(HeaderSlot::decode(0x1000).forwarded_to(), Some(Addr::new(0x1000)));
+        assert_eq!(
+            HeaderSlot::decode(0x1000).forwarded_to(),
+            Some(Addr::new(0x1000))
+        );
     }
 
     #[test]

@@ -676,10 +676,7 @@ mod tests {
         let a = heap.alloc_raw(0, &[i64_to_word(42)]).unwrap();
         let v = heap.alloc_vector(0, &[a.raw(), 0]).unwrap();
         let header = heap.header_of(v);
-        assert_eq!(
-            heap.pointer_field_indices(header).unwrap(),
-            vec![0, 1]
-        );
+        assert_eq!(heap.pointer_field_indices(header).unwrap(), vec![0, 1]);
     }
 
     #[test]
@@ -702,7 +699,9 @@ mod tests {
         let mut heap = two_vproc_heap();
         let obj = heap.alloc_raw(0, &[9, 8]).unwrap();
         heap.local_mut(0).begin_minor();
-        let (copy, bytes) = heap.evacuate(obj, EvacTarget::OldArea { vproc: 0 }).unwrap();
+        let (copy, bytes) = heap
+            .evacuate(obj, EvacTarget::OldArea { vproc: 0 })
+            .unwrap();
         assert_eq!(bytes, 24);
         assert_eq!(heap.forwarded_to(obj), Some(copy));
         assert_eq!(heap.payload(copy), vec![9, 8]);
@@ -738,10 +737,7 @@ mod tests {
         let second = heap.current_chunk(0).unwrap();
         assert_ne!(first, second);
         assert_eq!(heap.space_of(obj), Space::Global { chunk: second });
-        assert_eq!(
-            heap.global().chunk(first).state(),
-            ChunkState::Filled
-        );
+        assert_eq!(heap.global().chunk(first).state(), ChunkState::Filled);
     }
 
     #[test]

@@ -44,9 +44,9 @@ mod chunk;
 mod descriptor;
 mod error;
 mod global;
+mod header;
 #[allow(clippy::module_inception)]
 mod heap;
-mod header;
 mod local;
 mod object;
 mod space;
@@ -57,10 +57,10 @@ pub use chunk::{Chunk, ChunkId, ChunkObjects, ChunkState};
 pub use descriptor::{Descriptor, DescriptorId, DescriptorTable};
 pub use error::HeapError;
 pub use global::{GlobalHeap, GlobalHeapStats};
-pub use heap::{EvacTarget, Heap, HeapConfig, HeapStats, Space};
 pub use header::{
     Header, HeaderSlot, ObjectKind, FIRST_MIXED_ID, MAX_ID, MAX_LEN_WORDS, RAW_ID, VECTOR_ID,
 };
+pub use heap::{EvacTarget, Heap, HeapConfig, HeapStats, Space};
 pub use local::{LocalHeap, LocalHeapStats, LocalObjects, LocalRegion};
 pub use object::{f64_to_word, i64_to_word, word_to_f64, word_to_i64};
 pub use space::{AddressSpace, RegionOwner};

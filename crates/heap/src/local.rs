@@ -83,7 +83,10 @@ impl LocalHeap {
     ///
     /// Panics if `size_words` is too small to be useful (< 64 words).
     pub fn new(vproc: usize, node: NodeId, base: Addr, size_words: usize) -> Self {
-        assert!(size_words >= 64, "local heap of {size_words} words is too small");
+        assert!(
+            size_words >= 64,
+            "local heap of {size_words} words is too small"
+        );
         let mut heap = LocalHeap {
             vproc,
             node,

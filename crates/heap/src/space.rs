@@ -74,7 +74,7 @@ impl AddressSpace {
             "cannot map a region to the unmapped owner"
         );
         let first_block = self.regions.len();
-        self.regions.extend(std::iter::repeat(owner).take(blocks));
+        self.regions.extend(std::iter::repeat_n(owner, blocks));
         Addr::new((first_block * self.block_bytes()) as u64)
     }
 

@@ -35,7 +35,10 @@ impl fmt::Display for TopologyError {
                 write!(f, "node refers to unknown package {package}")
             }
             TopologyError::NonPositiveBandwidth { src, dst } => {
-                write!(f, "non-positive bandwidth between node {src} and node {dst}")
+                write!(
+                    f,
+                    "non-positive bandwidth between node {src} and node {dst}"
+                )
             }
             TopologyError::EmptyNode { node } => {
                 write!(f, "node {node} has zero cores")

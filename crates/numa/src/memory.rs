@@ -254,9 +254,8 @@ impl MemoryModel {
 
         let mut max_link_ns = 0.0f64;
         let mut max_link = (NodeId::new(0), NodeId::new(0));
-        for src in 0..num_nodes {
-            for dst in 0..num_nodes {
-                let bytes = link_bytes[src][dst];
+        for (src, row) in link_bytes.iter().enumerate() {
+            for (dst, &bytes) in row.iter().enumerate() {
                 if bytes == 0 {
                     continue;
                 }

@@ -72,7 +72,10 @@ impl PageMap {
 
     /// Returns the node backing the page containing `addr`, if placed.
     pub fn node_of(&self, addr: u64) -> Option<NodeId> {
-        self.nodes.get((addr as usize) / PAGE_SIZE).copied().flatten()
+        self.nodes
+            .get((addr as usize) / PAGE_SIZE)
+            .copied()
+            .flatten()
     }
 
     /// Bytes resident on each node, indexed by node id. The vector is sized

@@ -178,7 +178,7 @@ mod tests {
     #[test]
     fn interleaved_is_balanced_over_many_placements() {
         let p = PagePlacer::new(AllocPolicy::Interleaved, 8);
-        let mut counts = vec![0usize; 8];
+        let mut counts = [0usize; 8];
         for _ in 0..800 {
             counts[p.place(NodeId::new(0)).index()] += 1;
         }

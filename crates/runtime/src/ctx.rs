@@ -89,7 +89,11 @@ impl<'a> TaskCtx<'a> {
     /// For a fork/join continuation, the children's pointer results follow
     /// the continuation's own pointer inputs, in child order.
     pub fn input(&self, i: usize) -> Handle {
-        assert!(i < self.roots.len(), "task has only {} roots", self.roots.len());
+        assert!(
+            i < self.roots.len(),
+            "task has only {} roots",
+            self.roots.len()
+        );
         Handle(i)
     }
 
@@ -152,8 +156,8 @@ impl<'a> TaskCtx<'a> {
         self.state
             .reserve_nursery(self.vproc, self.roots, elements.len());
         let words: Vec<Word> = elements
-            .to_vec()
-            .into_iter()
+            .iter()
+            .copied()
             .map(|h| match h {
                 Some(handle) => self.resolve(handle).raw(),
                 None => 0,
@@ -178,8 +182,8 @@ impl<'a> TaskCtx<'a> {
         self.state
             .reserve_nursery(self.vproc, self.roots, fields.len());
         let words: Vec<Word> = fields
-            .to_vec()
-            .into_iter()
+            .iter()
+            .copied()
             .map(|f| match f {
                 FieldInit::Ptr(Some(handle)) => self.resolve(handle).raw(),
                 FieldInit::Ptr(None) => 0,
@@ -234,7 +238,10 @@ impl<'a> TaskCtx<'a> {
 
     /// Reads the whole payload of a raw object as `f64`s.
     pub fn read_f64s(&mut self, handle: Handle) -> Vec<f64> {
-        self.read_words(handle).into_iter().map(word_to_f64).collect()
+        self.read_words(handle)
+            .into_iter()
+            .map(word_to_f64)
+            .collect()
     }
 
     /// The number of payload words of the object behind `handle`.
@@ -315,7 +322,10 @@ impl<'a> TaskCtx<'a> {
         continuation: TaskSpec,
         continuation_inputs: &[Handle],
     ) {
-        assert!(!children.is_empty(), "fork_join requires at least one child");
+        assert!(
+            !children.is_empty(),
+            "fork_join requires at least one child"
+        );
         let mut cont_spec = continuation;
         cont_spec.ptr_inputs = continuation_inputs
             .iter()
@@ -324,7 +334,9 @@ impl<'a> TaskCtx<'a> {
         let cont_task = Task::from_spec(cont_spec, self.delivery, self.vproc);
         *self.delivery_taken = true;
 
-        let join = self.state.new_join(JoinCell::new(children.len(), cont_task));
+        let join = self
+            .state
+            .new_join(JoinCell::new(children.len(), cont_task));
         for (slot, (mut spec, inputs)) in children.into_iter().enumerate() {
             spec.ptr_inputs = inputs.iter().map(|h| self.resolve(*h)).collect();
             let task = Task::from_spec(spec, Delivery::Join { join, slot }, self.vproc);

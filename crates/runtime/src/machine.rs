@@ -18,9 +18,7 @@ use crate::task::{Delivery, JoinCell, Task, TaskResult, TaskSpec};
 use crate::vproc::VProc;
 use mgc_core::{Collector, GcConfig};
 use mgc_heap::{Addr, Descriptor, DescriptorId, Heap, HeapConfig, HeapError, Word};
-use mgc_numa::{
-    AllocPolicy, MemoryModel, Topology, Traffic, TrafficStats, VprocRoundCost,
-};
+use mgc_numa::{AllocPolicy, MemoryModel, Topology, Traffic, TrafficStats, VprocRoundCost};
 use serde::{Deserialize, Serialize};
 
 /// Fixed scheduling overhead charged per executed task, in nanoseconds.
@@ -331,7 +329,12 @@ impl RuntimeState {
     ///
     /// Panics if the object cannot fit even in an empty nursery (workloads
     /// must chunk large arrays into rope leaves, as Manticore does).
-    pub(crate) fn reserve_nursery(&mut self, vproc: usize, extra: &mut [Addr], payload_words: usize) {
+    pub(crate) fn reserve_nursery(
+        &mut self,
+        vproc: usize,
+        extra: &mut [Addr],
+        payload_words: usize,
+    ) {
         let needed = payload_words + 1;
         if self.heap.local(vproc).nursery_free_words() >= needed {
             return;
@@ -620,7 +623,9 @@ impl Machine {
         let vprocs: Vec<VProc> = cores
             .iter()
             .enumerate()
-            .map(|(i, &core)| VProc::new(i, core, topology.node_of_core(core), topology.num_nodes()))
+            .map(|(i, &core)| {
+                VProc::new(i, core, topology.node_of_core(core), topology.num_nodes())
+            })
             .collect();
         let ns_per_op = 1.0 / topology.core_ghz();
         let model = MemoryModel::new(topology.clone());
@@ -702,7 +707,9 @@ impl Machine {
             let mut any_work = false;
             for vproc in 0..self.state.num_vprocs() {
                 loop {
-                    let serial = self.model.serial_cost_ns(&self.state.vprocs[vproc].round_cost);
+                    let serial = self
+                        .model
+                        .serial_cost_ns(&self.state.vprocs[vproc].round_cost);
                     if serial >= self.config.quantum_ns {
                         break;
                     }
@@ -763,17 +770,16 @@ impl Machine {
             body(&mut ctx)
         };
         self.state.vprocs[vproc].stats.tasks_run += 1;
-        self.state.vprocs[vproc].round_cost.add_cpu_ns(TASK_OVERHEAD_NS);
+        self.state.vprocs[vproc]
+            .round_cost
+            .add_cpu_ns(TASK_OVERHEAD_NS);
         if delivery_taken {
             return;
         }
         let (word, is_ptr) = match result {
             TaskResult::Unit => (0, false),
             TaskResult::Value(w) => (w, false),
-            TaskResult::Ptr(handle) => (
-                self.state.resolve_addr(roots[handle.index()]).raw(),
-                true,
-            ),
+            TaskResult::Ptr(handle) => (self.state.resolve_addr(roots[handle.index()]).raw(), true),
         };
         match delivery {
             Delivery::Discard => {

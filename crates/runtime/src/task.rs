@@ -158,21 +158,11 @@ impl Task {
 }
 
 /// A pending result slot of a join cell.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub(crate) struct JoinSlot {
     pub(crate) word: Word,
     pub(crate) is_ptr: bool,
     pub(crate) filled: bool,
-}
-
-impl Default for JoinSlot {
-    fn default() -> Self {
-        JoinSlot {
-            word: 0,
-            is_ptr: false,
-            filled: false,
-        }
-    }
 }
 
 /// A fork/join synchronisation cell.

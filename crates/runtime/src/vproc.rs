@@ -63,7 +63,10 @@ impl VProc {
 
     /// Takes the accumulated round cost, leaving an empty one behind.
     pub(crate) fn take_round_cost(&mut self, num_nodes: usize) -> VprocRoundCost {
-        std::mem::replace(&mut self.round_cost, VprocRoundCost::new(self.core, num_nodes))
+        std::mem::replace(
+            &mut self.round_cost,
+            VprocRoundCost::new(self.core, num_nodes),
+        )
     }
 }
 
@@ -73,7 +76,11 @@ mod tests {
     use crate::task::{Delivery, TaskResult, TaskSpec};
 
     fn task(name: &'static str) -> Task {
-        Task::from_spec(TaskSpec::new(name, |_| TaskResult::Unit), Delivery::Discard, 0)
+        Task::from_spec(
+            TaskSpec::new(name, |_| TaskResult::Unit),
+            Delivery::Discard,
+            0,
+        )
     }
 
     #[test]

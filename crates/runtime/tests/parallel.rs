@@ -175,7 +175,7 @@ fn channels_promote_messages_and_deliver_in_order() {
         TaskResult::Value(i64_to_word(sum))
     }));
     m.run();
-    assert_eq!(m.take_result(), Some((i64_to_word(0 + 1 + 2 + 3 + 4), false)));
+    assert_eq!(m.take_result(), Some((i64_to_word((0..5).sum()), false)));
     let stats = m.channel_stats();
     assert_eq!(stats.sends, 5);
     assert_eq!(stats.receives, 5);
@@ -218,11 +218,7 @@ fn speedup_improves_with_more_vprocs_for_independent_work() {
                     )
                 })
                 .collect();
-            ctx.fork_join(
-                children,
-                TaskSpec::new("done", |_| TaskResult::Unit),
-                &[],
-            );
+            ctx.fork_join(children, TaskSpec::new("done", |_| TaskResult::Unit), &[]);
             TaskResult::Unit
         }));
         m.run().elapsed_ns
@@ -230,7 +226,10 @@ fn speedup_improves_with_more_vprocs_for_independent_work() {
     let t1 = elapsed(1);
     let t8 = elapsed(8);
     let t32 = elapsed(32);
-    assert!(t8 < t1 * 0.3, "8 vprocs should be well over 3x faster: {t1} vs {t8}");
+    assert!(
+        t8 < t1 * 0.3,
+        "8 vprocs should be well over 3x faster: {t1} vs {t8}"
+    );
     assert!(t32 < t8, "32 vprocs should beat 8: {t8} vs {t32}");
 }
 

@@ -149,13 +149,7 @@ fn build_tree(
 }
 
 /// Computes the acceleration exerted on `(px, py)` by the subtree at `node`.
-fn accel_from(
-    ctx: &mut TaskCtx<'_>,
-    node: Handle,
-    px: f64,
-    py: f64,
-    cell_size: f64,
-) -> (f64, f64) {
+fn accel_from(ctx: &mut TaskCtx<'_>, node: Handle, px: f64, py: f64, cell_size: f64) -> (f64, f64) {
     let mass = ctx.read_f64(node, F_MASS);
     let cx = ctx.read_f64(node, F_CX);
     let cy = ctx.read_f64(node, F_CY);
@@ -212,7 +206,9 @@ fn iteration_task(desc: DescriptorId, remaining: usize, blocks: usize) -> TaskSp
         let mut particles = Vec::new();
         for i in 0..leaves {
             let mark = ctx.root_mark();
-            let leaf = ctx.read_ptr(particle_rope, i).expect("particle leaves are never null");
+            let leaf = ctx
+                .read_ptr(particle_rope, i)
+                .expect("particle leaves are never null");
             particles.extend(words_to_particles(&ctx.read_words(leaf)));
             ctx.truncate_roots(mark);
         }
@@ -268,7 +264,8 @@ fn iteration_task(desc: DescriptorId, remaining: usize, blocks: usize) -> TaskSp
         // rope, then either iterate again or compute the checksum.
         let continuation = if remaining > 1 {
             TaskSpec::new("bh-next-iteration", move |ctx| {
-                let leaves: Vec<Option<Handle>> = (0..ctx.num_roots()).map(|i| Some(ctx.input(i))).collect();
+                let leaves: Vec<Option<Handle>> =
+                    (0..ctx.num_roots()).map(|i| Some(ctx.input(i))).collect();
                 let rope = ctx.alloc_vector(&leaves);
                 ctx.fork_join(
                     vec![(iteration_task(desc, remaining - 1, blocks), vec![rope])],
@@ -338,7 +335,10 @@ mod tests {
         assert_eq!(a, b);
         let cx: f64 = a.iter().map(|p| p.x).sum::<f64>() / 500.0;
         let cy: f64 = a.iter().map(|p| p.y).sum::<f64>() / 500.0;
-        assert!(cx.abs() < 1.0 && cy.abs() < 1.0, "roughly centred: {cx}, {cy}");
+        assert!(
+            cx.abs() < 1.0 && cy.abs() < 1.0,
+            "roughly centred: {cx}, {cy}"
+        );
         let total_mass: f64 = a.iter().map(|p| p.mass).sum();
         assert!((total_mass - 1.0).abs() < 1e-9);
     }

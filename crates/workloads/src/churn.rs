@@ -55,8 +55,10 @@ pub fn spawn(machine: &mut Machine, params: ChurnParams) {
                         let mut survivors: Vec<Handle> = Vec::new();
                         let base_mark = ctx.root_mark();
                         for i in 0..params.objects_per_worker {
-                            let payload =
-                                vec![i64_to_word((worker * 1_000_000 + i) as i64); params.object_words];
+                            let payload = vec![
+                                i64_to_word((worker * 1_000_000 + i) as i64);
+                                params.object_words
+                            ];
                             let obj = ctx.alloc_raw(&payload);
                             if i % params.survive_every == 0 {
                                 survivors.push(obj);
@@ -78,8 +80,8 @@ pub fn spawn(machine: &mut Machine, params: ChurnParams) {
                         // Validate that every survivor still holds its value.
                         let mut intact = 0i64;
                         for (index, handle) in survivors.iter().enumerate() {
-                            let expected = (worker * 1_000_000
-                                + index * params.survive_every) as i64;
+                            let expected =
+                                (worker * 1_000_000 + index * params.survive_every) as i64;
                             if word_to_i64(ctx.read_raw(*handle, 0)) == expected {
                                 intact += 1;
                             }
@@ -125,7 +127,10 @@ mod tests {
         let mut machine = Machine::new(MachineConfig::small_for_tests(2));
         spawn(&mut machine, params);
         let report = machine.run();
-        assert_eq!(take_survivors(&mut machine), Some(expected_survivors(params)));
+        assert_eq!(
+            take_survivors(&mut machine),
+            Some(expected_survivors(params))
+        );
         // The whole point of churn: it must actually collect.
         assert!(report.gc.minor_collections > 0);
         assert!(mgc_heap::verify_heap(machine.heap()).is_empty());

@@ -200,13 +200,7 @@ mod tests {
     fn every_figure_workload_runs_on_a_small_machine() {
         let topology = Topology::dual_node_test();
         for workload in Workload::FIGURES {
-            let report = run_workload(
-                &topology,
-                2,
-                AllocPolicy::Local,
-                workload,
-                Scale::tiny(),
-            );
+            let report = run_workload(&topology, 2, AllocPolicy::Local, workload, Scale::tiny());
             assert!(report.total_tasks() > 1, "{workload} should be parallel");
             assert!(report.elapsed_ns > 0.0);
         }

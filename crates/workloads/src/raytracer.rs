@@ -49,8 +49,7 @@ fn trace(px: f64, py: f64) -> f64 {
             let hit = (d.0 * t, d.1 * t, d.2 * t);
             let normal = ((hit.0 - cx) / r, (hit.1 - cy) / r, (hit.2 - cz) / r);
             let light = (0.577, 0.577, -0.577);
-            let diffuse =
-                (normal.0 * light.0 + normal.1 * light.1 + normal.2 * light.2).max(0.0);
+            let diffuse = (normal.0 * light.0 + normal.1 * light.1 + normal.2 * light.2).max(0.0);
             best_shade = 0.1 + 0.9 * diffuse * refl;
         }
     }

@@ -58,12 +58,18 @@ pub fn rope_len(ctx: &mut TaskCtx<'_>, rope: Handle) -> usize {
 
 /// Reads an entire rope of `f64` values back into a `Vec`.
 pub fn read_f64_rope(ctx: &mut TaskCtx<'_>, rope: Handle) -> Vec<f64> {
-    read_word_rope(ctx, rope).into_iter().map(word_to_f64).collect()
+    read_word_rope(ctx, rope)
+        .into_iter()
+        .map(word_to_f64)
+        .collect()
 }
 
 /// Reads an entire rope of `i64` values back into a `Vec`.
 pub fn read_i64_rope(ctx: &mut TaskCtx<'_>, rope: Handle) -> Vec<i64> {
-    read_word_rope(ctx, rope).into_iter().map(word_to_i64).collect()
+    read_word_rope(ctx, rope)
+        .into_iter()
+        .map(word_to_i64)
+        .collect()
 }
 
 fn read_word_rope(ctx: &mut TaskCtx<'_>, rope: Handle) -> Vec<Word> {

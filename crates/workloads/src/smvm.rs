@@ -36,7 +36,8 @@ fn x_elem(i: usize) -> f64 {
 /// The column index of the `k`-th non-zero of row `r`.
 fn col_of(r: usize, k: usize, cols: usize) -> usize {
     // A cheap deterministic hash that scatters the non-zeroes.
-    let mut h = (r as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ (k as u64).wrapping_mul(0xBF58476D1CE4E5B9);
+    let mut h =
+        (r as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ (k as u64).wrapping_mul(0xBF58476D1CE4E5B9);
     h ^= h >> 29;
     (h % cols as u64) as usize
 }
@@ -92,7 +93,9 @@ pub fn spawn(machine: &mut Machine, scale: Scale) {
                     let mut x = Vec::with_capacity(leaves * LEAF_SIZE);
                     for i in 0..leaves {
                         let mark = ctx.root_mark();
-                        let leaf = ctx.read_ptr(x_rope, i).expect("vector leaves are never null");
+                        let leaf = ctx
+                            .read_ptr(x_rope, i)
+                            .expect("vector leaves are never null");
                         x.extend(ctx.read_f64s(leaf));
                         ctx.truncate_roots(mark);
                     }

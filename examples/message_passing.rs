@@ -11,8 +11,8 @@
 //! ```
 
 use manticore_gc::heap::i64_to_word;
-use manticore_gc::runtime::{Machine, MachineConfig, TaskResult, TaskSpec};
 use manticore_gc::numa::Topology;
+use manticore_gc::runtime::{Machine, MachineConfig, TaskResult, TaskSpec};
 
 fn main() {
     let mut machine = Machine::new(MachineConfig::new(Topology::intel_xeon_32(), 4));

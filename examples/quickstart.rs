@@ -13,8 +13,8 @@ use manticore_gc::runtime::{Machine, MachineConfig, TaskResult, TaskSpec};
 fn main() {
     // A 48-core AMD "Magny Cours" machine (the paper's Appendix A.1),
     // 16 vprocs, local page placement.
-    let config = MachineConfig::new(Topology::amd_magny_cours_48(), 16)
-        .with_policy(AllocPolicy::Local);
+    let config =
+        MachineConfig::new(Topology::amd_magny_cours_48(), 16).with_policy(AllocPolicy::Local);
     let mut machine = Machine::new(config);
 
     // A fork/join program: every child builds a little list in its nursery,
@@ -68,8 +68,14 @@ fn main() {
     println!("bytes moved by GC   : {}", report.gc.total_moved_bytes());
     println!(
         "traffic (local/same-pkg/cross-pkg): {:?} / {:?} / {:?} bytes",
-        report.traffic.bytes_of(manticore_gc::numa::AccessClass::Local),
-        report.traffic.bytes_of(manticore_gc::numa::AccessClass::SamePackage),
-        report.traffic.bytes_of(manticore_gc::numa::AccessClass::CrossPackage),
+        report
+            .traffic
+            .bytes_of(manticore_gc::numa::AccessClass::Local),
+        report
+            .traffic
+            .bytes_of(manticore_gc::numa::AccessClass::SamePackage),
+        report
+            .traffic
+            .bytes_of(manticore_gc::numa::AccessClass::CrossPackage),
     );
 }

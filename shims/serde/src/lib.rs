@@ -1,0 +1,23 @@
+//! Minimal facade standing in for the `serde` registry crate (see
+//! `shims/README.md`).
+//!
+//! Exposes the `Serialize`/`Deserialize` trait names and the matching derive
+//! macros so `use serde::{Deserialize, Serialize}` plus
+//! `#[derive(Serialize, Deserialize)]` compile unchanged. The traits carry no
+//! methods and are blanket-implemented for every type; no serialization
+//! actually happens until the real crate is swapped in.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

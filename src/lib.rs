@@ -14,8 +14,8 @@
 //! * [`workloads`] — the paper's five benchmarks plus a synthetic
 //!   allocation-churn workload.
 //!
-//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
-//! `EXPERIMENTS.md` for the reproduced tables and figures.
+//! See `README.md` for a tour of the crates, build/test instructions, and
+//! the workflow for regenerating the paper's tables and figures.
 //!
 //! # Example
 //!

@@ -47,7 +47,10 @@ fn figure5_shape_abundant_parallelism_scales_better_than_shared_data() {
         bh_speedup > smvm_speedup,
         "Barnes-Hut ({bh_speedup:.2}x) should out-scale SMVM ({smvm_speedup:.2}x) at 24 threads"
     );
-    assert!(bh_speedup > 3.0, "Barnes-Hut should scale well, got {bh_speedup:.2}x");
+    assert!(
+        bh_speedup > 3.0,
+        "Barnes-Hut should scale well, got {bh_speedup:.2}x"
+    );
 }
 
 #[test]
@@ -73,10 +76,22 @@ fn interleaved_beats_socket_zero_under_contention() {
     // on node 0 once many threads are allocating and collecting at once.
     let topology = Topology::amd_magny_cours_48();
     let scale = Scale::tiny();
-    let interleaved =
-        run_workload(&topology, 36, AllocPolicy::Interleaved, Workload::Churn, scale).elapsed_ns;
-    let socket0 =
-        run_workload(&topology, 36, AllocPolicy::SocketZero, Workload::Churn, scale).elapsed_ns;
+    let interleaved = run_workload(
+        &topology,
+        36,
+        AllocPolicy::Interleaved,
+        Workload::Churn,
+        scale,
+    )
+    .elapsed_ns;
+    let socket0 = run_workload(
+        &topology,
+        36,
+        AllocPolicy::SocketZero,
+        Workload::Churn,
+        scale,
+    )
+    .elapsed_ns;
     assert!(
         interleaved < socket0,
         "interleaved ({interleaved:.0}) should beat socket-zero ({socket0:.0}) for churn at 36 threads"
