@@ -1,13 +1,40 @@
 //! Regenerates every figure and Table 1 in one run, writing CSV files under
 //! `results/`. Control the workload scale with `MGC_SCALE=tiny|small|paper`.
+//!
+//! `--backend threaded` switches to the wall-clock baseline mode instead:
+//! every workload runs at 1/2/4 vprocs under **both** execution backends,
+//! the wall-clock and simulated times are printed side by side, and
+//! `results/BENCH_threaded.json` is written (the CI perf-trajectory
+//! artifact).
 fn main() {
-    println!("{}", mgc_bench::table1());
-    for spec in [
-        mgc_bench::figure4(),
-        mgc_bench::figure5(),
-        mgc_bench::figure6(),
-        mgc_bench::figure7(),
-    ] {
-        mgc_bench::run_and_report(&spec);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut backend = mgc_runtime::Backend::Simulated;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--backend" => {
+                let value = iter
+                    .next()
+                    .expect("--backend requires a value (simulated|threaded)");
+                backend = value.parse().unwrap_or_else(|err: String| panic!("{err}"));
+            }
+            "--baseline" => backend = mgc_runtime::Backend::Threaded,
+            other => panic!("unknown argument `{other}` (expected --backend <simulated|threaded>)"),
+        }
+    }
+
+    match backend {
+        mgc_runtime::Backend::Threaded => mgc_bench::run_baseline_and_report(),
+        mgc_runtime::Backend::Simulated => {
+            println!("{}", mgc_bench::table1());
+            for spec in [
+                mgc_bench::figure4(),
+                mgc_bench::figure5(),
+                mgc_bench::figure6(),
+                mgc_bench::figure7(),
+            ] {
+                mgc_bench::run_and_report(&spec);
+            }
+        }
     }
 }

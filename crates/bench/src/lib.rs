@@ -19,7 +19,8 @@
 #![warn(missing_docs)]
 
 use mgc_numa::{AllocPolicy, Topology};
-use mgc_workloads::{speedup_series, Scale, SpeedupPoint, Workload};
+use mgc_runtime::{Backend, RunReport};
+use mgc_workloads::{run_workload_on, speedup_series, Scale, SpeedupPoint, Workload};
 use std::fmt::Write as _;
 
 /// Description of one speedup figure.
@@ -193,6 +194,185 @@ pub fn table1() -> String {
     out
 }
 
+// ----------------------------------------------------------------------
+// Wall-clock baselines: the simulated and the threaded backend side by
+// side. This is what the `bench-baseline` CI job runs and uploads as
+// `BENCH_threaded.json`, giving the perf trajectory its first real points.
+// ----------------------------------------------------------------------
+
+/// Vproc counts the baseline sweep covers (the CI runners have few cores,
+/// and the first perf question is simply "does adding threads help").
+pub const BASELINE_VPROCS: [usize; 3] = [1, 2, 4];
+
+/// One measurement of one workload on one backend.
+#[derive(Debug, Clone)]
+pub struct BaselinePoint {
+    /// The workload measured.
+    pub workload: Workload,
+    /// The backend it ran on.
+    pub backend: Backend,
+    /// Number of vprocs (threads).
+    pub vprocs: usize,
+    /// Measured wall-clock nanoseconds (threaded backend only).
+    pub wall_clock_ns: Option<f64>,
+    /// Modelled virtual nanoseconds (simulated backend only).
+    pub simulated_ns: Option<f64>,
+    /// Tasks executed.
+    pub tasks: u64,
+    /// Objects allocated in nurseries.
+    pub allocated_objects: u64,
+    /// Minor collections.
+    pub minor_collections: u64,
+    /// Major collections.
+    pub major_collections: u64,
+    /// Global collections (summed over participating vprocs).
+    pub global_collections: u64,
+    /// Object promotions.
+    pub promotions: u64,
+}
+
+impl BaselinePoint {
+    fn from_report(
+        workload: Workload,
+        backend: Backend,
+        vprocs: usize,
+        report: &RunReport,
+    ) -> Self {
+        BaselinePoint {
+            workload,
+            backend,
+            vprocs,
+            wall_clock_ns: report.wall_clock_ns,
+            simulated_ns: match backend {
+                Backend::Simulated => Some(report.elapsed_ns),
+                Backend::Threaded => None,
+            },
+            tasks: report.total_tasks(),
+            allocated_objects: report.allocated_objects,
+            minor_collections: report.gc.minor_collections,
+            major_collections: report.gc.major_collections,
+            global_collections: report.gc.global_collections,
+            promotions: report.gc.promotions,
+        }
+    }
+}
+
+/// Runs every figure workload at 1/2/4 vprocs under **both** backends on
+/// the small test topology, so wall-clock and simulated time can be read
+/// side by side.
+pub fn run_baseline(scale: Scale) -> Vec<BaselinePoint> {
+    let topology = Topology::dual_node_test();
+    let mut points = Vec::new();
+    for workload in Workload::FIGURES {
+        for &vprocs in &BASELINE_VPROCS {
+            for backend in Backend::ALL {
+                let (report, _) = run_workload_on(
+                    backend,
+                    &topology,
+                    vprocs,
+                    AllocPolicy::Local,
+                    workload,
+                    scale,
+                );
+                points.push(BaselinePoint::from_report(
+                    workload, backend, vprocs, &report,
+                ));
+            }
+        }
+    }
+    points
+}
+
+/// Formats the baseline as an aligned table: wall-clock time next to
+/// simulated time, per workload and vproc count.
+pub fn format_baseline(points: &[BaselinePoint]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# Wall-clock baseline — threaded vs simulated (each cell in ms)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<24} {:>6} {:>14} {:>14} {:>8} {:>8} {:>8}",
+        "benchmark", "vprocs", "wall-clock", "simulated", "minors", "globals", "tasks"
+    );
+    for workload in Workload::FIGURES {
+        for &vprocs in &BASELINE_VPROCS {
+            let find = |backend: Backend| {
+                points
+                    .iter()
+                    .find(|p| p.workload == workload && p.vprocs == vprocs && p.backend == backend)
+            };
+            let (Some(threaded), Some(simulated)) =
+                (find(Backend::Threaded), find(Backend::Simulated))
+            else {
+                continue;
+            };
+            let ms = |ns: Option<f64>| ns.map_or("n/a".to_string(), |v| format!("{:.3}", v / 1e6));
+            let _ = writeln!(
+                out,
+                "{:<24} {:>6} {:>14} {:>14} {:>8} {:>8} {:>8}",
+                workload.label(),
+                vprocs,
+                ms(threaded.wall_clock_ns),
+                ms(simulated.simulated_ns),
+                threaded.minor_collections,
+                threaded.global_collections,
+                threaded.tasks,
+            );
+        }
+    }
+    out
+}
+
+/// Serialises baseline points as JSON (hand-rolled: the vendored `serde`
+/// shim does not serialise).
+pub fn baseline_json(points: &[BaselinePoint]) -> String {
+    let mut out = String::from("[\n");
+    for (i, p) in points.iter().enumerate() {
+        let opt = |v: Option<f64>| v.map_or("null".to_string(), |x| format!("{x:.0}"));
+        let _ = write!(
+            out,
+            "  {{\"workload\": \"{}\", \"backend\": \"{}\", \"vprocs\": {}, \
+             \"wall_clock_ns\": {}, \"simulated_ns\": {}, \"tasks\": {}, \
+             \"allocated_objects\": {}, \"minor_collections\": {}, \
+             \"major_collections\": {}, \"global_collections\": {}, \"promotions\": {}}}",
+            p.workload.label(),
+            p.backend,
+            p.vprocs,
+            opt(p.wall_clock_ns),
+            opt(p.simulated_ns),
+            p.tasks,
+            p.allocated_objects,
+            p.minor_collections,
+            p.major_collections,
+            p.global_collections,
+            p.promotions,
+        );
+        let _ = writeln!(out, "{}", if i + 1 < points.len() { "," } else { "" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Runs the baseline sweep, prints the side-by-side table, and writes
+/// `results/BENCH_threaded.json` (the CI `bench-baseline` artifact).
+pub fn run_baseline_and_report() {
+    let scale = scale_from_env();
+    let points = run_baseline(scale);
+    println!("{}", format_baseline(&points));
+    let dir = std::path::Path::new("results");
+    if let Err(err) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: could not create {}: {err}", dir.display());
+        return;
+    }
+    let path = dir.join("BENCH_threaded.json");
+    match std::fs::write(&path, baseline_json(&points)) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(err) => eprintln!("warning: could not write {}: {err}", path.display()),
+    }
+}
+
 /// Reads the workload scale from the `MGC_SCALE` environment variable
 /// (`paper`, `small`, or `tiny`; default `tiny` so the harness finishes
 /// quickly on a laptop).
@@ -249,6 +429,40 @@ mod tests {
         assert!(t.contains("17.1"));
         assert!(t.contains("25.6"));
         assert!(t.contains("n/a"));
+    }
+
+    #[test]
+    fn baseline_json_is_well_formed_and_covers_both_backends() {
+        let point = |backend: Backend, wall: Option<f64>, sim: Option<f64>| BaselinePoint {
+            workload: Workload::Dmm,
+            backend,
+            vprocs: 2,
+            wall_clock_ns: wall,
+            simulated_ns: sim,
+            tasks: 10,
+            allocated_objects: 100,
+            minor_collections: 3,
+            major_collections: 1,
+            global_collections: 0,
+            promotions: 5,
+        };
+        let points = vec![
+            point(Backend::Simulated, None, Some(1.5e6)),
+            point(Backend::Threaded, Some(2.5e5), None),
+        ];
+        let json = baseline_json(&points);
+        assert!(json.starts_with("[\n"));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(json.contains("\"backend\": \"simulated\""));
+        assert!(json.contains("\"backend\": \"threaded\""));
+        assert!(json.contains("\"wall_clock_ns\": 250000"));
+        assert!(json.contains("\"simulated_ns\": null"));
+        assert!(json.contains("\"workload\": \"Dense-Matrix-Multiply\""));
+        // Exactly one comma-separated object per point.
+        assert_eq!(json.matches("\"vprocs\"").count(), 2);
+        let table = format_baseline(&points);
+        assert!(table.contains("wall-clock"));
+        assert!(table.contains("Dense-Matrix-Multiply"));
     }
 
     #[test]

@@ -15,7 +15,7 @@
 use crate::config::GcConfig;
 use crate::cost::{GcCost, CHUNK_ACQUIRE_NS, COLLECTION_FIXED_NS};
 use crate::stats::{CollectionKind, GcStats};
-use mgc_heap::{word_as_pointer, Addr, EvacTarget, Heap, Space};
+use mgc_heap::{word_as_pointer, Addr, EvacTarget, GcHeap, Space};
 
 /// Result of a single (per-vproc) collection.
 #[derive(Debug, Clone, PartialEq)]
@@ -109,17 +109,17 @@ impl Collector {
 
     /// True if the global-heap occupancy exceeds the configured threshold
     /// (§3.4: number of vprocs × 32 MB at paper scale).
-    pub fn needs_global(&self, heap: &Heap) -> bool {
+    pub fn needs_global<H: GcHeap>(&self, heap: &H) -> bool {
         let threshold = self.config.global_threshold_per_vproc_bytes * heap.num_vprocs();
-        heap.global().bytes_in_use() > threshold
+        heap.global_bytes_in_use() > threshold
     }
 
     /// The full local-collection entry point used when a vproc's nursery is
     /// exhausted: a minor collection, followed by a major collection when the
     /// paper's triggers say so.
-    pub fn collect_local(
+    pub fn collect_local<H: GcHeap>(
         &mut self,
-        heap: &mut Heap,
+        heap: &mut H,
         vproc: usize,
         roots: &mut [Addr],
     ) -> GcOutcome {
@@ -139,8 +139,15 @@ impl Collector {
     /// and re-divides the nursery (Figure 2).
     ///
     /// Minor collections require no synchronisation with other vprocs
-    /// because nothing outside this vproc can point into its nursery (§2.3).
-    pub fn minor(&mut self, heap: &mut Heap, vproc: usize, roots: &mut [Addr]) -> GcOutcome {
+    /// because nothing outside this vproc can point into its nursery (§2.3);
+    /// on the real-threads backend's [`WorkerHeap`](mgc_heap::WorkerHeap)
+    /// this path takes no locks at all.
+    pub fn minor<H: GcHeap>(
+        &mut self,
+        heap: &mut H,
+        vproc: usize,
+        roots: &mut [Addr],
+    ) -> GcOutcome {
         let mut cost = GcCost::new(self.num_nodes);
         cost.charge_cpu(COLLECTION_FIXED_NS);
         let node = heap.local(vproc).node();
@@ -214,9 +221,9 @@ impl Collector {
     /// Forwards one pointer for a minor collection: nursery objects are
     /// copied to the old area, everything else is left in place (following
     /// any forwarding pointer installed by an earlier promotion).
-    fn forward_minor(
+    fn forward_minor<H: GcHeap>(
         &mut self,
-        heap: &mut Heap,
+        heap: &mut H,
         vproc: usize,
         ptr: Addr,
         worklist: &mut Vec<Addr>,
@@ -251,9 +258,9 @@ impl Collector {
     /// data is promoted too (the paper keeps it local; the ablation and the
     /// promotion path copy it).
     #[allow(clippy::too_many_arguments)]
-    pub(crate) fn forward_to_global(
+    pub(crate) fn forward_to_global<H: GcHeap>(
         &mut self,
-        heap: &mut Heap,
+        heap: &mut H,
         vproc: usize,
         ptr: Addr,
         include_young: bool,
@@ -276,11 +283,11 @@ impl Collector {
             return forwarded;
         }
         let src_node = heap.local(vproc).node();
-        let acquisitions_before = heap.stats().chunk_acquisitions;
+        let acquisitions_before = heap.chunk_acquisitions();
         let (new, bytes) = heap
             .evacuate(ptr, EvacTarget::GlobalCurrent { vproc })
             .expect("global-heap allocation for promotion cannot fail");
-        if heap.stats().chunk_acquisitions > acquisitions_before {
+        if heap.chunk_acquisitions() > acquisitions_before {
             // Acquiring a chunk is the synchronisation point of §3.3.
             cost.charge_cpu(CHUNK_ACQUIRE_NS);
         }
@@ -291,17 +298,13 @@ impl Collector {
         new
     }
 
-    pub(crate) fn maybe_verify(&self, heap: &Heap) {
+    pub(crate) fn maybe_verify<H: GcHeap>(&self, heap: &H) {
         if self.config.verify_after_gc {
-            let violations = mgc_heap::verify_heap(heap);
+            let violations = heap.verify_violations();
             assert!(
                 violations.is_empty(),
                 "heap invariant violated after collection: {}",
-                violations
-                    .iter()
-                    .map(ToString::to_string)
-                    .collect::<Vec<_>>()
-                    .join("; ")
+                violations.join("; ")
             );
         }
     }
@@ -310,7 +313,7 @@ impl Collector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mgc_heap::{HeapConfig, Space};
+    use mgc_heap::{Heap, HeapConfig, Space};
     use mgc_numa::NodeId;
 
     fn setup(vprocs: usize) -> (Heap, Collector) {

@@ -62,5 +62,8 @@ pub use cost::{
     GcCost, CHUNK_ACQUIRE_NS, COLLECTION_FIXED_NS, CPU_NS_PER_WORD_COPIED, CPU_NS_PER_WORD_SCANNED,
     GLOBAL_BARRIER_NS,
 };
-pub use global::GlobalOutcome;
+pub use global::{
+    evacuate_roots, flip_to_from_space, forward_parallel, release_from_space, scan_pass,
+    GlobalOutcome, ParallelGcState,
+};
 pub use stats::{CollectionKind, GcStats};

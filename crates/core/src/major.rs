@@ -16,7 +16,7 @@
 use crate::collector::{Collector, GcOutcome};
 use crate::cost::{GcCost, COLLECTION_FIXED_NS};
 use crate::stats::CollectionKind;
-use mgc_heap::{word_as_pointer, Addr, Heap, WORD_BYTES};
+use mgc_heap::{word_as_pointer, Addr, GcHeap, WORD_BYTES};
 
 impl Collector {
     /// Runs a major collection for `vproc`.
@@ -28,7 +28,12 @@ impl Collector {
     /// # Panics
     ///
     /// Panics if the vproc's nursery still contains objects.
-    pub fn major(&mut self, heap: &mut Heap, vproc: usize, roots: &mut [Addr]) -> GcOutcome {
+    pub fn major<H: GcHeap>(
+        &mut self,
+        heap: &mut H,
+        vproc: usize,
+        roots: &mut [Addr],
+    ) -> GcOutcome {
         assert_eq!(
             heap.local(vproc).nursery_used_words(),
             0,
@@ -130,7 +135,12 @@ impl Collector {
     /// copied; forwarding pointers are left behind so later collections and
     /// other references converge on the global copy. Objects already in the
     /// global heap are left untouched.
-    pub fn promote(&mut self, heap: &mut Heap, vproc: usize, obj: Addr) -> (Addr, GcOutcome) {
+    pub fn promote<H: GcHeap>(
+        &mut self,
+        heap: &mut H,
+        vproc: usize,
+        obj: Addr,
+    ) -> (Addr, GcOutcome) {
         let mut cost = GcCost::new(self.num_nodes());
         let mut promoted_bytes = 0u64;
         let mut worklist: Vec<Addr> = Vec::new();
@@ -175,9 +185,9 @@ impl Collector {
 
     /// Cheney-scans freshly promoted global objects, promoting whatever
     /// local objects they still point to.
-    fn drain_to_global(
+    fn drain_to_global<H: GcHeap>(
         &mut self,
-        heap: &mut Heap,
+        heap: &mut H,
         vproc: usize,
         include_young: bool,
         worklist: &mut Vec<Addr>,
@@ -214,9 +224,9 @@ impl Collector {
     /// Slides the young data to the bottom of the local heap and relocates
     /// every pointer into the moved range (roots and young-internal fields).
     /// Returns the number of young bytes moved.
-    fn slide_young(
+    fn slide_young<H: GcHeap>(
         &mut self,
-        heap: &mut Heap,
+        heap: &mut H,
         vproc: usize,
         roots: &mut [Addr],
         cost: &mut GcCost,
@@ -276,7 +286,7 @@ impl Collector {
 mod tests {
     use super::*;
     use crate::config::GcConfig;
-    use mgc_heap::{HeapConfig, Space};
+    use mgc_heap::{Heap, HeapConfig, Space};
     use mgc_numa::NodeId;
 
     fn setup() -> (Heap, Collector) {

@@ -10,6 +10,8 @@ use crate::chunk::{Chunk, ChunkId, ChunkState};
 use crate::space::{AddressSpace, RegionOwner};
 use mgc_numa::NodeId;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Counters describing global-heap activity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -201,6 +203,84 @@ impl GlobalHeap {
     }
 }
 
+/// The thread-safe chunk free-list used by the real-threads backend.
+///
+/// This is the concurrent counterpart of [`GlobalHeap`]'s per-node free
+/// lists: acquiring or releasing a chunk is the only synchronisation point
+/// of the allocation path (§3.3), so the lists sit behind a single [`Mutex`]
+/// and the activity counters are atomics that can be read without taking it.
+#[derive(Debug)]
+pub struct SharedChunkPool {
+    free_by_node: Mutex<Vec<Vec<ChunkId>>>,
+    node_affinity: AtomicBool,
+    chunks_reused_local: AtomicU64,
+    chunks_reused_remote: AtomicU64,
+}
+
+impl SharedChunkPool {
+    /// Creates an empty pool for a machine with `num_nodes` NUMA nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes` is zero.
+    pub fn new(num_nodes: usize) -> Self {
+        assert!(num_nodes > 0, "a machine must have at least one node");
+        SharedChunkPool {
+            free_by_node: Mutex::new(vec![Vec::new(); num_nodes]),
+            node_affinity: AtomicBool::new(true),
+            chunks_reused_local: AtomicU64::new(0),
+            chunks_reused_remote: AtomicU64::new(0),
+        }
+    }
+
+    /// Enables or disables node-affine chunk reuse (enabled by default).
+    pub fn set_node_affinity(&self, enabled: bool) {
+        self.node_affinity.store(enabled, Ordering::Release);
+    }
+
+    /// Pops a free chunk for a vproc whose preferred node is `node`,
+    /// honouring node affinity exactly as [`GlobalHeap::acquire_chunk`]
+    /// does. Returns `None` when the caller must map a fresh chunk. The
+    /// second tuple element says whether the reuse crossed nodes.
+    pub fn pop(&self, node: NodeId) -> Option<(ChunkId, bool)> {
+        let mut lists = self.free_by_node.lock().expect("chunk pool poisoned");
+        if let Some(id) = lists[node.index()].pop() {
+            self.chunks_reused_local.fetch_add(1, Ordering::Relaxed);
+            return Some((id, false));
+        }
+        if !self.node_affinity.load(Ordering::Acquire) {
+            for list in lists.iter_mut() {
+                if let Some(id) = list.pop() {
+                    self.chunks_reused_remote.fetch_add(1, Ordering::Relaxed);
+                    return Some((id, true));
+                }
+            }
+        }
+        None
+    }
+
+    /// Returns a chunk to `node`'s free list.
+    pub fn push(&self, node: NodeId, id: ChunkId) {
+        let mut lists = self.free_by_node.lock().expect("chunk pool poisoned");
+        lists[node.index()].push(id);
+    }
+
+    /// Number of free chunks currently parked on `node`.
+    pub fn free_chunks_on(&self, node: NodeId) -> usize {
+        self.free_by_node.lock().expect("chunk pool poisoned")[node.index()].len()
+    }
+
+    /// Chunk acquisitions satisfied from a node-local free list.
+    pub fn reused_local(&self) -> u64 {
+        self.chunks_reused_local.load(Ordering::Relaxed)
+    }
+
+    /// Chunk acquisitions that had to cross nodes (affinity disabled).
+    pub fn reused_remote(&self) -> u64 {
+        self.chunks_reused_remote.load(Ordering::Relaxed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -297,5 +377,26 @@ mod tests {
         let a = heap.acquire_chunk(NodeId::new(0), &mut space);
         let base = heap.chunk_base(a);
         assert_eq!(space.owner_of(base), RegionOwner::Global { chunk: a });
+    }
+
+    #[test]
+    fn shared_pool_prefers_node_affinity() {
+        let pool = SharedChunkPool::new(2);
+        assert_eq!(pool.pop(NodeId::new(0)), None);
+        pool.push(NodeId::new(1), ChunkId(9));
+        // Affinity on: node 0 does not take node 1's chunk.
+        assert_eq!(pool.pop(NodeId::new(0)), None);
+        assert_eq!(pool.free_chunks_on(NodeId::new(1)), 1);
+        assert_eq!(pool.pop(NodeId::new(1)), Some((ChunkId(9), false)));
+        assert_eq!(pool.reused_local(), 1);
+    }
+
+    #[test]
+    fn shared_pool_without_affinity_steals_any_chunk() {
+        let pool = SharedChunkPool::new(2);
+        pool.set_node_affinity(false);
+        pool.push(NodeId::new(1), ChunkId(4));
+        assert_eq!(pool.pop(NodeId::new(0)), Some((ChunkId(4), true)));
+        assert_eq!(pool.reused_remote(), 1);
     }
 }

@@ -43,12 +43,14 @@ mod addr;
 mod chunk;
 mod descriptor;
 mod error;
+mod gc_heap;
 mod global;
 mod header;
 #[allow(clippy::module_inception)]
 mod heap;
 mod local;
 mod object;
+mod shared;
 mod space;
 mod verify;
 
@@ -56,12 +58,17 @@ pub use addr::{word_as_pointer, Addr, Word, WORD_BYTES};
 pub use chunk::{Chunk, ChunkId, ChunkObjects, ChunkState};
 pub use descriptor::{Descriptor, DescriptorId, DescriptorTable};
 pub use error::HeapError;
-pub use global::{GlobalHeap, GlobalHeapStats};
+pub use gc_heap::GcHeap;
+pub use global::{GlobalHeap, GlobalHeapStats, SharedChunkPool};
 pub use header::{
     Header, HeaderSlot, ObjectKind, FIRST_MIXED_ID, MAX_ID, MAX_LEN_WORDS, RAW_ID, VECTOR_ID,
 };
 pub use heap::{EvacTarget, Heap, HeapConfig, HeapStats, Space};
 pub use local::{LocalHeap, LocalHeapStats, LocalObjects, LocalRegion};
 pub use object::{f64_to_word, i64_to_word, word_to_f64, word_to_i64};
+pub use shared::{
+    SharedChunk, SharedChunkState, SharedGlobalHeap, ThreadedLayout, ThreadedOwner, WorkerHeap,
+    GLOBAL_BASE, LOCAL_BASE,
+};
 pub use space::{AddressSpace, RegionOwner};
 pub use verify::{verify_global_heap, verify_heap, verify_local_heap, InvariantViolation};

@@ -1,0 +1,1023 @@
+//! The concurrent heap substrate for the real-threads execution backend.
+//!
+//! The discrete-event simulation owns every memory region from one thread,
+//! so its [`Heap`](crate::Heap) can be a plain data structure. Running each
+//! vproc on a real OS thread splits the picture exactly along the paper's
+//! §3.3 synchronisation boundary:
+//!
+//! * each worker thread **owns** its [`LocalHeap`] outright — allocation,
+//!   minor collections, and major collections touch only thread-local state
+//!   and take **no locks at all**;
+//! * the **global heap** is shared: chunks store their words in
+//!   [`AtomicU64`]s (the mutator language is mutation-free, so global
+//!   objects are immutable outside collections and plain acquire/release
+//!   atomics suffice), the chunk pool is the mutex-guarded
+//!   [`SharedChunkPool`], and the chunk directory is an append-only list
+//!   behind an [`RwLock`] that workers shadow with a thread-local cache so
+//!   the common-case global read takes no lock.
+//!
+//! Address arithmetic replaces the simulation's
+//! [`AddressSpace`](crate::AddressSpace): worker `w`'s local heap lives at
+//! `LOCAL_BASE + w * local_span`, and chunk `i` lives at
+//! `GLOBAL_BASE + i * chunk_span`, so classifying an address never needs
+//! shared state.
+
+use crate::addr::{Addr, Word, WORD_BYTES};
+use crate::chunk::ChunkId;
+use crate::descriptor::DescriptorTable;
+use crate::error::HeapError;
+use crate::gc_heap::GcHeap;
+use crate::global::SharedChunkPool;
+use crate::header::{Header, HeaderSlot, ObjectKind};
+use crate::heap::{EvacTarget, HeapConfig, HeapStats, Space};
+use crate::local::{LocalHeap, LocalRegion};
+use mgc_numa::NodeId;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU16, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Base address of the first worker's local heap.
+pub const LOCAL_BASE: u64 = 1 << 20;
+/// Base address of the shared global heap (far above any local heap).
+pub const GLOBAL_BASE: u64 = 1 << 44;
+
+/// Lifecycle state of a shared chunk (the payload-free counterpart of
+/// [`ChunkState`](crate::ChunkState); the owning vproc of a current chunk is
+/// implicit in which worker holds the `Arc`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum SharedChunkState {
+    /// On the free pool.
+    Free = 0,
+    /// Some worker's current allocation chunk.
+    Current = 1,
+    /// Filled with live data, nobody's current chunk.
+    Filled = 2,
+    /// From-space during a global collection.
+    FromSpace = 3,
+}
+
+impl SharedChunkState {
+    fn from_u8(v: u8) -> Self {
+        match v {
+            0 => SharedChunkState::Free,
+            1 => SharedChunkState::Current,
+            2 => SharedChunkState::Filled,
+            3 => SharedChunkState::FromSpace,
+            other => unreachable!("invalid shared chunk state {other}"),
+        }
+    }
+}
+
+/// One fixed-size chunk of the shared global heap.
+///
+/// Words are atomics so that a worker can bump-allocate promotions into its
+/// current chunk while other workers concurrently read objects already
+/// published in the same chunk. A chunk has a single writer at any moment:
+/// the worker holding it as its current chunk (or, during a global
+/// collection, the worker that claimed it off the work index).
+#[derive(Debug)]
+pub struct SharedChunk {
+    id: ChunkId,
+    base: Addr,
+    /// The chunk's (nominal) NUMA node. Atomic because disabling node
+    /// affinity (the ablation mode) re-places a chunk on the acquiring
+    /// worker's node, exactly as [`GlobalHeap`](crate::GlobalHeap) does.
+    node: AtomicU16,
+    state: AtomicU8,
+    /// Bump pointer: next free word offset. Published with `Release` after
+    /// the object's words are written, so an `Acquire` reader never sees a
+    /// partially initialised object.
+    top: AtomicUsize,
+    /// Cheney scan pointer used by the parallel global collection.
+    scan: AtomicUsize,
+    data: Vec<AtomicU64>,
+}
+
+impl SharedChunk {
+    fn new(id: ChunkId, base: Addr, node: NodeId, size_words: usize) -> Self {
+        SharedChunk {
+            id,
+            base,
+            node: AtomicU16::new(node.index() as u16),
+            state: AtomicU8::new(SharedChunkState::Free as u8),
+            top: AtomicUsize::new(0),
+            scan: AtomicUsize::new(0),
+            data: (0..size_words).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// This chunk's identifier.
+    pub fn id(&self) -> ChunkId {
+        self.id
+    }
+
+    /// Base address of the chunk.
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// The NUMA node this chunk is (nominally) placed on.
+    pub fn node(&self) -> NodeId {
+        NodeId::new(self.node.load(Ordering::Acquire))
+    }
+
+    /// Re-places the chunk on a different node (cross-node reuse when
+    /// affinity is disabled, mirroring [`Chunk::set_node`](crate::Chunk)).
+    pub fn set_node(&self, node: NodeId) {
+        self.node.store(node.index() as u16, Ordering::Release);
+    }
+
+    /// The chunk's lifecycle state.
+    pub fn state(&self) -> SharedChunkState {
+        SharedChunkState::from_u8(self.state.load(Ordering::Acquire))
+    }
+
+    /// Sets the lifecycle state.
+    pub fn set_state(&self, state: SharedChunkState) {
+        self.state.store(state as u8, Ordering::Release);
+    }
+
+    /// Capacity in words.
+    pub fn size_words(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Words currently allocated (published).
+    pub fn used_words(&self) -> usize {
+        self.top.load(Ordering::Acquire)
+    }
+
+    /// Bytes currently allocated.
+    pub fn used_bytes(&self) -> usize {
+        self.used_words() * WORD_BYTES
+    }
+
+    /// Words still free.
+    pub fn free_words(&self) -> usize {
+        self.data.len() - self.used_words()
+    }
+
+    /// True if `addr` lies inside this chunk.
+    pub fn contains(&self, addr: Addr) -> bool {
+        addr >= self.base && addr < self.base.add_words(self.data.len())
+    }
+
+    /// Word offset of `addr` within the chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside the chunk.
+    pub fn offset_of(&self, addr: Addr) -> usize {
+        assert!(self.contains(addr), "{addr:?} is not inside {:?}", self.id);
+        addr.words_from(self.base)
+    }
+
+    /// Reads the word at word offset `offset`.
+    pub fn read(&self, offset: usize) -> Word {
+        self.data[offset].load(Ordering::Acquire)
+    }
+
+    /// Writes the word at word offset `offset`.
+    pub fn write(&self, offset: usize, value: Word) {
+        self.data[offset].store(value, Ordering::Release);
+    }
+
+    /// Bump-allocates an object. Only the worker currently owning the chunk
+    /// may call this (single writer); concurrent readers are fine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::ChunkFull`] when the object does not fit.
+    pub fn alloc(&self, header: Word, payload: &[Word]) -> Result<Addr, HeapError> {
+        assert!(
+            !payload.is_empty(),
+            "empty objects are not supported; allocate a one-word raw object instead"
+        );
+        let total = payload.len() + 1;
+        let top = self.top.load(Ordering::Relaxed);
+        if self.data.len() - top < total {
+            return Err(HeapError::ChunkFull {
+                requested_words: total,
+            });
+        }
+        self.data[top].store(header, Ordering::Release);
+        for (i, &word) in payload.iter().enumerate() {
+            self.data[top + 1 + i].store(word, Ordering::Release);
+        }
+        // Publish the object: readers that see the new top see every word.
+        self.top.store(top + total, Ordering::Release);
+        Ok(self.base.add_words(top + 1))
+    }
+
+    /// Atomically installs a forwarding pointer in the header slot of the
+    /// object at `obj`, if the slot still holds `expected_header`.
+    ///
+    /// Used by the parallel global collection: when two workers race to
+    /// evacuate the same from-space object, exactly one CAS succeeds; the
+    /// loser's already-made copy becomes unreachable garbage and the loser
+    /// returns the winner's address.
+    ///
+    /// # Errors
+    ///
+    /// Returns the winning forwarding address when the CAS loses.
+    pub fn try_forward(
+        &self,
+        obj: Addr,
+        expected_header: Word,
+        new_addr: Addr,
+    ) -> Result<(), Addr> {
+        let slot = self.offset_of(obj.sub_words(1));
+        match self.data[slot].compare_exchange(
+            expected_header,
+            new_addr.raw(),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => Ok(()),
+            Err(current) => match HeaderSlot::decode(current) {
+                HeaderSlot::Forwarded(winner) => Err(winner),
+                HeaderSlot::Header(_) => unreachable!(
+                    "header slot of {obj:?} changed to a different header during a collection"
+                ),
+            },
+        }
+    }
+
+    /// The Cheney scan pointer.
+    pub fn scan(&self) -> usize {
+        self.scan.load(Ordering::Acquire)
+    }
+
+    /// Sets the Cheney scan pointer.
+    pub fn set_scan(&self, scan: usize) {
+        self.scan.store(scan, Ordering::Release);
+    }
+
+    /// Resets the chunk to empty and [`SharedChunkState::Free`].
+    pub fn reset(&self) {
+        self.top.store(0, Ordering::Release);
+        self.scan.store(0, Ordering::Release);
+        for word in &self.data {
+            word.store(0, Ordering::Relaxed);
+        }
+        self.set_state(SharedChunkState::Free);
+    }
+}
+
+/// The shared global heap of the real-threads backend: an append-only chunk
+/// directory plus the mutex-guarded free pool.
+#[derive(Debug)]
+pub struct SharedGlobalHeap {
+    chunk_size_words: usize,
+    num_nodes: usize,
+    chunks: RwLock<Vec<Arc<SharedChunk>>>,
+    pool: SharedChunkPool,
+    chunks_in_use: AtomicUsize,
+    chunks_created: AtomicU64,
+}
+
+impl SharedGlobalHeap {
+    /// Creates an empty shared global heap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size_words` or `num_nodes` is zero.
+    pub fn new(chunk_size_words: usize, num_nodes: usize) -> Self {
+        assert!(chunk_size_words > 0, "chunks must be non-empty");
+        SharedGlobalHeap {
+            chunk_size_words,
+            num_nodes,
+            chunks: RwLock::new(Vec::new()),
+            pool: SharedChunkPool::new(num_nodes),
+            chunks_in_use: AtomicUsize::new(0),
+            chunks_created: AtomicU64::new(0),
+        }
+    }
+
+    /// Chunk size in words.
+    pub fn chunk_size_words(&self) -> usize {
+        self.chunk_size_words
+    }
+
+    /// Chunk size in bytes.
+    pub fn chunk_size_bytes(&self) -> usize {
+        self.chunk_size_words * WORD_BYTES
+    }
+
+    /// Number of NUMA nodes the free pool is segregated by.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The free pool (for affinity knobs and inspection).
+    pub fn pool(&self) -> &SharedChunkPool {
+        &self.pool
+    }
+
+    /// Total chunks ever created.
+    pub fn num_chunks(&self) -> usize {
+        self.chunks.read().expect("chunk directory poisoned").len()
+    }
+
+    /// Chunks created from fresh address space.
+    pub fn chunks_created(&self) -> u64 {
+        self.chunks_created.load(Ordering::Relaxed)
+    }
+
+    /// Number of chunks currently in use (not on the free pool).
+    pub fn chunks_in_use(&self) -> usize {
+        self.chunks_in_use.load(Ordering::Acquire)
+    }
+
+    /// Bytes of chunk space in use — the global-collection trigger input
+    /// (§3.4).
+    pub fn bytes_in_use(&self) -> usize {
+        self.chunks_in_use() * self.chunk_size_bytes()
+    }
+
+    /// A snapshot of the chunk directory.
+    pub fn snapshot(&self) -> Vec<Arc<SharedChunk>> {
+        self.chunks
+            .read()
+            .expect("chunk directory poisoned")
+            .clone()
+    }
+
+    /// The chunk at directory index `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn chunk_at(&self, index: usize) -> Arc<SharedChunk> {
+        self.chunks.read().expect("chunk directory poisoned")[index].clone()
+    }
+
+    /// Acquires a chunk for a worker whose preferred node is `node`,
+    /// reusing a pooled chunk when affinity allows, otherwise mapping a
+    /// fresh one. The returned chunk is in [`SharedChunkState::Current`].
+    pub fn acquire(&self, node: NodeId) -> Arc<SharedChunk> {
+        if let Some((id, crossed)) = self.pool.pop(node) {
+            let chunk = self.chunk_at(id.index());
+            debug_assert_eq!(chunk.state(), SharedChunkState::Free);
+            if crossed {
+                // Affinity disabled: the chunk is treated as if it now lived
+                // on the acquiring worker's node (modelling a migration, as
+                // the ablation does on the simulated backend).
+                chunk.set_node(node);
+            }
+            chunk.set_state(SharedChunkState::Current);
+            self.chunks_in_use.fetch_add(1, Ordering::AcqRel);
+            return chunk;
+        }
+        let mut chunks = self.chunks.write().expect("chunk directory poisoned");
+        let id = ChunkId(chunks.len() as u32);
+        let base = Addr::new(GLOBAL_BASE + (id.index() * self.chunk_size_bytes()) as u64);
+        let chunk = Arc::new(SharedChunk::new(id, base, node, self.chunk_size_words));
+        chunk.set_state(SharedChunkState::Current);
+        chunks.push(chunk.clone());
+        self.chunks_created.fetch_add(1, Ordering::Relaxed);
+        self.chunks_in_use.fetch_add(1, Ordering::AcqRel);
+        chunk
+    }
+
+    /// Returns a chunk to the free pool, clearing its contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk is already free.
+    pub fn release(&self, chunk: &SharedChunk) {
+        assert!(
+            chunk.state() != SharedChunkState::Free,
+            "{:?} released while already free",
+            chunk.id()
+        );
+        chunk.reset();
+        self.pool.push(chunk.node(), chunk.id());
+        self.chunks_in_use.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Directory index of the chunk containing `addr`, if `addr` is a
+    /// global-heap address below the current directory end.
+    pub fn chunk_index_of(&self, addr: Addr) -> Option<usize> {
+        if addr.raw() < GLOBAL_BASE {
+            return None;
+        }
+        let index = ((addr.raw() - GLOBAL_BASE) as usize) / self.chunk_size_bytes();
+        (index < self.num_chunks()).then_some(index)
+    }
+}
+
+/// The fixed address-space layout of a threaded machine: pure arithmetic
+/// replaces the simulation's shared [`AddressSpace`](crate::AddressSpace),
+/// so classifying an address is lock-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadedLayout {
+    num_vprocs: usize,
+    /// Words per local heap (also the per-worker address stride).
+    local_words: usize,
+    /// Words per global chunk.
+    chunk_words: usize,
+}
+
+/// Who owns an address under a [`ThreadedLayout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadedOwner {
+    /// Inside vproc `0`'s..`n`'s local heap.
+    Local(usize),
+    /// Inside global chunk `index` (the index may exceed the number of
+    /// chunks actually mapped; callers bound-check against the directory).
+    Global(usize),
+    /// Outside every region.
+    Unmapped,
+}
+
+impl ThreadedLayout {
+    /// Builds the layout for `num_vprocs` workers under `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vprocs` is zero.
+    pub fn new(config: &HeapConfig, num_vprocs: usize) -> Self {
+        assert!(num_vprocs > 0, "at least one vproc is required");
+        let chunk_words = (config.chunk_size_bytes / WORD_BYTES).max(64);
+        let local_words = (config.local_heap_bytes / WORD_BYTES).max(64);
+        let span = (num_vprocs as u64) * (local_words * WORD_BYTES) as u64;
+        assert!(
+            LOCAL_BASE + span < GLOBAL_BASE,
+            "local heaps would overlap the global heap base"
+        );
+        ThreadedLayout {
+            num_vprocs,
+            local_words,
+            chunk_words,
+        }
+    }
+
+    /// Number of vprocs in the layout.
+    pub fn num_vprocs(&self) -> usize {
+        self.num_vprocs
+    }
+
+    /// Words per local heap.
+    pub fn local_words(&self) -> usize {
+        self.local_words
+    }
+
+    /// Words per global chunk.
+    pub fn chunk_words(&self) -> usize {
+        self.chunk_words
+    }
+
+    /// Base address of vproc `v`'s local heap.
+    pub fn local_base(&self, vproc: usize) -> Addr {
+        Addr::new(LOCAL_BASE + (vproc * self.local_words * WORD_BYTES) as u64)
+    }
+
+    /// Which region `addr` falls in, by pure arithmetic.
+    pub fn owner_of(&self, addr: Addr) -> ThreadedOwner {
+        let raw = addr.raw();
+        if raw >= GLOBAL_BASE {
+            let index = ((raw - GLOBAL_BASE) as usize) / (self.chunk_words * WORD_BYTES);
+            ThreadedOwner::Global(index)
+        } else if raw >= LOCAL_BASE {
+            let vproc = ((raw - LOCAL_BASE) as usize) / (self.local_words * WORD_BYTES);
+            if vproc < self.num_vprocs {
+                ThreadedOwner::Local(vproc)
+            } else {
+                ThreadedOwner::Unmapped
+            }
+        } else {
+            ThreadedOwner::Unmapped
+        }
+    }
+}
+
+/// A worker thread's view of the heap: its own [`LocalHeap`] plus the shared
+/// global heap. Implements [`GcHeap`], so the generic minor/major/promotion
+/// algorithms of `mgc-core` run on it unchanged — with the crucial property
+/// that the minor-collection path touches only owned state (no locks,
+/// §3.3).
+pub struct WorkerHeap {
+    vproc: usize,
+    layout: ThreadedLayout,
+    local: LocalHeap,
+    global: Arc<SharedGlobalHeap>,
+    descriptors: Arc<DescriptorTable>,
+    /// Preferred node for chunk placement (home node already resolved
+    /// through the placement policy).
+    chunk_node: NodeId,
+    current: Option<Arc<SharedChunk>>,
+    /// Thread-local shadow of the chunk directory; refreshed from the
+    /// `RwLock`-guarded directory only when an address points past its end.
+    cache: RefCell<Vec<Arc<SharedChunk>>>,
+    stats: HeapStats,
+}
+
+impl std::fmt::Debug for WorkerHeap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerHeap")
+            .field("vproc", &self.vproc)
+            .field("node", &self.local.node())
+            .field("current_chunk", &self.current.as_ref().map(|c| c.id()))
+            .finish()
+    }
+}
+
+impl WorkerHeap {
+    /// Creates the heap view for worker `vproc`, whose local heap is placed
+    /// on `node` (already resolved through the placement policy) and whose
+    /// global chunks prefer `chunk_node`.
+    pub fn new(
+        vproc: usize,
+        layout: ThreadedLayout,
+        node: NodeId,
+        chunk_node: NodeId,
+        global: Arc<SharedGlobalHeap>,
+        descriptors: Arc<DescriptorTable>,
+    ) -> Self {
+        let base = layout.local_base(vproc);
+        WorkerHeap {
+            vproc,
+            layout,
+            local: LocalHeap::new(vproc, node, base, layout.local_words()),
+            global,
+            descriptors,
+            chunk_node,
+            current: None,
+            cache: RefCell::new(Vec::new()),
+            stats: HeapStats::default(),
+        }
+    }
+
+    /// The owning vproc.
+    pub fn vproc(&self) -> usize {
+        self.vproc
+    }
+
+    /// The shared global heap.
+    pub fn shared_global(&self) -> &Arc<SharedGlobalHeap> {
+        &self.global
+    }
+
+    /// The address layout.
+    pub fn layout(&self) -> ThreadedLayout {
+        self.layout
+    }
+
+    /// This worker's heap counters.
+    pub fn stats(&self) -> HeapStats {
+        self.stats
+    }
+
+    /// The worker's current global chunk, if any.
+    pub fn current_chunk(&self) -> Option<&Arc<SharedChunk>> {
+        self.current.as_ref()
+    }
+
+    // ------------------------------------------------------------------
+    // Mutator allocation (into the owned nursery; no synchronisation)
+    // ------------------------------------------------------------------
+
+    /// Allocates a raw-data object in the nursery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::NurseryFull`] when a minor collection is needed.
+    pub fn alloc_raw(&mut self, payload: &[Word]) -> Result<Addr, HeapError> {
+        let header = Header::new(ObjectKind::Raw, payload.len() as u64).encode();
+        self.local.alloc(header, payload)
+    }
+
+    /// Allocates a pointer-vector object in the nursery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::NurseryFull`] when a minor collection is needed.
+    pub fn alloc_vector(&mut self, elements: &[Word]) -> Result<Addr, HeapError> {
+        let header = Header::new(ObjectKind::Vector, elements.len() as u64).encode();
+        self.local.alloc(header, elements)
+    }
+
+    /// Allocates a mixed-type object in the nursery.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors [`Heap::alloc_mixed`](crate::Heap::alloc_mixed).
+    pub fn alloc_mixed(
+        &mut self,
+        descriptor: crate::DescriptorId,
+        payload: &[Word],
+    ) -> Result<Addr, HeapError> {
+        let desc = self
+            .descriptors
+            .get(descriptor.id())
+            .ok_or(HeapError::UnknownDescriptor {
+                id: descriptor.id(),
+            })?;
+        if desc.size_words as usize != payload.len() {
+            return Err(HeapError::PayloadSizeMismatch {
+                expected: desc.size_words as usize,
+                supplied: payload.len(),
+            });
+        }
+        let header = Header::new(ObjectKind::Mixed(descriptor.id()), payload.len() as u64).encode();
+        self.local.alloc(header, payload)
+    }
+
+    // ------------------------------------------------------------------
+    // Global-chunk management
+    // ------------------------------------------------------------------
+
+    /// Retires the current chunk (it keeps its data, state becomes
+    /// [`SharedChunkState::Filled`]).
+    pub fn retire_current_chunk(&mut self) {
+        if let Some(chunk) = self.current.take() {
+            chunk.set_state(SharedChunkState::Filled);
+        }
+    }
+
+    fn fresh_current_chunk(&mut self) -> Arc<SharedChunk> {
+        self.retire_current_chunk();
+        let chunk = self.global.acquire(self.chunk_node);
+        self.stats.chunk_acquisitions += 1;
+        self.current = Some(chunk.clone());
+        chunk
+    }
+
+    /// Allocates an object into the worker's current global chunk, acquiring
+    /// a fresh chunk transparently when the current one fills up.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::ObjectTooLarge`] if the object cannot fit in any
+    /// chunk.
+    pub fn alloc_in_global(&mut self, header: Word, payload: &[Word]) -> Result<Addr, HeapError> {
+        let total = payload.len() + 1;
+        if total > self.global.chunk_size_words() {
+            return Err(HeapError::ObjectTooLarge {
+                requested_words: total,
+                max_words: self.global.chunk_size_words(),
+            });
+        }
+        let chunk = match &self.current {
+            Some(chunk) => chunk.clone(),
+            None => self.fresh_current_chunk(),
+        };
+        match chunk.alloc(header, payload) {
+            Ok(addr) => Ok(addr),
+            Err(HeapError::ChunkFull { .. }) => self.fresh_current_chunk().alloc(header, payload),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The shared chunk containing `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not a mapped global address.
+    pub fn chunk_of(&self, addr: Addr) -> Arc<SharedChunk> {
+        let ThreadedOwner::Global(index) = self.layout.owner_of(addr) else {
+            panic!("{addr:?} is not a global-heap address");
+        };
+        {
+            let cache = self.cache.borrow();
+            if let Some(chunk) = cache.get(index) {
+                return chunk.clone();
+            }
+        }
+        // Cache miss: the directory grew since we last looked. Refresh.
+        let snapshot = self.global.snapshot();
+        assert!(
+            index < snapshot.len(),
+            "{addr:?} points past the end of the global heap"
+        );
+        let chunk = snapshot[index].clone();
+        *self.cache.borrow_mut() = snapshot;
+        chunk
+    }
+
+    fn read_word(&self, addr: Addr) -> Word {
+        match self.layout.owner_of(addr) {
+            ThreadedOwner::Local(v) => {
+                assert_eq!(
+                    v, self.vproc,
+                    "worker {} read from vproc {v}'s local heap — the no-cross-heap-pointer \
+                     invariant was violated",
+                    self.vproc
+                );
+                self.local.read(self.local.offset_of(addr))
+            }
+            ThreadedOwner::Global(_) => {
+                let chunk = self.chunk_of(addr);
+                let offset = chunk.offset_of(addr);
+                chunk.read(offset)
+            }
+            ThreadedOwner::Unmapped => panic!("read from unmapped address {addr:?}"),
+        }
+    }
+
+    fn write_word(&mut self, addr: Addr, value: Word) {
+        match self.layout.owner_of(addr) {
+            ThreadedOwner::Local(v) => {
+                assert_eq!(
+                    v, self.vproc,
+                    "worker {} wrote to vproc {v}'s local heap — the no-cross-heap-pointer \
+                     invariant was violated",
+                    self.vproc
+                );
+                let offset = self.local.offset_of(addr);
+                self.local.write(offset, value);
+            }
+            ThreadedOwner::Global(_) => {
+                let chunk = self.chunk_of(addr);
+                let offset = chunk.offset_of(addr);
+                chunk.write(offset, value);
+            }
+            ThreadedOwner::Unmapped => panic!("write to unmapped address {addr:?}"),
+        }
+    }
+
+    /// Installs a forwarding pointer over a *local* object's header (global
+    /// from-space objects go through [`WorkerHeap::cas_forward_global`]).
+    fn set_forward_local(&mut self, obj: Addr, target: Addr) {
+        debug_assert!(!target.is_null());
+        self.write_word(obj.sub_words(1), target.raw());
+    }
+
+    /// Race-safe forwarding for the parallel global collection: tries to
+    /// install `new_addr` over the from-space object at `obj`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the winning address when another worker forwarded first.
+    pub fn cas_forward_global(
+        &self,
+        obj: Addr,
+        expected_header: Word,
+        new_addr: Addr,
+    ) -> Result<(), Addr> {
+        let chunk = self.chunk_of(obj);
+        chunk.try_forward(obj, expected_header, new_addr)
+    }
+}
+
+impl GcHeap for WorkerHeap {
+    fn num_vprocs(&self) -> usize {
+        self.layout.num_vprocs()
+    }
+
+    fn local(&self, vproc: usize) -> &LocalHeap {
+        assert_eq!(vproc, self.vproc, "a worker heap only serves its own vproc");
+        &self.local
+    }
+
+    fn local_mut(&mut self, vproc: usize) -> &mut LocalHeap {
+        assert_eq!(vproc, self.vproc, "a worker heap only serves its own vproc");
+        &mut self.local
+    }
+
+    fn space_of(&self, addr: Addr) -> Space {
+        match self.layout.owner_of(addr) {
+            ThreadedOwner::Unmapped => Space::Unmapped,
+            ThreadedOwner::Global(index) => Space::Global {
+                chunk: ChunkId(index as u32),
+            },
+            ThreadedOwner::Local(v) if v == self.vproc => match self.local.region_of(addr) {
+                LocalRegion::Old => Space::LocalOld { vproc: v },
+                LocalRegion::Young => Space::LocalYoung { vproc: v },
+                LocalRegion::Nursery => Space::LocalNursery { vproc: v },
+                LocalRegion::Reserve | LocalRegion::NurseryFree => Space::LocalFree { vproc: v },
+            },
+            // Another worker's local heap: we may classify it (pure
+            // arithmetic) but never read it. The collector only needs the
+            // owner to decide "not mine — leave the pointer alone".
+            ThreadedOwner::Local(v) => Space::LocalOld { vproc: v },
+        }
+    }
+
+    fn node_of(&self, addr: Addr) -> NodeId {
+        match self.layout.owner_of(addr) {
+            ThreadedOwner::Local(v) if v == self.vproc => self.local.node(),
+            ThreadedOwner::Local(_) => self.chunk_node,
+            ThreadedOwner::Global(_) => self.chunk_of(addr).node(),
+            ThreadedOwner::Unmapped => panic!("{addr:?} is not mapped to any heap region"),
+        }
+    }
+
+    fn header_slot(&self, obj: Addr) -> HeaderSlot {
+        HeaderSlot::decode(self.read_word(obj.sub_words(1)))
+    }
+
+    fn read_field(&self, obj: Addr, index: usize) -> Word {
+        self.read_word(obj.add_words(index))
+    }
+
+    fn write_field(&mut self, obj: Addr, index: usize, value: Word) {
+        self.write_word(obj.add_words(index), value);
+    }
+
+    fn pointer_field_indices(&self, header: Header) -> Result<Vec<usize>, HeapError> {
+        match header.kind {
+            ObjectKind::Raw => Ok(Vec::new()),
+            ObjectKind::Vector => Ok((0..header.len_words as usize).collect()),
+            ObjectKind::Mixed(id) => {
+                let descriptor = self
+                    .descriptors
+                    .get(id)
+                    .ok_or(HeapError::UnknownDescriptor { id })?;
+                Ok(descriptor.pointer_offsets().collect())
+            }
+        }
+    }
+
+    fn evacuate(&mut self, obj: Addr, target: EvacTarget) -> Result<(Addr, usize), HeapError> {
+        let header = self.header_of(obj);
+        let payload = self.payload(obj);
+        let encoded = header.encode();
+        let new_addr = match target {
+            EvacTarget::OldArea { vproc } => {
+                assert_eq!(
+                    vproc, self.vproc,
+                    "a worker only evacuates into its own heap"
+                );
+                self.local.alloc_in_old(encoded, &payload)?
+            }
+            EvacTarget::GlobalCurrent { vproc } => {
+                assert_eq!(
+                    vproc, self.vproc,
+                    "a worker only fills its own current chunk"
+                );
+                self.alloc_in_global(encoded, &payload)?
+            }
+            EvacTarget::Chunk(chunk) => panic!(
+                "threaded evacuation into a specific chunk ({chunk:?}) goes through the \
+                 parallel global collection, not the generic path"
+            ),
+        };
+        // The original must be in this worker's local heap (minor/major
+        // collections and promotions only move owned objects; contended
+        // global evacuation uses `cas_forward_global`).
+        self.set_forward_local(obj, new_addr);
+        // Preserve the header in the first payload word of the dead copy so
+        // linear walks of the local heap can still skip it.
+        if header.len_words >= 1 {
+            self.write_field(obj, 0, encoded);
+        }
+        self.stats.evacuated_words += header.total_words() as u64;
+        Ok((new_addr, header.total_bytes()))
+    }
+
+    fn chunk_acquisitions(&self) -> u64 {
+        self.stats.chunk_acquisitions
+    }
+
+    fn global_bytes_in_use(&self) -> usize {
+        self.global.bytes_in_use()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (ThreadedLayout, Arc<SharedGlobalHeap>, Arc<DescriptorTable>) {
+        let config = HeapConfig::small_for_tests();
+        let layout = ThreadedLayout::new(&config, 2);
+        let global = Arc::new(SharedGlobalHeap::new(layout.chunk_words(), 2));
+        (layout, global, Arc::new(DescriptorTable::new()))
+    }
+
+    fn worker(
+        vproc: usize,
+        layout: ThreadedLayout,
+        global: &Arc<SharedGlobalHeap>,
+        descriptors: &Arc<DescriptorTable>,
+    ) -> WorkerHeap {
+        WorkerHeap::new(
+            vproc,
+            layout,
+            NodeId::new(vproc as u16 % 2),
+            NodeId::new(vproc as u16 % 2),
+            global.clone(),
+            descriptors.clone(),
+        )
+    }
+
+    #[test]
+    fn layout_classifies_addresses_arithmetically() {
+        let (layout, _, _) = setup();
+        let local0 = layout.local_base(0);
+        let local1 = layout.local_base(1);
+        assert_eq!(layout.owner_of(local0), ThreadedOwner::Local(0));
+        assert_eq!(layout.owner_of(local1), ThreadedOwner::Local(1));
+        assert_eq!(layout.owner_of(Addr::new(8)), ThreadedOwner::Unmapped);
+        assert_eq!(
+            layout.owner_of(Addr::new(GLOBAL_BASE)),
+            ThreadedOwner::Global(0)
+        );
+        let second_chunk = Addr::new(GLOBAL_BASE + (layout.chunk_words() * WORD_BYTES) as u64);
+        assert_eq!(layout.owner_of(second_chunk), ThreadedOwner::Global(1));
+    }
+
+    #[test]
+    fn worker_allocates_locally_without_touching_shared_state() {
+        let (layout, global, descriptors) = setup();
+        let mut w = worker(0, layout, &global, &descriptors);
+        let obj = w.alloc_raw(&[1, 2, 3]).unwrap();
+        assert_eq!(w.space_of(obj), Space::LocalNursery { vproc: 0 });
+        assert_eq!(GcHeap::payload(&w, obj), vec![1, 2, 3]);
+        assert_eq!(global.num_chunks(), 0);
+    }
+
+    #[test]
+    fn global_allocation_and_cross_worker_reads() {
+        let (layout, global, descriptors) = setup();
+        let mut w0 = worker(0, layout, &global, &descriptors);
+        let w1 = worker(1, layout, &global, &descriptors);
+        let header = Header::new(ObjectKind::Raw, 2).encode();
+        let addr = w0.alloc_in_global(header, &[7, 8]).unwrap();
+        // The other worker reads the published object through its own view.
+        assert_eq!(GcHeap::payload(&w1, addr), vec![7, 8]);
+        assert!(GcHeap::is_global(&w1, addr));
+        assert_eq!(global.chunks_in_use(), 1);
+        assert_eq!(w0.stats().chunk_acquisitions, 1);
+    }
+
+    #[test]
+    fn chunk_rollover_acquires_fresh_chunks() {
+        let (layout, global, descriptors) = setup();
+        let mut w = worker(0, layout, &global, &descriptors);
+        let words = global.chunk_size_words();
+        let big = vec![0u64; words - 2];
+        let header = Header::new(ObjectKind::Raw, big.len() as u64).encode();
+        w.alloc_in_global(header, &big).unwrap();
+        let first = w.current_chunk().unwrap().id();
+        let header2 = Header::new(ObjectKind::Raw, 4).encode();
+        w.alloc_in_global(header2, &[1, 2, 3, 4]).unwrap();
+        let second = w.current_chunk().unwrap().id();
+        assert_ne!(first, second);
+        assert_eq!(
+            global.chunk_at(first.index()).state(),
+            SharedChunkState::Filled
+        );
+    }
+
+    #[test]
+    fn release_returns_chunks_to_the_node_pool() {
+        let (layout, global, descriptors) = setup();
+        let mut w = worker(1, layout, &global, &descriptors);
+        let header = Header::new(ObjectKind::Raw, 1).encode();
+        w.alloc_in_global(header, &[9]).unwrap();
+        let chunk = w.current_chunk().unwrap().clone();
+        w.retire_current_chunk();
+        global.release(&chunk);
+        assert_eq!(global.chunks_in_use(), 0);
+        assert_eq!(global.pool().free_chunks_on(chunk.node()), 1);
+        // Reacquiring from the same node reuses it.
+        let again = global.acquire(chunk.node());
+        assert_eq!(again.id(), chunk.id());
+        assert_eq!(again.used_words(), 0, "released chunks are reset");
+    }
+
+    #[test]
+    fn affinity_disabled_migrates_reused_chunks() {
+        let (_, global, _) = setup();
+        global.pool().set_node_affinity(false);
+        let chunk = global.acquire(NodeId::new(1));
+        assert_eq!(chunk.node(), NodeId::new(1));
+        global.release(&chunk);
+        // Cross-node reuse re-places the chunk on the acquiring node, as
+        // the simulated backend's ablation does.
+        let again = global.acquire(NodeId::new(0));
+        assert_eq!(again.id(), chunk.id());
+        assert_eq!(again.node(), NodeId::new(0));
+        assert_eq!(global.pool().reused_remote(), 1);
+    }
+
+    #[test]
+    fn cas_forward_races_have_one_winner() {
+        let (layout, global, descriptors) = setup();
+        let mut w0 = worker(0, layout, &global, &descriptors);
+        let header = Header::new(ObjectKind::Raw, 1);
+        let obj = w0.alloc_in_global(header.encode(), &[5]).unwrap();
+        let copy_a = Addr::new(GLOBAL_BASE + 1024 * 1024);
+        let copy_b = Addr::new(GLOBAL_BASE + 2 * 1024 * 1024);
+        assert!(w0.cas_forward_global(obj, header.encode(), copy_a).is_ok());
+        assert_eq!(
+            w0.cas_forward_global(obj, header.encode(), copy_b),
+            Err(copy_a)
+        );
+        assert_eq!(GcHeap::forwarded_to(&w0, obj), Some(copy_a));
+    }
+
+    #[test]
+    #[should_panic(expected = "no-cross-heap-pointer")]
+    fn foreign_local_reads_fail_fast() {
+        let (layout, global, descriptors) = setup();
+        let mut w0 = worker(0, layout, &global, &descriptors);
+        let w1 = worker(1, layout, &global, &descriptors);
+        let obj = w0.alloc_raw(&[1]).unwrap();
+        let _ = GcHeap::read_field(&w1, obj, 0);
+    }
+}

@@ -14,11 +14,20 @@
 //!   (messages are promoted to the global heap);
 //! * [`TaskCtx::create_proxy`] / [`TaskCtx::resolve_proxy`] — object proxies
 //!   for global structures that need to reference vproc-local objects.
+//!
+//! One `TaskCtx` type serves **both** execution backends (see
+//! [`Executor`](crate::Executor)): on the simulated [`Machine`]
+//! (crate::Machine) every operation charges the NUMA cost model; on the
+//! [`ThreadedMachine`](crate::ThreadedMachine) the same operations hit the
+//! worker thread's own heap directly and data published to other threads
+//! (spawned tasks, fork/join continuations, messages) is promoted to the
+//! shared global heap at publication time.
 
 use crate::channel::{ChannelId, ProxyId};
 use crate::machine::RuntimeState;
 use crate::task::{Delivery, Handle, JoinCell, Task, TaskResult, TaskSpec};
-use mgc_heap::{f64_to_word, word_to_f64, Addr, DescriptorId, Word};
+use crate::threaded::WorkerState;
+use mgc_heap::{f64_to_word, word_to_f64, Addr, DescriptorId, GcHeap, Word};
 
 /// How one field of a mixed-type object is initialised.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -31,9 +40,17 @@ pub enum FieldInit {
     F64(f64),
 }
 
+/// Which backend is executing the task.
+enum CtxState<'a> {
+    /// The discrete-event simulation: one driver thread, cost model.
+    Sim(&'a mut RuntimeState),
+    /// A real worker thread of the threaded backend.
+    Threaded(&'a mut WorkerState),
+}
+
 /// The execution context handed to every task body.
 pub struct TaskCtx<'a> {
-    state: &'a mut RuntimeState,
+    state: CtxState<'a>,
     vproc: usize,
     roots: &'a mut Vec<Addr>,
     values: &'a [Word],
@@ -61,7 +78,25 @@ impl<'a> TaskCtx<'a> {
         delivery: Delivery,
     ) -> Self {
         TaskCtx {
-            state,
+            state: CtxState::Sim(state),
+            vproc,
+            roots,
+            values,
+            delivery_taken,
+            delivery,
+        }
+    }
+
+    pub(crate) fn new_threaded(
+        worker: &'a mut WorkerState,
+        roots: &'a mut Vec<Addr>,
+        values: &'a [Word],
+        delivery_taken: &'a mut bool,
+        delivery: Delivery,
+    ) -> Self {
+        let vproc = worker.vproc;
+        TaskCtx {
+            state: CtxState::Threaded(worker),
             vproc,
             roots,
             values,
@@ -81,7 +116,10 @@ impl<'a> TaskCtx<'a> {
 
     /// Number of vprocs in the machine.
     pub fn num_vprocs(&self) -> usize {
-        self.state.num_vprocs()
+        match &self.state {
+            CtxState::Sim(state) => state.num_vprocs(),
+            CtxState::Threaded(worker) => worker.num_vprocs(),
+        }
     }
 
     /// The `i`-th pointer input of this task (its `i`-th root).
@@ -123,23 +161,51 @@ impl<'a> TaskCtx<'a> {
     // ------------------------------------------------------------------
 
     /// Charges `ops` machine operations of pure compute (arithmetic,
-    /// branches) to this vproc's virtual clock.
+    /// branches) to this vproc's virtual clock. On the threaded backend
+    /// real time passes instead, so this is a no-op.
     pub fn work(&mut self, ops: u64) {
-        self.state.charge_work(self.vproc, ops);
+        match &mut self.state {
+            CtxState::Sim(state) => state.charge_work(self.vproc, ops),
+            CtxState::Threaded(_) => {}
+        }
     }
 
     // ------------------------------------------------------------------
     // Allocation
     // ------------------------------------------------------------------
 
+    fn reserve_nursery(&mut self, payload_words: usize) {
+        match &mut self.state {
+            CtxState::Sim(state) => state.reserve_nursery(self.vproc, self.roots, payload_words),
+            CtxState::Threaded(worker) => worker.reserve_nursery(self.roots, payload_words),
+        }
+    }
+
+    fn charge_alloc(&mut self, bytes: usize) {
+        if let CtxState::Sim(state) = &mut self.state {
+            state.charge_alloc(self.vproc, bytes);
+        }
+    }
+
+    fn charge_access(&mut self, addr: Addr, bytes: usize) {
+        if let CtxState::Sim(state) = &mut self.state {
+            state.charge_access(self.vproc, addr, bytes);
+        }
+    }
+
     /// Allocates a raw-data object and returns a handle to it.
     pub fn alloc_raw(&mut self, payload: &[Word]) -> Handle {
-        self.state
-            .reserve_nursery(self.vproc, self.roots, payload.len());
-        let addr = self
-            .state
-            .alloc_reserved(self.vproc, |heap, vproc| heap.alloc_raw(vproc, payload));
-        self.state.charge_alloc(self.vproc, (payload.len() + 1) * 8);
+        self.reserve_nursery(payload.len());
+        let addr = match &mut self.state {
+            CtxState::Sim(state) => {
+                state.alloc_reserved(self.vproc, |heap, vproc| heap.alloc_raw(vproc, payload))
+            }
+            CtxState::Threaded(worker) => worker
+                .heap
+                .alloc_raw(payload)
+                .expect("allocation failed after reserving nursery space"),
+        };
+        self.charge_alloc((payload.len() + 1) * 8);
         self.push_root(addr)
     }
 
@@ -153,8 +219,7 @@ impl<'a> TaskCtx<'a> {
     pub fn alloc_vector(&mut self, elements: &[Option<Handle>]) -> Handle {
         // Reserve first: a collection here may move the referenced objects,
         // so handles are resolved to addresses only afterwards.
-        self.state
-            .reserve_nursery(self.vproc, self.roots, elements.len());
+        self.reserve_nursery(elements.len());
         let words: Vec<Word> = elements
             .iter()
             .copied()
@@ -163,10 +228,16 @@ impl<'a> TaskCtx<'a> {
                 None => 0,
             })
             .collect();
-        let addr = self
-            .state
-            .alloc_reserved(self.vproc, |heap, vproc| heap.alloc_vector(vproc, &words));
-        self.state.charge_alloc(self.vproc, (words.len() + 1) * 8);
+        let addr = match &mut self.state {
+            CtxState::Sim(state) => {
+                state.alloc_reserved(self.vproc, |heap, vproc| heap.alloc_vector(vproc, &words))
+            }
+            CtxState::Threaded(worker) => worker
+                .heap
+                .alloc_vector(&words)
+                .expect("allocation failed after reserving nursery space"),
+        };
+        self.charge_alloc((words.len() + 1) * 8);
         self.push_root(addr)
     }
 
@@ -179,8 +250,7 @@ impl<'a> TaskCtx<'a> {
     pub fn alloc_mixed(&mut self, descriptor: DescriptorId, fields: &[FieldInit]) -> Handle {
         // Reserve first: a collection here may move the referenced objects,
         // so handles are resolved to addresses only afterwards.
-        self.state
-            .reserve_nursery(self.vproc, self.roots, fields.len());
+        self.reserve_nursery(fields.len());
         let words: Vec<Word> = fields
             .iter()
             .copied()
@@ -191,10 +261,16 @@ impl<'a> TaskCtx<'a> {
                 FieldInit::F64(v) => f64_to_word(v),
             })
             .collect();
-        let addr = self.state.alloc_reserved(self.vproc, |heap, vproc| {
-            heap.alloc_mixed(vproc, descriptor, &words)
-        });
-        self.state.charge_alloc(self.vproc, (words.len() + 1) * 8);
+        let addr = match &mut self.state {
+            CtxState::Sim(state) => state.alloc_reserved(self.vproc, |heap, vproc| {
+                heap.alloc_mixed(vproc, descriptor, &words)
+            }),
+            CtxState::Threaded(worker) => worker
+                .heap
+                .alloc_mixed(descriptor, &words)
+                .expect("allocation failed after reserving nursery space"),
+        };
+        self.charge_alloc((words.len() + 1) * 8);
         self.push_root(addr)
     }
 
@@ -202,11 +278,25 @@ impl<'a> TaskCtx<'a> {
     // Field access
     // ------------------------------------------------------------------
 
+    fn heap_read_field(&self, addr: Addr, index: usize) -> Word {
+        match &self.state {
+            CtxState::Sim(state) => state.heap.read_field(addr, index),
+            CtxState::Threaded(worker) => worker.heap.read_field(addr, index),
+        }
+    }
+
+    fn heap_object_bytes(&self, addr: Addr) -> usize {
+        match &self.state {
+            CtxState::Sim(state) => state.heap.object_bytes(addr),
+            CtxState::Threaded(worker) => worker.heap.object_bytes(addr),
+        }
+    }
+
     /// Reads a raw field of the object behind `handle`.
     pub fn read_raw(&mut self, handle: Handle, index: usize) -> Word {
         let addr = self.resolve(handle);
-        self.state.charge_access(self.vproc, addr, 8);
-        self.state.heap.read_field(addr, index)
+        self.charge_access(addr, 8);
+        self.heap_read_field(addr, index)
     }
 
     /// Reads a raw field as an `f64`.
@@ -218,8 +308,8 @@ impl<'a> TaskCtx<'a> {
     /// returning its handle (or `None` for a null field).
     pub fn read_ptr(&mut self, handle: Handle, index: usize) -> Option<Handle> {
         let addr = self.resolve(handle);
-        self.state.charge_access(self.vproc, addr, 8);
-        let word = self.state.heap.read_field(addr, index);
+        self.charge_access(addr, 8);
+        let word = self.heap_read_field(addr, index);
         if word == 0 {
             None
         } else {
@@ -231,9 +321,12 @@ impl<'a> TaskCtx<'a> {
     /// bulk access (the workloads use this for rope leaves).
     pub fn read_words(&mut self, handle: Handle) -> Vec<Word> {
         let addr = self.resolve(handle);
-        let bytes = self.state.heap.object_bytes(addr);
-        self.state.charge_access(self.vproc, addr, bytes);
-        self.state.heap.payload(addr)
+        let bytes = self.heap_object_bytes(addr);
+        self.charge_access(addr, bytes);
+        match &self.state {
+            CtxState::Sim(state) => state.heap.payload(addr),
+            CtxState::Threaded(worker) => worker.heap.payload(addr),
+        }
     }
 
     /// Reads the whole payload of a raw object as `f64`s.
@@ -247,7 +340,11 @@ impl<'a> TaskCtx<'a> {
     /// The number of payload words of the object behind `handle`.
     pub fn len(&mut self, handle: Handle) -> usize {
         let addr = self.resolve(handle);
-        self.state.heap.header_of(addr).len_words as usize
+        let header = match &self.state {
+            CtxState::Sim(state) => state.heap.header_of(addr),
+            CtxState::Threaded(worker) => worker.heap.header_of(addr),
+        };
+        header.len_words as usize
     }
 
     /// True if the object behind `handle` has no payload (never the case for
@@ -286,7 +383,10 @@ impl<'a> TaskCtx<'a> {
     /// forwarding pointers left behind by promotions and updating the root
     /// slot so later accesses are direct.
     fn resolve(&mut self, handle: Handle) -> Addr {
-        let resolved = self.state.resolve_addr(self.roots[handle.index()]);
+        let resolved = match &self.state {
+            CtxState::Sim(state) => state.resolve_addr(self.roots[handle.index()]),
+            CtxState::Threaded(worker) => worker.resolve_addr(self.roots[handle.index()]),
+        };
         self.roots[handle.index()] = resolved;
         resolved
     }
@@ -305,7 +405,10 @@ impl<'a> TaskCtx<'a> {
     pub fn spawn(&mut self, mut spec: TaskSpec, ptr_inputs: &[Handle]) {
         spec.ptr_inputs = ptr_inputs.iter().map(|h| self.resolve(*h)).collect();
         let task = Task::from_spec(spec, Delivery::Discard, self.vproc);
-        self.state.push_task(self.vproc, task);
+        match &mut self.state {
+            CtxState::Sim(state) => state.push_task(self.vproc, task),
+            CtxState::Threaded(worker) => worker.push_task(task),
+        }
     }
 
     /// Forks `children` and schedules `continuation` to run when all of them
@@ -331,16 +434,40 @@ impl<'a> TaskCtx<'a> {
             .iter()
             .map(|h| self.resolve(*h))
             .collect();
-        let cont_task = Task::from_spec(cont_spec, self.delivery, self.vproc);
+        let mut cont_task = Task::from_spec(cont_spec, self.delivery, self.vproc);
         *self.delivery_taken = true;
 
-        let join = self
-            .state
-            .new_join(JoinCell::new(children.len(), cont_task));
-        for (slot, (mut spec, inputs)) in children.into_iter().enumerate() {
-            spec.ptr_inputs = inputs.iter().map(|h| self.resolve(*h)).collect();
-            let task = Task::from_spec(spec, Delivery::Join { join, slot }, self.vproc);
-            self.state.push_task(self.vproc, task);
+        // Resolve every child's pointer inputs before touching the backend,
+        // so the borrow of `self.roots` ends first.
+        let resolved_children: Vec<(TaskSpec, Vec<Addr>)> = children
+            .into_iter()
+            .map(|(spec, inputs)| {
+                let addrs: Vec<Addr> = inputs.iter().map(|h| self.resolve(*h)).collect();
+                (spec, addrs)
+            })
+            .collect();
+
+        match &mut self.state {
+            CtxState::Sim(state) => {
+                let join = state.new_join(JoinCell::new(resolved_children.len(), cont_task));
+                for (slot, (mut spec, addrs)) in resolved_children.into_iter().enumerate() {
+                    spec.ptr_inputs = addrs;
+                    let task = Task::from_spec(spec, Delivery::Join { join, slot }, self.vproc);
+                    state.push_task(self.vproc, task);
+                }
+            }
+            CtxState::Threaded(worker) => {
+                // The continuation lives in the machine-global join table and
+                // may run on any worker: its roots are promoted now, by
+                // their owner. (Child tasks are promoted by `push_task`.)
+                worker.publish_roots(&mut cont_task.roots);
+                let join = worker.new_join(JoinCell::new(resolved_children.len(), cont_task));
+                for (slot, (mut spec, addrs)) in resolved_children.into_iter().enumerate() {
+                    spec.ptr_inputs = addrs;
+                    let task = Task::from_spec(spec, Delivery::Join { join, slot }, worker.vproc);
+                    worker.push_task(task);
+                }
+            }
         }
     }
 
@@ -352,12 +479,18 @@ impl<'a> TaskCtx<'a> {
     /// promoted to the global heap (§3.1) so any vproc may receive it.
     pub fn send(&mut self, channel: ChannelId, message: Handle) {
         let addr = self.resolve(message);
-        self.state.channel_send(self.vproc, channel, addr);
+        match &mut self.state {
+            CtxState::Sim(state) => state.channel_send(self.vproc, channel, addr),
+            CtxState::Threaded(worker) => worker.channel_send(channel, addr),
+        }
     }
 
     /// Receives the oldest message from `channel`, if any.
     pub fn recv(&mut self, channel: ChannelId) -> Option<Handle> {
-        let addr = self.state.channel_recv(self.vproc, channel)?;
+        let addr = match &mut self.state {
+            CtxState::Sim(state) => state.channel_recv(self.vproc, channel)?,
+            CtxState::Threaded(worker) => worker.channel_recv(channel)?,
+        };
         Some(self.push_root(addr))
     }
 
@@ -365,13 +498,19 @@ impl<'a> TaskCtx<'a> {
     /// structures can refer to it without violating the heap invariants.
     pub fn create_proxy(&mut self, handle: Handle) -> ProxyId {
         let addr = self.resolve(handle);
-        self.state.create_proxy(self.vproc, addr)
+        match &mut self.state {
+            CtxState::Sim(state) => state.create_proxy(self.vproc, addr),
+            CtxState::Threaded(worker) => worker.create_proxy(addr),
+        }
     }
 
     /// Resolves a proxy. Resolving from a vproc other than the owner forces
     /// the underlying object to be promoted to the global heap.
     pub fn resolve_proxy(&mut self, proxy: ProxyId) -> Handle {
-        let addr = self.state.resolve_proxy(self.vproc, proxy);
+        let addr = match &mut self.state {
+            CtxState::Sim(state) => state.resolve_proxy(self.vproc, proxy),
+            CtxState::Threaded(worker) => worker.resolve_proxy(proxy),
+        };
         self.push_root(addr)
     }
 

@@ -1,21 +1,27 @@
 //! The Manticore-style runtime: vprocs, work stealing, CML-style channels,
-//! and the discrete-event NUMA machine driver.
+//! and two execution backends for the same task programs.
 //!
 //! This crate turns the collector of `mgc-core` and the heap of `mgc-heap`
 //! into a runnable system, mirroring §2 of *Garbage Collection for Multicore
 //! NUMA Machines*:
 //!
-//! * a [`Machine`] hosts one vproc per requested thread, pinned to cores
-//!   spread sparsely across the NUMA nodes;
 //! * programs are trees of [`TaskSpec`]s executed over vproc-local deques
-//!   with work stealing; data captured by stolen work is promoted to the
-//!   global heap lazily;
+//!   with work stealing; data that escapes a vproc is promoted to the
+//!   global heap;
 //! * explicit concurrency is available through channels (messages are
 //!   promoted on send) and object proxies;
-//! * every unit of mutator and collector work is charged to a per-round cost
-//!   vector, and the `mgc-numa` bottleneck model converts each round into
-//!   elapsed virtual time — which is how the speedup curves of the paper's
-//!   evaluation are reproduced without a 48-core machine.
+//! * the **simulated** backend ([`Machine`]) drives every vproc from one
+//!   thread and charges each unit of mutator and collector work to a
+//!   per-round cost vector; the `mgc-numa` bottleneck model converts each
+//!   round into elapsed virtual time — which is how the speedup curves of
+//!   the paper's evaluation are reproduced without a 48-core machine;
+//! * the **threaded** backend ([`ThreadedMachine`]) runs each vproc on a
+//!   real OS thread: local collections are genuinely lock-free and global
+//!   collections are a real stop-the-world ramp-down barrier. Its clock is
+//!   the wall clock.
+//!
+//! The [`Executor`] trait abstracts over the two; workloads written against
+//! it run — and can be cross-checked — on both.
 //!
 //! # Example
 //!
@@ -40,13 +46,17 @@
 
 mod channel;
 mod ctx;
+mod executor;
 mod machine;
 mod stats;
 mod task;
+mod threaded;
 mod vproc;
 
 pub use channel::{ChannelId, ChannelStats, ProxyId};
 pub use ctx::{FieldInit, TaskCtx};
+pub use executor::{Backend, Executor};
 pub use machine::{Machine, MachineConfig, MutatorCostModel};
 pub use stats::{RunReport, VprocRunStats};
 pub use task::{Handle, TaskResult, TaskSpec};
+pub use threaded::ThreadedMachine;

@@ -2,14 +2,22 @@
 //! contexts, and the discrete-event scheduler that drives vprocs, garbage
 //! collection, and the NUMA cost model.
 //!
-//! Execution proceeds in *rounds*. In each round every vproc runs tasks
-//! (stealing when its own deque is empty) until it has accumulated roughly
-//! one scheduling quantum of virtual work; the round's elapsed time is then
-//! computed by the bottleneck memory model of `mgc-numa`, so that vprocs
-//! competing for the same memory controller or interconnect link slow each
-//! other down exactly as the paper's machines do. Garbage collections run
-//! inside the round of the vproc that triggered them (minor/major) or as a
-//! stop-the-world round of their own (global collections).
+//! This is one of **two** execution backends (see
+//! [`Executor`](crate::Executor)): the [`Machine`] here executes every vproc
+//! from a single driver thread and charges costs through the memory model;
+//! [`ThreadedMachine`](crate::ThreadedMachine) runs each vproc on a real OS
+//! thread and measures wall-clock time instead. Both share the task model,
+//! the work-stealing deques, and the channel machinery.
+//!
+//! On this backend execution proceeds in *rounds*. In each round every vproc
+//! runs tasks (stealing when its own deque is empty) until it has
+//! accumulated roughly one scheduling quantum of virtual work; the round's
+//! elapsed time is then computed by the bottleneck memory model of
+//! `mgc-numa`, so that vprocs competing for the same memory controller or
+//! interconnect link slow each other down exactly as the paper's machines
+//! do. Garbage collections run inside the round of the vproc that triggered
+//! them (minor/major) or as a stop-the-world round of their own (global
+//! collections).
 
 use crate::channel::{ChannelId, ChannelState, ChannelStats, Proxy, ProxyId};
 use crate::ctx::TaskCtx;
@@ -25,9 +33,28 @@ use serde::{Deserialize, Serialize};
 const TASK_OVERHEAD_NS: f64 = 400.0;
 /// Fixed cost of a steal attempt that succeeds (deque synchronisation).
 const STEAL_OVERHEAD_NS: f64 = 1_200.0;
-/// Hard cap on scheduling rounds, to turn runaway programs into test
-/// failures instead of hangs.
+/// Default hard cap on scheduling rounds, to turn runaway programs into
+/// test failures instead of hangs. Override with the `MGC_MAX_ROUNDS`
+/// environment variable.
 const MAX_ROUNDS: u64 = 50_000_000;
+
+/// The effective round cap: `MGC_MAX_ROUNDS` when set (and parseable as a
+/// positive integer), otherwise [`MAX_ROUNDS`].
+fn round_limit_from_env() -> u64 {
+    match std::env::var("MGC_MAX_ROUNDS") {
+        Ok(value) => match value.parse::<u64>() {
+            Ok(limit) if limit > 0 => limit,
+            _ => {
+                eprintln!(
+                    "warning: MGC_MAX_ROUNDS=`{value}` is not a positive integer; \
+                     using the default of {MAX_ROUNDS}"
+                );
+                MAX_ROUNDS
+            }
+        },
+        Err(_) => MAX_ROUNDS,
+    }
+}
 
 /// Cache behaviour of mutator memory accesses.
 ///
@@ -232,9 +259,11 @@ impl RuntimeState {
     fn gather_roots(&self, vproc: usize, extra: &[Addr]) -> Vec<Addr> {
         let mut roots: Vec<Addr> = Vec::with_capacity(extra.len() + 16);
         roots.extend_from_slice(extra);
-        for task in &self.vprocs[vproc].deque {
-            roots.extend_from_slice(&task.roots);
-        }
+        self.vprocs[vproc].deque.with_tasks(|tasks| {
+            for task in tasks.iter() {
+                roots.extend_from_slice(&task.roots);
+            }
+        });
         for join in self.joins.iter().flatten() {
             for slot in &join.slots {
                 if slot.filled && slot.is_ptr {
@@ -265,12 +294,14 @@ impl RuntimeState {
             *slot = roots[cursor];
             cursor += 1;
         }
-        for task in self.vprocs[vproc].deque.iter_mut() {
-            for slot in task.roots.iter_mut() {
-                *slot = roots[cursor];
-                cursor += 1;
+        self.vprocs[vproc].deque.with_tasks(|tasks| {
+            for task in tasks.iter_mut() {
+                for slot in task.roots.iter_mut() {
+                    *slot = roots[cursor];
+                    cursor += 1;
+                }
             }
-        }
+        });
         for join in self.joins.iter_mut().flatten() {
             for slot in join.slots.iter_mut() {
                 if slot.filled && slot.is_ptr {
@@ -602,6 +633,7 @@ pub struct Machine {
     state: RuntimeState,
     clock_ns: f64,
     rounds: u64,
+    round_limit: u64,
 }
 
 impl Machine {
@@ -648,6 +680,7 @@ impl Machine {
             config,
             clock_ns: 0.0,
             rounds: 0,
+            round_limit: round_limit_from_env(),
         }
     }
 
@@ -745,8 +778,10 @@ impl Machine {
                 break;
             }
             assert!(
-                self.rounds < MAX_ROUNDS,
-                "round limit exceeded; the program appears to run forever"
+                self.rounds < self.round_limit,
+                "round limit of {} exceeded; the program appears to run forever \
+                 (set the MGC_MAX_ROUNDS environment variable to raise the cap)",
+                self.round_limit
             );
         }
         self.report()
@@ -815,11 +850,9 @@ impl Machine {
             if vproc == 0 {
                 roots_per_vproc.push(self.state.gather_roots(0, &extra));
             } else {
-                let roots: Vec<Addr> = self.state.vprocs[vproc]
-                    .deque
-                    .iter()
-                    .flat_map(|t| t.roots.iter().copied())
-                    .collect();
+                let roots: Vec<Addr> = self.state.vprocs[vproc].deque.with_tasks(|tasks| {
+                    tasks.iter().flat_map(|t| t.roots.iter().copied()).collect()
+                });
                 roots_per_vproc.push(roots);
             }
         }
@@ -832,14 +865,16 @@ impl Machine {
         // Scatter the rewritten roots back.
         for vproc in (1..num_vprocs).rev() {
             let roots = &roots_per_vproc[vproc];
-            let mut cursor = 0;
-            for task in self.state.vprocs[vproc].deque.iter_mut() {
-                for slot in task.roots.iter_mut() {
-                    *slot = roots[cursor];
-                    cursor += 1;
+            self.state.vprocs[vproc].deque.with_tasks(|tasks| {
+                let mut cursor = 0;
+                for task in tasks.iter_mut() {
+                    for slot in task.roots.iter_mut() {
+                        *slot = roots[cursor];
+                        cursor += 1;
+                    }
                 }
-            }
-            debug_assert_eq!(cursor, roots.len());
+                debug_assert_eq!(cursor, roots.len());
+            });
         }
         let mut extra: Vec<Addr> = Vec::new();
         self.state.scatter_roots(0, &mut extra, &roots_per_vproc[0]);
@@ -873,10 +908,21 @@ impl Machine {
     }
 
     fn report(&self) -> RunReport {
+        let (allocated_objects, allocated_words) = (0..self.state.num_vprocs())
+            .map(|v| self.state.heap.local(v).stats())
+            .fold((0, 0), |(objs, words), s| {
+                (
+                    objs + s.nursery_allocated_objects,
+                    words + s.nursery_allocated_words,
+                )
+            });
         RunReport {
             elapsed_ns: self.clock_ns,
+            wall_clock_ns: None,
             rounds: self.rounds,
             vprocs: self.state.num_vprocs(),
+            allocated_objects,
+            allocated_words,
             per_vproc: self
                 .state
                 .vprocs
@@ -891,6 +937,32 @@ impl Machine {
     /// Total virtual time elapsed so far, in nanoseconds.
     pub fn clock_ns(&self) -> f64 {
         self.clock_ns
+    }
+}
+
+impl crate::executor::Executor for Machine {
+    fn backend(&self) -> crate::executor::Backend {
+        crate::executor::Backend::Simulated
+    }
+
+    fn register_descriptor(&mut self, descriptor: Descriptor) -> DescriptorId {
+        Machine::register_descriptor(self, descriptor)
+    }
+
+    fn create_channel(&mut self) -> ChannelId {
+        Machine::create_channel(self)
+    }
+
+    fn spawn_root(&mut self, spec: TaskSpec) {
+        Machine::spawn_root(self, spec)
+    }
+
+    fn run(&mut self) -> RunReport {
+        Machine::run(self)
+    }
+
+    fn take_result(&mut self) -> Option<(Word, bool)> {
+        Machine::take_result(self)
     }
 }
 
@@ -915,8 +987,6 @@ impl RuntimeState {
         }
     }
 }
-
-impl Machine {}
 
 #[cfg(test)]
 mod tests {

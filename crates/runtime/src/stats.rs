@@ -17,15 +17,27 @@ pub struct VprocRunStats {
     pub busy_ns: f64,
 }
 
-/// The result of running a program on the simulated machine.
+/// The result of running a program on either execution backend.
+///
+/// The simulated machine reports virtual time in `elapsed_ns` and leaves
+/// `wall_clock_ns` empty; the real-threads backend reports the measured
+/// wall-clock duration in **both** (its only notion of time is the real
+/// one).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
-    /// Total virtual time of the run, in nanoseconds.
+    /// Total time of the run, in nanoseconds: virtual time on the simulated
+    /// backend, wall-clock time on the threaded backend.
     pub elapsed_ns: f64,
-    /// Number of scheduling rounds executed.
+    /// Measured wall-clock nanoseconds (threaded backend only).
+    pub wall_clock_ns: Option<f64>,
+    /// Number of scheduling rounds executed (simulated backend only).
     pub rounds: u64,
     /// Number of vprocs used.
     pub vprocs: usize,
+    /// Total objects allocated in vproc nurseries.
+    pub allocated_objects: u64,
+    /// Total words allocated in vproc nurseries.
+    pub allocated_words: u64,
     /// Per-vproc scheduling statistics.
     pub per_vproc: Vec<VprocRunStats>,
     /// Aggregated collector statistics.
@@ -67,8 +79,11 @@ mod tests {
     fn report_accessors() {
         let report = RunReport {
             elapsed_ns: 2e9,
+            wall_clock_ns: None,
             rounds: 10,
             vprocs: 2,
+            allocated_objects: 0,
+            allocated_words: 0,
             per_vproc: vec![
                 VprocRunStats {
                     tasks_run: 5,

@@ -50,7 +50,11 @@ pub enum TaskResult {
 }
 
 /// The closure type executed by a task.
-pub type TaskBody = Box<dyn FnOnce(&mut crate::ctx::TaskCtx<'_>) -> TaskResult>;
+///
+/// Bodies are `Send` because the real-threads backend moves tasks between
+/// OS threads (work stealing hands a task from the victim's deque to the
+/// thief's thread).
+pub type TaskBody = Box<dyn FnOnce(&mut crate::ctx::TaskCtx<'_>) -> TaskResult + Send>;
 
 /// Specification of a task to spawn: a name for diagnostics, the heap
 /// objects and raw values it takes as input, and its body.
@@ -80,7 +84,7 @@ impl TaskSpec {
     /// Creates a task specification with no inputs.
     pub fn new(
         name: &'static str,
-        body: impl FnOnce(&mut crate::ctx::TaskCtx<'_>) -> TaskResult + 'static,
+        body: impl FnOnce(&mut crate::ctx::TaskCtx<'_>) -> TaskResult + Send + 'static,
     ) -> Self {
         TaskSpec {
             name,

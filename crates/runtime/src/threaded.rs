@@ -1,0 +1,1060 @@
+//! The real-threads execution backend: one OS thread per vproc.
+//!
+//! Where the simulated [`Machine`](crate::Machine) *models* the paper's
+//! concurrency, this backend *performs* it:
+//!
+//! * each vproc is an OS thread owning a
+//!   [`WorkerHeap`](mgc_heap::WorkerHeap) — nursery allocation and
+//!   minor/major collections touch only thread-owned state, so the local-GC
+//!   path takes **zero locks**, exactly the §3.3 claim;
+//! * the global heap is shared: atomic words, a mutex-guarded chunk pool
+//!   (the §3.3 synchronisation point), and an append-only chunk directory;
+//! * work stealing uses the same mutex-guarded [`WorkDeque`]s as the
+//!   simulated backend — a task becomes stealable the moment it is pushed,
+//!   so its heap roots are **promoted at publication time** (the threaded
+//!   analogue of the paper's lazy-promotion-on-steal: data is promoted when
+//!   work becomes visible to other vprocs, and a thief never touches the
+//!   victim's local heap);
+//! * global collections are a real **stop-the-world ramp-down**: a pending
+//!   flag, per-vproc acknowledgement at a safe point (task boundaries),
+//!   leader-led from-space flip, parallel CAS-evacuation, and a scan loop
+//!   over a shared [`AtomicUsize`] work index
+//!   (`mgc_core::{flip_to_from_space, scan_pass, release_from_space}`).
+//!
+//! Because every published root is global, a worker reaching a safe point
+//! holds no live local data; the ramp-down's local collections empty the
+//! local heaps and the parallel phase only traces the shared structures.
+//!
+//! Time on this backend is the wall clock: [`RunReport::elapsed_ns`] (and
+//! [`RunReport::wall_clock_ns`]) report measured nanoseconds, which is what
+//! the `bench-baseline` CI job tracks for perf regressions.
+
+use crate::channel::{ChannelId, ChannelState, ChannelStats, Proxy, ProxyId};
+use crate::ctx::TaskCtx;
+use crate::executor::{Backend, Executor};
+use crate::machine::MachineConfig;
+use crate::stats::{RunReport, VprocRunStats};
+use crate::task::{Delivery, JoinCell, JoinId, Task, TaskResult, TaskSpec};
+use crate::vproc::WorkDeque;
+use mgc_core::{
+    evacuate_roots, flip_to_from_space, forward_parallel, release_from_space, scan_pass, Collector,
+    GcStats, ParallelGcState,
+};
+use mgc_heap::{
+    Addr, Descriptor, DescriptorId, DescriptorTable, GcHeap, LocalHeapStats, SharedGlobalHeap,
+    ThreadedLayout, Word, WorkerHeap,
+};
+use mgc_numa::TrafficStats;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long an idle worker sleeps before re-polling the deques; bounds the
+/// latency of waking into a pending global collection even if a wakeup is
+/// missed.
+const IDLE_WAIT: Duration = Duration::from_micros(200);
+
+/// A generation-counting rendezvous for the stop-the-world phases. The last
+/// worker to arrive runs the leader action *while the others are still
+/// blocked* — a true quiescent section — then releases everyone into the
+/// next phase.
+#[derive(Debug)]
+struct PhaseBarrier {
+    workers: usize,
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+    /// Set when any worker panics: waiters abort instead of blocking for a
+    /// participant that will never arrive.
+    poisoned: AtomicBool,
+}
+
+/// Panic payload of workers aborted because *another* worker panicked; the
+/// machine filters these out so the original panic is the one that
+/// propagates from [`ThreadedMachine::run`].
+struct WorkerAborted;
+
+#[derive(Debug, Default)]
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+}
+
+impl PhaseBarrier {
+    fn new(workers: usize) -> Self {
+        PhaseBarrier {
+            workers,
+            state: Mutex::new(BarrierState::default()),
+            cv: Condvar::new(),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Marks the barrier dead and wakes every waiter so they can abort.
+    fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+        let _guard = self.state.lock();
+        self.cv.notify_all();
+    }
+
+    /// Blocks until all workers arrive; the last one runs `leader_action`
+    /// before anyone is released. Returns `true` on the leader.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with the [`WorkerAborted`] sentinel) if another worker
+    /// panicked — the rendezvous can never complete, so blocking would
+    /// deadlock the machine.
+    fn wait_with(&self, leader_action: impl FnOnce()) -> bool {
+        let mut state = self.state.lock().expect("barrier mutex poisoned");
+        if self.is_poisoned() {
+            std::panic::panic_any(WorkerAborted);
+        }
+        state.arrived += 1;
+        if state.arrived == self.workers {
+            leader_action();
+            state.arrived = 0;
+            state.generation = state.generation.wrapping_add(1);
+            self.cv.notify_all();
+            true
+        } else {
+            let generation = state.generation;
+            while state.generation == generation {
+                state = self.cv.wait(state).expect("barrier mutex poisoned");
+                if self.is_poisoned() {
+                    std::panic::panic_any(WorkerAborted);
+                }
+            }
+            false
+        }
+    }
+}
+
+/// Coordination state of the stop-the-world global collection.
+#[derive(Debug)]
+struct GcControl {
+    /// The §3.4 pending flag: set by whichever worker trips the trigger;
+    /// every worker acknowledges it at its next safe point by entering the
+    /// barrier.
+    pending: AtomicBool,
+    barrier: PhaseBarrier,
+    state: ParallelGcState,
+    from_space: Mutex<Vec<usize>>,
+    progress: AtomicBool,
+    done: AtomicBool,
+    /// Copied bytes across all collections of the run.
+    total_copied_bytes: AtomicU64,
+    /// Number of global collections performed.
+    collections: AtomicU64,
+}
+
+/// State shared by every worker thread.
+pub(crate) struct Shared {
+    num_vprocs: usize,
+    pub(crate) deques: Vec<WorkDeque>,
+    /// Tasks queued or running anywhere in the machine. Zero means the
+    /// program is finished: only a running task can create new tasks.
+    pending_tasks: AtomicUsize,
+    idle_lock: Mutex<()>,
+    work_cv: Condvar,
+    pub(crate) joins: Mutex<Vec<Option<JoinCell>>>,
+    pub(crate) channels: Mutex<Vec<ChannelState>>,
+    pub(crate) channel_stats: Mutex<ChannelStats>,
+    pub(crate) proxies: Mutex<Vec<Proxy>>,
+    pub(crate) root_result: Mutex<Option<(Word, bool)>>,
+    global: Arc<SharedGlobalHeap>,
+    gc: GcControl,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("num_vprocs", &self.num_vprocs)
+            .field("pending_tasks", &self.pending_tasks.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Shared {
+    fn notify_workers(&self) {
+        let _guard = self.idle_lock.lock().expect("idle lock poisoned");
+        self.work_cv.notify_all();
+    }
+
+    /// Marks the machine dead after a worker panic: unblocks the barrier
+    /// and the idle waiters so every thread winds down promptly.
+    fn poison(&self) {
+        self.gc.barrier.poison();
+        self.notify_workers();
+    }
+}
+
+/// What one worker thread hands back when it finishes.
+struct WorkerOutcome {
+    run: VprocRunStats,
+    gc: GcStats,
+    local: LocalHeapStats,
+}
+
+/// A worker thread's complete state: its heap view, its collector, and the
+/// shared machine. [`TaskCtx`] borrows this during task execution.
+pub(crate) struct WorkerState {
+    pub(crate) vproc: usize,
+    pub(crate) heap: WorkerHeap,
+    pub(crate) collector: Collector,
+    pub(crate) shared: Arc<Shared>,
+    pub(crate) stats: VprocRunStats,
+    /// Last victim probed, so steal attempts rotate instead of re-scanning
+    /// (and re-locking) every deque per attempt.
+    steal_cursor: usize,
+}
+
+impl std::fmt::Debug for WorkerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerState")
+            .field("vproc", &self.vproc)
+            .finish()
+    }
+}
+
+impl WorkerState {
+    pub(crate) fn num_vprocs(&self) -> usize {
+        self.shared.num_vprocs
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation and local collection (the lock-free path)
+    // ------------------------------------------------------------------
+
+    /// Makes sure the nursery can hold `payload_words`, running a local
+    /// collection (rooted at the running task's roots) if it cannot.
+    pub(crate) fn reserve_nursery(&mut self, roots: &mut [Addr], payload_words: usize) {
+        let needed = payload_words + 1;
+        if self.heap.local(self.vproc).nursery_free_words() >= needed {
+            return;
+        }
+        self.local_gc(roots);
+        assert!(
+            self.heap.local(self.vproc).nursery_free_words() >= needed,
+            "an object of {payload_words} payload words does not fit in the nursery even after \
+             a collection — build large arrays as rope leaves"
+        );
+    }
+
+    fn local_gc(&mut self, roots: &mut [Addr]) {
+        let start = Instant::now();
+        let outcome = self
+            .collector
+            .collect_local(&mut self.heap, self.vproc, roots);
+        let pause = start.elapsed().as_nanos() as f64;
+        let stats = self.collector.vproc_stats_mut(self.vproc);
+        stats.minor_pause_ns += pause;
+        if outcome.needs_global {
+            self.request_global();
+        }
+    }
+
+    fn request_global(&self) {
+        if !self.shared.gc.pending.swap(true, Ordering::AcqRel) {
+            self.shared.notify_workers();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Promotion at publication
+    // ------------------------------------------------------------------
+
+    /// Follows forwarding pointers left by promotions.
+    pub(crate) fn resolve_addr(&self, mut addr: Addr) -> Addr {
+        if addr.is_null() {
+            return addr;
+        }
+        while let Some(forwarded) = self.heap.forwarded_to(addr) {
+            addr = forwarded;
+        }
+        addr
+    }
+
+    /// Promotes `addr` to the global heap if it still lives in this worker's
+    /// local heap. Every pointer that escapes the worker — task inputs
+    /// pushed to the deque, continuation roots, channel messages, proxy
+    /// targets, delivered results — goes through here, which is what keeps
+    /// other workers out of this worker's local heap entirely.
+    pub(crate) fn promote_shared(&mut self, addr: Addr) -> Addr {
+        let addr = self.resolve_addr(addr);
+        if addr.is_null() || !self.heap.is_local(addr) {
+            return addr;
+        }
+        let (new, outcome) = self.collector.promote(&mut self.heap, self.vproc, addr);
+        self.stats.lazy_promotions += 1;
+        if outcome.needs_global {
+            self.request_global();
+        }
+        new
+    }
+
+    /// Promotes every root in a task about to be published.
+    pub(crate) fn publish_roots(&mut self, roots: &mut [Addr]) {
+        for root in roots.iter_mut() {
+            *root = self.promote_shared(*root);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Task plumbing
+    // ------------------------------------------------------------------
+
+    /// Publishes a task on this worker's deque (promoting its roots first,
+    /// since any thread may steal it from there).
+    pub(crate) fn push_task(&mut self, mut task: Task) {
+        let mut roots = std::mem::take(&mut task.roots);
+        self.publish_roots(&mut roots);
+        task.roots = roots;
+        self.shared.pending_tasks.fetch_add(1, Ordering::AcqRel);
+        self.shared.deques[self.vproc].push(task);
+        self.shared.notify_workers();
+    }
+
+    /// Registers a join cell (its continuation's roots must already be
+    /// promoted).
+    pub(crate) fn new_join(&mut self, cell: JoinCell) -> JoinId {
+        let mut joins = self.shared.joins.lock().expect("joins poisoned");
+        for (i, slot) in joins.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(cell);
+                return JoinId(i);
+            }
+        }
+        joins.push(Some(cell));
+        JoinId(joins.len() - 1)
+    }
+
+    fn deliver(&mut self, join: JoinId, slot: usize, word: Word, is_ptr: bool) {
+        let finished = {
+            let mut joins = self.shared.joins.lock().expect("joins poisoned");
+            let cell = joins[join.0]
+                .as_mut()
+                .expect("join cell outlives its children");
+            let s = &mut cell.slots[slot];
+            s.word = word;
+            s.is_ptr = is_ptr;
+            s.filled = true;
+            cell.remaining -= 1;
+            if cell.remaining == 0 {
+                joins[join.0].take()
+            } else {
+                None
+            }
+        };
+        if let Some(cell) = finished {
+            let mut continuation = cell.continuation.expect("continuation present");
+            // Children's results follow the continuation's own inputs, in
+            // child order. Pointer results were promoted by the delivering
+            // worker, so they are safe to adopt on any vproc.
+            for s in &cell.slots {
+                if s.is_ptr {
+                    continuation.roots.push(Addr::new(s.word));
+                } else {
+                    continuation.values.push(s.word);
+                }
+            }
+            self.shared.pending_tasks.fetch_add(1, Ordering::AcqRel);
+            self.shared.deques[self.vproc].push(continuation);
+            self.shared.notify_workers();
+        }
+    }
+
+    fn try_steal(&mut self) -> Option<Task> {
+        let n = self.shared.num_vprocs;
+        for _ in 0..n {
+            self.steal_cursor = (self.steal_cursor + 1) % n;
+            if self.steal_cursor == self.vproc {
+                continue;
+            }
+            if let Some(task) = self.shared.deques[self.steal_cursor].steal() {
+                self.stats.steals += 1;
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Channels and proxies
+    // ------------------------------------------------------------------
+
+    pub(crate) fn channel_send(&mut self, channel: ChannelId, message: Addr) {
+        let message = self.promote_shared(message);
+        let mut channels = self.shared.channels.lock().expect("channels poisoned");
+        channels[channel.0].queue.push_back(message);
+        channels[channel.0].sends += 1;
+        drop(channels);
+        self.shared
+            .channel_stats
+            .lock()
+            .expect("stats poisoned")
+            .sends += 1;
+    }
+
+    pub(crate) fn channel_recv(&mut self, channel: ChannelId) -> Option<Addr> {
+        let message = {
+            let mut channels = self.shared.channels.lock().expect("channels poisoned");
+            let message = channels[channel.0].queue.pop_front()?;
+            channels[channel.0].receives += 1;
+            message
+        };
+        self.shared
+            .channel_stats
+            .lock()
+            .expect("stats poisoned")
+            .receives += 1;
+        Some(message)
+    }
+
+    pub(crate) fn create_proxy(&mut self, target: Addr) -> ProxyId {
+        // The proxy table is machine-global and any vproc may resolve the
+        // proxy, so the target is promoted by its owner at creation time
+        // (the threaded analogue of promote-on-remote-resolve: promotion
+        // happens when the object becomes reachable from shared state).
+        let target = self.promote_shared(target);
+        let mut proxies = self.shared.proxies.lock().expect("proxies poisoned");
+        proxies.push(Proxy {
+            owner: self.vproc,
+            target,
+            promoted: false,
+        });
+        self.shared
+            .channel_stats
+            .lock()
+            .expect("stats poisoned")
+            .proxies_created += 1;
+        ProxyId(proxies.len() - 1)
+    }
+
+    pub(crate) fn resolve_proxy(&mut self, proxy: ProxyId) -> Addr {
+        let (target, newly_promoted) = {
+            let mut proxies = self.shared.proxies.lock().expect("proxies poisoned");
+            let entry = &mut proxies[proxy.0];
+            let newly = self.vproc != entry.owner && !entry.promoted;
+            if newly {
+                entry.promoted = true;
+            }
+            (entry.target, newly)
+        };
+        if newly_promoted {
+            self.shared
+                .channel_stats
+                .lock()
+                .expect("stats poisoned")
+                .proxies_promoted += 1;
+        }
+        target
+    }
+
+    // ------------------------------------------------------------------
+    // The scheduler loop
+    // ------------------------------------------------------------------
+
+    fn run_task(&mut self, mut task: Task) {
+        let start = Instant::now();
+        let mut roots = std::mem::take(&mut task.roots);
+        let values = std::mem::take(&mut task.values);
+        let delivery = task.delivery;
+        let body = task.body;
+        let mut delivery_taken = false;
+        let result = {
+            let mut ctx =
+                TaskCtx::new_threaded(self, &mut roots, &values, &mut delivery_taken, delivery);
+            body(&mut ctx)
+        };
+        self.stats.tasks_run += 1;
+        if !delivery_taken {
+            let (word, is_ptr) = match result {
+                TaskResult::Unit => (0, false),
+                TaskResult::Value(w) => (w, false),
+                TaskResult::Ptr(handle) => {
+                    // Results escape this worker: promote before delivering.
+                    let addr = self.promote_shared(roots[handle.index()]);
+                    (addr.raw(), true)
+                }
+            };
+            match delivery {
+                Delivery::Discard => {
+                    if word != 0 || is_ptr {
+                        *self.shared.root_result.lock().expect("result poisoned") =
+                            Some((word, is_ptr));
+                    }
+                }
+                Delivery::Join { join, slot } => self.deliver(join, slot, word, is_ptr),
+            }
+        }
+        self.stats.busy_ns += start.elapsed().as_nanos() as f64;
+        // Decrement last: the counter can only reach zero when no further
+        // work can ever appear.
+        if self.shared.pending_tasks.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.shared.notify_workers();
+        }
+    }
+
+    fn worker_main(mut self) -> WorkerOutcome {
+        let shared = self.shared.clone();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            self.main_loop();
+            WorkerOutcome {
+                run: self.stats,
+                gc: *self.collector.vproc_stats(self.vproc),
+                local: self.heap.local(self.vproc).stats(),
+            }
+        }));
+        match result {
+            Ok(outcome) => outcome,
+            Err(payload) => {
+                // Unblock everyone else, then let the scope see the panic.
+                shared.poison();
+                std::panic::resume_unwind(payload)
+            }
+        }
+    }
+
+    fn main_loop(&mut self) {
+        loop {
+            if self.shared.gc.barrier.is_poisoned() {
+                // Another worker panicked; exit quietly so the original
+                // panic is the one that reaches the caller.
+                break;
+            }
+            if self.shared.gc.pending.load(Ordering::Acquire) {
+                self.participate_global_gc();
+                continue;
+            }
+            if let Some(task) = self.shared.deques[self.vproc].pop_local() {
+                self.run_task(task);
+                continue;
+            }
+            if let Some(task) = self.try_steal() {
+                self.run_task(task);
+                continue;
+            }
+            if self.shared.pending_tasks.load(Ordering::Acquire) == 0 {
+                // A collection requested by the very last task must still be
+                // served by everyone before exiting (the barrier counts all
+                // workers). The counter read above synchronises with the
+                // final decrement, so a pending flag set during that task is
+                // visible here.
+                if self.shared.gc.pending.load(Ordering::Acquire) {
+                    continue;
+                }
+                break;
+            }
+            let guard = self.shared.idle_lock.lock().expect("idle lock poisoned");
+            let _ = self
+                .shared
+                .work_cv
+                .wait_timeout(guard, IDLE_WAIT)
+                .expect("idle lock poisoned");
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The stop-the-world global collection
+    // ------------------------------------------------------------------
+
+    /// Acknowledges a pending global collection at a safe point: ramp down
+    /// (finish local collections, retire the current chunk), rendezvous,
+    /// and join the parallel copying phase.
+    fn participate_global_gc(&mut self) {
+        let start = Instant::now();
+        let shared = self.shared.clone();
+
+        // --- Ramp-down (§3.4 steps 1–3). At a safe point every published
+        // root is global, so these collections empty the local heap.
+        let mut no_roots: Vec<Addr> = Vec::new();
+        self.collector
+            .minor(&mut self.heap, self.vproc, &mut no_roots);
+        self.collector
+            .major(&mut self.heap, self.vproc, &mut no_roots);
+        self.heap.retire_current_chunk();
+
+        // --- Acknowledge and wait for the flip: the leader (last arrival)
+        // turns every filled chunk into from-space.
+        shared.gc.barrier.wait_with(|| {
+            let from_space = flip_to_from_space(&shared.global);
+            *shared.gc.from_space.lock().expect("gc state poisoned") = from_space;
+            shared.gc.state.reset_work_index();
+            shared.gc.state.copied_bytes.store(0, Ordering::Release);
+            shared.gc.progress.store(false, Ordering::Release);
+            shared.gc.done.store(false, Ordering::Release);
+        });
+
+        // --- Evacuate the roots this worker owns.
+        self.evacuate_owned_roots();
+        shared.gc.barrier.wait_with(|| {});
+
+        // --- Parallel Cheney drain over the shared work index, until a full
+        // pass makes no progress on any worker.
+        loop {
+            if scan_pass(&mut self.heap, &shared.gc.state) {
+                shared.gc.progress.store(true, Ordering::Release);
+            }
+            shared.gc.barrier.wait_with(|| {
+                if !shared.gc.progress.swap(false, Ordering::AcqRel) {
+                    shared.gc.done.store(true, Ordering::Release);
+                }
+                shared.gc.state.reset_work_index();
+            });
+            if shared.gc.done.load(Ordering::Acquire) {
+                break;
+            }
+        }
+
+        // --- Reclaim from-space and resume the world.
+        shared.gc.barrier.wait_with(|| {
+            let from_space =
+                std::mem::take(&mut *shared.gc.from_space.lock().expect("gc state poisoned"));
+            release_from_space(&shared.global, &from_space);
+            shared.gc.collections.fetch_add(1, Ordering::Relaxed);
+            shared.gc.total_copied_bytes.fetch_add(
+                shared.gc.state.copied_bytes.load(Ordering::Acquire),
+                Ordering::Relaxed,
+            );
+            // Clearing the pending flag is the "resume" signal; it must be
+            // the leader's last write before releasing the barrier.
+            shared.gc.pending.store(false, Ordering::Release);
+        });
+        shared.notify_workers();
+
+        let stats = self.collector.vproc_stats_mut(self.vproc);
+        stats.global_collections += 1;
+        stats.global_pause_ns += start.elapsed().as_nanos() as f64;
+    }
+
+    /// Evacuates the roots this worker is responsible for: its own deque's
+    /// tasks, plus a `vproc`-strided slice of the shared join/channel/proxy
+    /// tables (and the root result, on worker 0).
+    fn evacuate_owned_roots(&mut self) {
+        let shared = self.shared.clone();
+        let state = &shared.gc.state;
+        let stride = shared.num_vprocs;
+
+        shared.deques[self.vproc].with_tasks(|tasks| {
+            for task in tasks.iter_mut() {
+                evacuate_roots(&mut self.heap, &mut task.roots, state);
+            }
+        });
+
+        {
+            let mut joins = shared.joins.lock().expect("joins poisoned");
+            for cell in joins.iter_mut().skip(self.vproc).step_by(stride).flatten() {
+                for slot in cell.slots.iter_mut() {
+                    if slot.filled && slot.is_ptr {
+                        slot.word =
+                            forward_parallel(&mut self.heap, Addr::new(slot.word), state).raw();
+                    }
+                }
+                if let Some(continuation) = &mut cell.continuation {
+                    evacuate_roots(&mut self.heap, &mut continuation.roots, state);
+                }
+            }
+        }
+
+        {
+            let mut channels = shared.channels.lock().expect("channels poisoned");
+            for channel in channels.iter_mut().skip(self.vproc).step_by(stride) {
+                for slot in channel.queue.iter_mut() {
+                    *slot = forward_parallel(&mut self.heap, *slot, state);
+                }
+            }
+        }
+
+        {
+            let mut proxies = shared.proxies.lock().expect("proxies poisoned");
+            for proxy in proxies.iter_mut().skip(self.vproc).step_by(stride) {
+                proxy.target = forward_parallel(&mut self.heap, proxy.target, state);
+            }
+        }
+
+        if self.vproc == 0 {
+            let mut result = shared.root_result.lock().expect("result poisoned");
+            if let Some((word, true)) = *result {
+                let new = forward_parallel(&mut self.heap, Addr::new(word), state);
+                *result = Some((new.raw(), true));
+            }
+        }
+    }
+}
+
+/// The real-threads machine: executes a program with one OS thread per
+/// vproc. See the module docs for the design; see
+/// [`Machine`](crate::Machine) for the simulated counterpart.
+///
+/// # Example
+///
+/// ```
+/// use mgc_runtime::{Executor, MachineConfig, TaskResult, TaskSpec, ThreadedMachine};
+/// use mgc_heap::i64_to_word;
+///
+/// let mut machine = ThreadedMachine::new(MachineConfig::small_for_tests(2));
+/// machine.spawn_root(TaskSpec::new("hello", |ctx| {
+///     let obj = ctx.alloc_raw(&[i64_to_word(41)]);
+///     TaskResult::Value(ctx.read_raw(obj, 0) + 1)
+/// }));
+/// let report = machine.run();
+/// assert_eq!(machine.take_result(), Some((42, false)));
+/// assert!(report.wall_clock_ns.is_some());
+/// ```
+pub struct ThreadedMachine {
+    config: MachineConfig,
+    descriptors: DescriptorTable,
+    num_channels: usize,
+    root: Option<Task>,
+    result: Option<(Word, bool)>,
+    channel_stats: ChannelStats,
+}
+
+impl std::fmt::Debug for ThreadedMachine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadedMachine")
+            .field("vprocs", &self.config.num_vprocs)
+            .field("channels", &self.num_channels)
+            .field("has_root", &self.root.is_some())
+            .finish()
+    }
+}
+
+impl ThreadedMachine {
+    /// Builds a threaded machine from the same configuration type as the
+    /// simulated one. The topology contributes vproc→node placement (for
+    /// heap bookkeeping and chunk affinity); the cost-model fields are
+    /// ignored — this backend's clock is the wall clock.
+    pub fn new(config: MachineConfig) -> Self {
+        assert!(config.num_vprocs > 0, "at least one vproc is required");
+        ThreadedMachine {
+            config,
+            descriptors: DescriptorTable::new(),
+            num_channels: 0,
+            root: None,
+            result: None,
+            channel_stats: ChannelStats::default(),
+        }
+    }
+
+    /// The configuration this machine was built from.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Channel statistics for the completed run.
+    pub fn channel_stats(&self) -> ChannelStats {
+        self.channel_stats
+    }
+
+    /// Runs the program to completion across real threads, returning the
+    /// wall-clock run report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics (e.g. a deadlocked join or a heap
+    /// invariant violation).
+    pub fn run(&mut self) -> RunReport {
+        let num_vprocs = self.config.num_vprocs;
+        let Some(root) = self.root.take() else {
+            return self.empty_report(num_vprocs);
+        };
+
+        let topology = self.config.topology.clone();
+        let cores = topology.spread_cores(num_vprocs);
+        let placer = mgc_numa::PagePlacer::new(self.config.heap.policy, topology.num_nodes());
+        let layout = ThreadedLayout::new(&self.config.heap, num_vprocs);
+        let global = Arc::new(SharedGlobalHeap::new(
+            layout.chunk_words(),
+            topology.num_nodes(),
+        ));
+        global
+            .pool()
+            .set_node_affinity(self.config.gc.chunk_node_affinity);
+        let descriptors = Arc::new(std::mem::replace(
+            &mut self.descriptors,
+            DescriptorTable::new(),
+        ));
+
+        let shared = Arc::new(Shared {
+            num_vprocs,
+            deques: (0..num_vprocs).map(|_| WorkDeque::new()).collect(),
+            pending_tasks: AtomicUsize::new(1),
+            idle_lock: Mutex::new(()),
+            work_cv: Condvar::new(),
+            joins: Mutex::new(Vec::new()),
+            channels: Mutex::new(
+                (0..self.num_channels)
+                    .map(|_| ChannelState::default())
+                    .collect(),
+            ),
+            channel_stats: Mutex::new(ChannelStats::default()),
+            proxies: Mutex::new(Vec::new()),
+            root_result: Mutex::new(None),
+            global: global.clone(),
+            gc: GcControl {
+                pending: AtomicBool::new(false),
+                barrier: PhaseBarrier::new(num_vprocs),
+                state: ParallelGcState::new(),
+                from_space: Mutex::new(Vec::new()),
+                progress: AtomicBool::new(false),
+                done: AtomicBool::new(false),
+                total_copied_bytes: AtomicU64::new(0),
+                collections: AtomicU64::new(0),
+            },
+        });
+        shared.deques[0].push(root);
+
+        let workers: Vec<WorkerState> = (0..num_vprocs)
+            .map(|vproc| {
+                let home = topology.node_of_core(cores[vproc]);
+                let node = placer.place(home);
+                WorkerState {
+                    vproc,
+                    heap: WorkerHeap::new(
+                        vproc,
+                        layout,
+                        node,
+                        node,
+                        global.clone(),
+                        descriptors.clone(),
+                    ),
+                    collector: Collector::new(self.config.gc, num_vprocs, topology.num_nodes()),
+                    shared: shared.clone(),
+                    stats: VprocRunStats::default(),
+                    steal_cursor: vproc,
+                }
+            })
+            .collect();
+
+        let start = Instant::now();
+        let outcomes: Vec<WorkerOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = workers
+                .into_iter()
+                .map(|worker| {
+                    std::thread::Builder::new()
+                        .name(format!("mgc-vproc-{}", worker.vproc))
+                        .spawn_scoped(scope, move || worker.worker_main())
+                        .expect("spawning a worker thread failed")
+                })
+                .collect();
+            // Join every worker before deciding what to propagate, so a
+            // panic on one thread never leaves the others running. Prefer
+            // the original panic over the `WorkerAborted` sentinels of
+            // workers that merely aborted in sympathy.
+            let mut outcomes = Vec::new();
+            let mut original: Option<Box<dyn std::any::Any + Send>> = None;
+            let mut sympathetic: Option<Box<dyn std::any::Any + Send>> = None;
+            for handle in handles {
+                match handle.join() {
+                    Ok(outcome) => outcomes.push(outcome),
+                    Err(payload) if payload.is::<WorkerAborted>() => {
+                        sympathetic.get_or_insert(payload);
+                    }
+                    Err(payload) => {
+                        original.get_or_insert(payload);
+                    }
+                }
+            }
+            if let Some(payload) = original.or(sympathetic) {
+                std::panic::resume_unwind(payload);
+            }
+            outcomes
+        });
+        let wall_ns = start.elapsed().as_nanos() as f64;
+
+        self.result = shared.root_result.lock().expect("result poisoned").take();
+        self.channel_stats = *shared.channel_stats.lock().expect("stats poisoned");
+
+        let mut gc = GcStats::new();
+        let mut allocated_objects = 0;
+        let mut allocated_words = 0;
+        for outcome in &outcomes {
+            gc.merge(&outcome.gc);
+            allocated_objects += outcome.local.nursery_allocated_objects;
+            allocated_words += outcome.local.nursery_allocated_words;
+        }
+        gc.global_copied_bytes += shared.gc.total_copied_bytes.load(Ordering::Relaxed);
+
+        RunReport {
+            elapsed_ns: wall_ns,
+            wall_clock_ns: Some(wall_ns),
+            rounds: 0,
+            vprocs: num_vprocs,
+            allocated_objects,
+            allocated_words,
+            per_vproc: outcomes.iter().map(|o| o.run).collect(),
+            gc,
+            traffic: TrafficStats::new(),
+        }
+    }
+
+    fn empty_report(&self, vprocs: usize) -> RunReport {
+        RunReport {
+            elapsed_ns: 0.0,
+            wall_clock_ns: Some(0.0),
+            rounds: 0,
+            vprocs,
+            allocated_objects: 0,
+            allocated_words: 0,
+            per_vproc: vec![VprocRunStats::default(); vprocs],
+            gc: GcStats::new(),
+            traffic: TrafficStats::new(),
+        }
+    }
+}
+
+impl Executor for ThreadedMachine {
+    fn backend(&self) -> Backend {
+        Backend::Threaded
+    }
+
+    fn register_descriptor(&mut self, descriptor: Descriptor) -> DescriptorId {
+        self.descriptors.register(descriptor)
+    }
+
+    fn create_channel(&mut self) -> ChannelId {
+        let id = ChannelId(self.num_channels);
+        self.num_channels += 1;
+        id
+    }
+
+    fn spawn_root(&mut self, spec: TaskSpec) {
+        self.root = Some(Task::from_spec(spec, Delivery::Discard, 0));
+    }
+
+    fn run(&mut self) -> RunReport {
+        ThreadedMachine::run(self)
+    }
+
+    fn take_result(&mut self) -> Option<(Word, bool)> {
+        self.result.take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgc_heap::{i64_to_word, word_to_i64};
+
+    fn machine(vprocs: usize) -> ThreadedMachine {
+        ThreadedMachine::new(MachineConfig::small_for_tests(vprocs))
+    }
+
+    #[test]
+    fn runs_a_single_task_on_a_real_thread() {
+        let mut m = machine(1);
+        m.spawn_root(TaskSpec::new("answer", |ctx| {
+            ctx.work(10);
+            TaskResult::Value(i64_to_word(42))
+        }));
+        let report = m.run();
+        assert_eq!(m.take_result(), Some((i64_to_word(42), false)));
+        assert_eq!(report.total_tasks(), 1);
+        assert!(report.wall_clock_ns.is_some());
+    }
+
+    #[test]
+    fn empty_machine_finishes_immediately() {
+        let mut m = machine(4);
+        let report = m.run();
+        assert_eq!(report.total_tasks(), 0);
+    }
+
+    #[test]
+    fn fork_join_work_spreads_over_threads() {
+        let mut m = machine(4);
+        m.spawn_root(TaskSpec::new("root", |ctx| {
+            let children: Vec<_> = (0..32i64)
+                .map(|i| {
+                    (
+                        TaskSpec::new("child", move |ctx| {
+                            let obj = ctx.alloc_raw(&[i64_to_word(i)]);
+                            TaskResult::Value(ctx.read_raw(obj, 0))
+                        }),
+                        vec![],
+                    )
+                })
+                .collect();
+            ctx.fork_join(
+                children,
+                TaskSpec::new("sum", |ctx| {
+                    let total: i64 = (0..ctx.num_values())
+                        .map(|i| word_to_i64(ctx.value(i)))
+                        .sum();
+                    TaskResult::Value(i64_to_word(total))
+                }),
+                &[],
+            );
+            TaskResult::Unit
+        }));
+        let report = m.run();
+        assert_eq!(m.take_result(), Some((i64_to_word((0..32).sum()), false)));
+        assert_eq!(report.total_tasks(), 34);
+    }
+
+    #[test]
+    fn task_panic_propagates_instead_of_hanging() {
+        // A panicking task must poison the machine and resurface from
+        // `run()` — not leave the other three workers waiting forever.
+        let result = std::panic::catch_unwind(|| {
+            let mut m = machine(4);
+            m.spawn_root(TaskSpec::new("root", |ctx| {
+                let children: Vec<_> = (0..8i64)
+                    .map(|i| {
+                        (
+                            TaskSpec::new("maybe-panic", move |_ctx| {
+                                assert!(i != 5, "worker task exploded on purpose");
+                                TaskResult::Unit
+                            }),
+                            vec![],
+                        )
+                    })
+                    .collect();
+                ctx.fork_join(children, TaskSpec::new("done", |_| TaskResult::Unit), &[]);
+                TaskResult::Unit
+            }));
+            m.run();
+        });
+        let payload = result.expect_err("the task panic must propagate");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            message.contains("exploded on purpose"),
+            "the original panic message should propagate, got: {message:?}"
+        );
+    }
+
+    #[test]
+    fn sustained_allocation_runs_global_collections() {
+        let mut m = machine(2);
+        m.spawn_root(TaskSpec::new("allocate-a-lot", |ctx| {
+            let mut list = None;
+            for i in 0..4000u64 {
+                let mark = ctx.root_mark();
+                let value = ctx.alloc_raw(&[i]);
+                let cons = ctx.alloc_vector(&[Some(value), list]);
+                list = Some(ctx.keep(cons, mark));
+            }
+            // Walk the list to verify nothing was lost.
+            let mut count = 0u64;
+            let mut cursor = list;
+            while let Some(cell) = cursor {
+                count += 1;
+                cursor = ctx.read_ptr(cell, 1);
+            }
+            TaskResult::Value(count)
+        }));
+        let report = m.run();
+        assert_eq!(m.take_result(), Some((4000, false)));
+        assert!(report.gc.minor_collections > 0, "minors expected");
+        assert!(report.gc.global_collections > 0, "globals expected");
+    }
+}

@@ -1,22 +1,78 @@
-//! Virtual processors (vprocs).
+//! Virtual processors (vprocs) and their work-stealing deques.
 //!
 //! A vproc is the runtime's abstraction of a computational resource (§2.2 of
 //! the paper): it is pinned to a physical core, owns a local heap and a
 //! work-stealing deque, and accumulates the cost of the work it performs
 //! during the current scheduling round.
+//!
+//! The deque itself is the [`WorkDeque`]: a mutex-guarded double-ended queue
+//! shared by both execution backends. The simulated machine locks it
+//! uncontended from its single driver thread; the real-threads backend locks
+//! it from the owning worker (LIFO end) and from thieves (FIFO end). No
+//! `unsafe` lock-free structure is needed — the lock is held for a handful
+//! of instructions per operation.
 
 use crate::stats::VprocRunStats;
 use crate::task::Task;
 use mgc_numa::{CoreId, NodeId, VprocRoundCost};
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::Mutex;
 
-/// Per-vproc scheduler state.
+/// A mutex-guarded work-stealing deque of [`Task`]s, shared between the
+/// simulated and the threaded execution backends.
+///
+/// The owner pushes and pops at the back (LIFO — the most recently spawned,
+/// most cache-friendly work); thieves steal from the front (FIFO — the
+/// oldest, typically largest unit of work).
+#[derive(Debug, Default)]
+pub(crate) struct WorkDeque {
+    inner: Mutex<VecDeque<Task>>,
+}
+
+impl WorkDeque {
+    pub(crate) fn new() -> Self {
+        WorkDeque::default()
+    }
+
+    /// Pushes a task on the owner's end.
+    pub(crate) fn push(&self, task: Task) {
+        self.inner.lock().expect("deque poisoned").push_back(task);
+    }
+
+    /// Pops a task from the owner's end (LIFO).
+    pub(crate) fn pop_local(&self) -> Option<Task> {
+        self.inner.lock().expect("deque poisoned").pop_back()
+    }
+
+    /// Steals a task from the thief-facing end (FIFO).
+    pub(crate) fn steal(&self) -> Option<Task> {
+        self.inner.lock().expect("deque poisoned").pop_front()
+    }
+
+    /// Number of queued tasks.
+    pub(crate) fn len(&self) -> usize {
+        self.inner.lock().expect("deque poisoned").len()
+    }
+
+    /// True if no task is queued.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Runs `f` with exclusive access to the queued tasks (used by the
+    /// collectors to gather and rewrite the roots of queued work).
+    pub(crate) fn with_tasks<R>(&self, f: impl FnOnce(&mut VecDeque<Task>) -> R) -> R {
+        f(&mut self.inner.lock().expect("deque poisoned"))
+    }
+}
+
+/// Per-vproc scheduler state of the simulated machine.
 pub(crate) struct VProc {
     pub(crate) id: usize,
     pub(crate) core: CoreId,
     pub(crate) node: NodeId,
-    pub(crate) deque: VecDeque<Task>,
+    pub(crate) deque: WorkDeque,
     pub(crate) round_cost: VprocRoundCost,
     pub(crate) stats: VprocRunStats,
 }
@@ -38,7 +94,7 @@ impl VProc {
             id,
             core,
             node,
-            deque: VecDeque::new(),
+            deque: WorkDeque::new(),
             round_cost: VprocRoundCost::new(core, num_nodes),
             stats: VprocRunStats::default(),
         }
@@ -46,19 +102,19 @@ impl VProc {
 
     /// Pushes a task on the owner's end of the deque.
     pub(crate) fn push(&mut self, task: Task) {
-        self.deque.push_back(task);
+        self.deque.push(task);
     }
 
     /// Pops a task from the owner's end of the deque (LIFO: the most recently
     /// spawned work, which is the most cache- and locality-friendly).
     pub(crate) fn pop_local(&mut self) -> Option<Task> {
-        self.deque.pop_back()
+        self.deque.pop_local()
     }
 
     /// Steals a task from the thief-facing end of the deque (FIFO: the
     /// oldest, typically largest, unit of work).
     pub(crate) fn steal_from(&mut self) -> Option<Task> {
-        self.deque.pop_front()
+        self.deque.steal()
     }
 
     /// Takes the accumulated round cost, leaving an empty one behind.
@@ -111,5 +167,18 @@ mod tests {
         let mut vp = VProc::new(0, CoreId::new(0), NodeId::new(0), 1);
         vp.push(task("x"));
         assert!(format!("{vp:?}").contains("queued_tasks: 1"));
+    }
+
+    #[test]
+    fn deque_is_shareable_across_threads() {
+        let deque = std::sync::Arc::new(WorkDeque::new());
+        deque.push(task("steal-me"));
+        let thief = {
+            let deque = deque.clone();
+            std::thread::spawn(move || deque.steal().map(|t| t.name()))
+        };
+        assert_eq!(thief.join().unwrap(), Some("steal-me"));
+        assert!(deque.is_empty());
+        deque.with_tasks(|tasks| assert!(tasks.is_empty()));
     }
 }

@@ -1,12 +1,30 @@
 //! Integration tests for the runtime: fork/join parallelism, work stealing
-//! with lazy promotion, channels, proxies, and GC under allocation pressure.
+//! with lazy promotion, channels, proxies, and GC under allocation pressure
+//! — on both execution backends.
+//!
+//! The threaded tests honour `MGC_VPROCS` (the CI threaded-smoke job runs
+//! them with `MGC_VPROCS=4 --test-threads=1` under a job timeout, so a
+//! deadlock in the stop-the-world barrier fails fast instead of hanging).
 
 use mgc_heap::{i64_to_word, word_to_i64, HeapConfig};
 use mgc_numa::{AllocPolicy, Topology};
-use mgc_runtime::{Machine, MachineConfig, TaskResult, TaskSpec};
+use mgc_runtime::{Executor, Machine, MachineConfig, TaskResult, TaskSpec, ThreadedMachine};
 
 fn machine(vprocs: usize) -> Machine {
     Machine::new(MachineConfig::small_for_tests(vprocs))
+}
+
+/// Thread count for the threaded-backend tests; override with `MGC_VPROCS`.
+fn threaded_vprocs() -> usize {
+    std::env::var("MGC_VPROCS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(4)
+}
+
+fn threaded_machine() -> ThreadedMachine {
+    ThreadedMachine::new(MachineConfig::small_for_tests(threaded_vprocs()))
 }
 
 #[test]
@@ -270,4 +288,181 @@ fn socket_zero_policy_is_slower_under_memory_pressure() {
         socket0 > local,
         "socket-zero placement should be slower: local={local} socket0={socket0}"
     );
+}
+
+// ----------------------------------------------------------------------
+// The same programs on the real-threads backend.
+// ----------------------------------------------------------------------
+
+#[test]
+fn threaded_nested_fork_join_builds_a_tree_sum() {
+    fn sum_range(lo: i64, hi: i64) -> TaskSpec {
+        TaskSpec::new("sum-range", move |ctx| {
+            if hi - lo <= 4 {
+                ctx.work((hi - lo) as u64);
+                return TaskResult::Value(i64_to_word((lo..hi).sum()));
+            }
+            let mid = (lo + hi) / 2;
+            ctx.fork_join(
+                vec![(sum_range(lo, mid), vec![]), (sum_range(mid, hi), vec![])],
+                TaskSpec::new("combine", |ctx| {
+                    let a = word_to_i64(ctx.value(0));
+                    let b = word_to_i64(ctx.value(1));
+                    TaskResult::Value(i64_to_word(a + b))
+                }),
+                &[],
+            );
+            TaskResult::Unit
+        })
+    }
+
+    let mut m = threaded_machine();
+    m.spawn_root(sum_range(0, 1000));
+    m.run();
+    assert_eq!(m.take_result(), Some((i64_to_word((0..1000).sum()), false)));
+}
+
+#[test]
+fn threaded_pointer_results_cross_threads_via_promotion() {
+    let mut m = threaded_machine();
+    m.spawn_root(TaskSpec::new("root", |ctx| {
+        let children: Vec<_> = (0..16i64)
+            .map(|i| {
+                (
+                    TaskSpec::new("make-box", move |ctx| {
+                        let mark = ctx.root_mark();
+                        for _ in 0..50 {
+                            ctx.alloc_raw(&[0xfeed; 16]);
+                            ctx.truncate_roots(mark);
+                        }
+                        let boxed = ctx.alloc_raw(&[i64_to_word(i), i64_to_word(i * 2)]);
+                        TaskResult::Ptr(boxed)
+                    }),
+                    vec![],
+                )
+            })
+            .collect();
+        ctx.fork_join(
+            children,
+            TaskSpec::new("sum-boxes", |ctx| {
+                let mut total = 0i64;
+                for i in 0..ctx.num_roots() {
+                    let handle = ctx.input(i);
+                    total += word_to_i64(ctx.read_raw(handle, 0));
+                    total += word_to_i64(ctx.read_raw(handle, 1));
+                }
+                TaskResult::Value(i64_to_word(total))
+            }),
+            &[],
+        );
+        TaskResult::Unit
+    }));
+    let report = m.run();
+    let expected: i64 = (0..16).map(|i| i + 2 * i).sum();
+    assert_eq!(m.take_result(), Some((i64_to_word(expected), false)));
+    // Every pointer result was promoted when it was delivered.
+    assert!(report.gc.promotions > 0, "expected publication promotions");
+}
+
+#[test]
+fn threaded_heavy_allocation_triggers_all_collection_kinds() {
+    let mut m = threaded_machine();
+    m.spawn_root(TaskSpec::new("allocate-a-lot", |ctx| {
+        let mut list = None;
+        for i in 0..4000u64 {
+            let mark = ctx.root_mark();
+            let value = ctx.alloc_raw(&[i]);
+            let cons = ctx.alloc_vector(&[Some(value), list]);
+            list = Some(ctx.keep(cons, mark));
+        }
+        // Walk the list back and verify the values survived every
+        // collection kind.
+        let mut sum = 0u64;
+        let mut cursor = list;
+        while let Some(cell) = cursor {
+            let value = ctx.read_ptr(cell, 0).expect("cons cells hold a value");
+            sum += ctx.read_raw(value, 0);
+            cursor = ctx.read_ptr(cell, 1);
+        }
+        TaskResult::Value(sum)
+    }));
+    let report = m.run();
+    assert_eq!(m.take_result(), Some(((0..4000).sum::<u64>(), false)));
+    assert!(report.gc.minor_collections > 0, "minors expected");
+    assert!(report.gc.major_collections > 0, "majors expected");
+    assert!(report.gc.global_collections > 0, "globals expected");
+}
+
+#[test]
+fn threaded_channels_deliver_messages_in_order() {
+    let mut m = threaded_machine();
+    let channel = m.create_channel();
+    m.spawn_root(TaskSpec::new("producer-consumer", move |ctx| {
+        for i in 0..5i64 {
+            let msg = ctx.alloc_raw(&[i64_to_word(i)]);
+            ctx.send(channel, msg);
+        }
+        let mut received = 0i64;
+        let mut sum = 0i64;
+        while let Some(msg) = ctx.recv(channel) {
+            sum += word_to_i64(ctx.read_raw(msg, 0));
+            received += 1;
+        }
+        assert_eq!(received, 5);
+        TaskResult::Value(i64_to_word(sum))
+    }));
+    m.run();
+    assert_eq!(m.take_result(), Some((i64_to_word((0..5).sum()), false)));
+    let stats = m.channel_stats();
+    assert_eq!(stats.sends, 5);
+    assert_eq!(stats.receives, 5);
+}
+
+#[test]
+fn threaded_parallel_allocation_pressure_survives_global_collections() {
+    // Many children allocate hard at the same time, so global collections
+    // genuinely overlap running mutators on other threads — the scenario
+    // the ramp-down barrier must survive (this is the CI deadlock canary).
+    let mut m = threaded_machine();
+    m.spawn_root(TaskSpec::new("pressure-root", |ctx| {
+        let children: Vec<_> = (0..16u64)
+            .map(|seed| {
+                (
+                    TaskSpec::new("pressure", move |ctx| {
+                        let mut kept = None;
+                        for i in 0..600u64 {
+                            let mark = ctx.root_mark();
+                            let value = ctx.alloc_raw(&[seed * 10_000 + i; 8]);
+                            let cons = ctx.alloc_vector(&[Some(value), kept]);
+                            kept = Some(ctx.keep(cons, mark));
+                        }
+                        // Count the list to prove nothing was lost.
+                        let mut count = 0u64;
+                        let mut cursor = kept;
+                        while let Some(cell) = cursor {
+                            count += 1;
+                            cursor = ctx.read_ptr(cell, 1);
+                        }
+                        TaskResult::Value(count)
+                    }),
+                    vec![],
+                )
+            })
+            .collect();
+        ctx.fork_join(
+            children,
+            TaskSpec::new("sum", |ctx| {
+                let total: u64 = (0..ctx.num_values()).map(|i| ctx.value(i)).sum();
+                TaskResult::Value(total)
+            }),
+            &[],
+        );
+        TaskResult::Unit
+    }));
+    let report = m.run();
+    assert_eq!(m.take_result(), Some((16 * 600, false)));
+    assert!(report.gc.global_collections > 0, "globals expected");
+    if threaded_vprocs() > 1 {
+        assert!(report.total_steals() > 0, "expected work stealing");
+    }
 }

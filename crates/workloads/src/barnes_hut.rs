@@ -11,7 +11,7 @@
 
 use crate::scale::Scale;
 use mgc_heap::{f64_to_word, word_to_f64, Descriptor, DescriptorId};
-use mgc_runtime::{FieldInit, Handle, Machine, TaskCtx, TaskResult, TaskSpec};
+use mgc_runtime::{Executor, FieldInit, Handle, TaskCtx, TaskResult, TaskSpec};
 
 /// Number of particles at the given scale (the paper uses 400,000).
 pub fn num_particles(scale: Scale) -> usize {
@@ -76,7 +76,7 @@ pub fn plummer_particles(n: usize) -> Vec<Particle> {
 
 /// Registers the quadtree node descriptor on a machine: four child pointers
 /// followed by mass and the centre of mass.
-pub fn register_tree_descriptor(machine: &mut Machine) -> DescriptorId {
+pub fn register_tree_descriptor(machine: &mut dyn Executor) -> DescriptorId {
     machine.register_descriptor(Descriptor::new("bh-quadtree-node", 7, 0b0000_1111))
 }
 
@@ -293,7 +293,7 @@ fn iteration_task(desc: DescriptorId, remaining: usize, blocks: usize) -> TaskSp
 
 /// Spawns the Barnes-Hut workload; the root result is a checksum over the
 /// final particle positions.
-pub fn spawn(machine: &mut Machine, scale: Scale) {
+pub fn spawn(machine: &mut dyn Executor, scale: Scale) {
     let n = num_particles(scale);
     let iterations = num_iterations(scale);
     let desc = register_tree_descriptor(machine);
@@ -319,14 +319,14 @@ pub fn spawn(machine: &mut Machine, scale: Scale) {
 }
 
 /// Reads the checksum produced by a finished Barnes-Hut run.
-pub fn take_checksum(machine: &mut Machine) -> Option<f64> {
+pub fn take_checksum(machine: &mut dyn Executor) -> Option<f64> {
     machine.take_result().map(|(word, _)| word_to_f64(word))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mgc_runtime::MachineConfig;
+    use mgc_runtime::{Machine, MachineConfig};
 
     #[test]
     fn plummer_distribution_is_deterministic_and_centred() {

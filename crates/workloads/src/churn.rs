@@ -5,7 +5,7 @@
 //! exercised at a controllable rate.
 
 use mgc_heap::{i64_to_word, word_to_i64};
-use mgc_runtime::{Handle, Machine, TaskResult, TaskSpec};
+use mgc_runtime::{Executor, Handle, TaskResult, TaskSpec};
 use serde::{Deserialize, Serialize};
 
 /// Parameters of the churn workload.
@@ -46,7 +46,7 @@ impl ChurnParams {
 
 /// Spawns the churn workload; the root result is the total number of
 /// surviving objects (so tests can check none were lost by the collector).
-pub fn spawn(machine: &mut Machine, params: ChurnParams) {
+pub fn spawn(machine: &mut dyn Executor, params: ChurnParams) {
     machine.spawn_root(TaskSpec::new("churn-root", move |ctx| {
         let children: Vec<_> = (0..params.workers)
             .map(|worker| {
@@ -112,14 +112,14 @@ pub fn expected_survivors(params: ChurnParams) -> i64 {
 }
 
 /// Reads the survivor count of a finished churn run.
-pub fn take_survivors(machine: &mut Machine) -> Option<i64> {
+pub fn take_survivors(machine: &mut dyn Executor) -> Option<i64> {
     machine.take_result().map(|(word, _)| word_to_i64(word))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mgc_runtime::MachineConfig;
+    use mgc_runtime::{Machine, MachineConfig};
 
     #[test]
     fn no_survivor_is_lost_or_corrupted_by_collection() {

@@ -9,7 +9,7 @@
 
 use crate::scale::Scale;
 use mgc_heap::{f64_to_word, word_to_f64};
-use mgc_runtime::{Machine, TaskResult, TaskSpec};
+use mgc_runtime::{Executor, TaskResult, TaskSpec};
 
 /// Matrix dimension at the given scale (the paper uses 600 × 600).
 pub fn dimension(scale: Scale) -> usize {
@@ -45,7 +45,7 @@ pub fn reference_checksum(scale: Scale) -> f64 {
 
 /// Spawns the DMM workload onto `machine`. The root task's result is the
 /// checksum of the product matrix.
-pub fn spawn(machine: &mut Machine, scale: Scale) {
+pub fn spawn(machine: &mut dyn Executor, scale: Scale) {
     let n = dimension(scale);
     let blocks = 96.min(n);
     machine.spawn_root(TaskSpec::new("dmm-root", move |ctx| {
@@ -103,14 +103,14 @@ pub fn spawn(machine: &mut Machine, scale: Scale) {
 }
 
 /// Reads the checksum produced by a finished DMM run.
-pub fn take_checksum(machine: &mut Machine) -> Option<f64> {
+pub fn take_checksum(machine: &mut dyn Executor) -> Option<f64> {
     machine.take_result().map(|(word, _)| word_to_f64(word))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mgc_runtime::MachineConfig;
+    use mgc_runtime::{Machine, MachineConfig};
 
     #[test]
     fn parallel_checksum_matches_sequential_reference() {

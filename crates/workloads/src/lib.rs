@@ -50,8 +50,9 @@ pub mod smvm;
 pub use rope::{build_f64_rope, build_i64_rope, read_f64_rope, read_i64_rope, rope_len, LEAF_SIZE};
 pub use scale::Scale;
 
+use mgc_heap::Word;
 use mgc_numa::{AllocPolicy, Topology};
-use mgc_runtime::{Machine, MachineConfig, RunReport};
+use mgc_runtime::{Backend, Executor, Machine, MachineConfig, RunReport, ThreadedMachine};
 use serde::{Deserialize, Serialize};
 
 /// The benchmarks of the paper's evaluation.
@@ -105,7 +106,7 @@ impl Workload {
     }
 
     /// Spawns this workload onto a machine.
-    pub fn spawn(self, machine: &mut Machine, scale: Scale) {
+    pub fn spawn(self, machine: &mut dyn Executor, scale: Scale) {
         match self {
             Workload::Dmm => dmm::spawn(machine, scale),
             Workload::Raytracer => raytracer::spawn(machine, scale),
@@ -123,18 +124,40 @@ impl std::fmt::Display for Workload {
     }
 }
 
-/// Builds a machine for `topology` with `vprocs` vprocs and the given page
-/// placement policy, using the default (scaled-down) heap geometry.
-pub fn machine_for(topology: &Topology, vprocs: usize, policy: AllocPolicy) -> Machine {
+/// The machine configuration the workloads run under.
+fn workload_config(topology: &Topology, vprocs: usize, policy: AllocPolicy) -> MachineConfig {
     let mut config = MachineConfig::new(topology.clone(), vprocs).with_policy(policy);
     // A finer scheduling quantum than the library default, so that scaled-down
     // benchmark inputs still spread across many vprocs instead of completing
     // inside a single vproc's first quantum.
     config.quantum_ns = 25_000.0;
-    Machine::new(config)
+    config
 }
 
-/// Runs one workload to completion and returns its report.
+/// Builds a simulated machine for `topology` with `vprocs` vprocs and the
+/// given page placement policy, using the default (scaled-down) heap
+/// geometry.
+pub fn machine_for(topology: &Topology, vprocs: usize, policy: AllocPolicy) -> Machine {
+    Machine::new(workload_config(topology, vprocs, policy))
+}
+
+/// Builds an executor of the requested backend with the same configuration
+/// as [`machine_for`].
+pub fn executor_for(
+    backend: Backend,
+    topology: &Topology,
+    vprocs: usize,
+    policy: AllocPolicy,
+) -> Box<dyn Executor> {
+    let config = workload_config(topology, vprocs, policy);
+    match backend {
+        Backend::Simulated => Box::new(Machine::new(config)),
+        Backend::Threaded => Box::new(ThreadedMachine::new(config)),
+    }
+}
+
+/// Runs one workload to completion on the simulated backend and returns its
+/// report.
 pub fn run_workload(
     topology: &Topology,
     vprocs: usize,
@@ -145,6 +168,24 @@ pub fn run_workload(
     let mut machine = machine_for(topology, vprocs, policy);
     workload.spawn(&mut machine, scale);
     machine.run()
+}
+
+/// Runs one workload on the chosen backend, returning the run report and
+/// the root task's result (the workload checksum, for cross-backend
+/// equivalence checks).
+pub fn run_workload_on(
+    backend: Backend,
+    topology: &Topology,
+    vprocs: usize,
+    policy: AllocPolicy,
+    workload: Workload,
+    scale: Scale,
+) -> (RunReport, Option<(Word, bool)>) {
+    let mut executor = executor_for(backend, topology, vprocs, policy);
+    workload.spawn(&mut *executor, scale);
+    let report = executor.run();
+    let result = executor.take_result();
+    (report, result)
 }
 
 /// One point of a speedup curve.

@@ -10,7 +10,7 @@
 use crate::rope::{build_i64_rope, read_i64_rope};
 use crate::scale::Scale;
 use mgc_heap::{i64_to_word, word_to_i64};
-use mgc_runtime::{Handle, Machine, TaskCtx, TaskResult, TaskSpec};
+use mgc_runtime::{Executor, Handle, TaskCtx, TaskResult, TaskSpec};
 
 /// Number of integers to sort at the given scale (the paper sorts 10 M).
 pub fn input_size(scale: Scale) -> usize {
@@ -99,7 +99,7 @@ fn build_i64_rope_or_empty(ctx: &mut TaskCtx<'_>, values: &[i64]) -> Handle {
 
 /// Spawns the quicksort workload; the root result is the sorted rope's
 /// checksum (sum of elements), which sorting must preserve.
-pub fn spawn(machine: &mut Machine, scale: Scale) {
+pub fn spawn(machine: &mut dyn Executor, scale: Scale) {
     let n = input_size(scale);
     machine.spawn_root(TaskSpec::new("qsort-root", move |ctx| {
         let input = generate_input(n);
@@ -119,7 +119,7 @@ pub fn spawn(machine: &mut Machine, scale: Scale) {
 }
 
 /// Reads the checksum produced by a finished quicksort run.
-pub fn take_checksum(machine: &mut Machine) -> Option<i64> {
+pub fn take_checksum(machine: &mut dyn Executor) -> Option<i64> {
     machine.take_result().map(|(word, _)| word_to_i64(word))
 }
 
@@ -131,7 +131,7 @@ pub fn reference_checksum(scale: Scale) -> i64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mgc_runtime::MachineConfig;
+    use mgc_runtime::{Machine, MachineConfig};
 
     #[test]
     fn sorting_preserves_the_multiset() {

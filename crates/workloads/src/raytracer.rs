@@ -8,7 +8,7 @@
 
 use crate::scale::Scale;
 use mgc_heap::{f64_to_word, word_to_f64};
-use mgc_runtime::{Machine, TaskResult, TaskSpec};
+use mgc_runtime::{Executor, TaskResult, TaskSpec};
 
 /// Image edge length at the given scale (the paper renders 512 × 512).
 pub fn image_size(scale: Scale) -> usize {
@@ -74,7 +74,7 @@ fn pixel_coord(index: usize, size: usize) -> f64 {
 
 /// Spawns the raytracer onto `machine`; the root result is the image
 /// checksum.
-pub fn spawn(machine: &mut Machine, scale: Scale) {
+pub fn spawn(machine: &mut dyn Executor, scale: Scale) {
     let size = image_size(scale);
     let blocks = 96.min(size);
     machine.spawn_root(TaskSpec::new("ray-root", move |ctx| {
@@ -118,14 +118,14 @@ pub fn spawn(machine: &mut Machine, scale: Scale) {
 }
 
 /// Reads the checksum produced by a finished raytracer run.
-pub fn take_checksum(machine: &mut Machine) -> Option<f64> {
+pub fn take_checksum(machine: &mut dyn Executor) -> Option<f64> {
     machine.take_result().map(|(word, _)| word_to_f64(word))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mgc_runtime::MachineConfig;
+    use mgc_runtime::{Machine, MachineConfig};
 
     #[test]
     fn parallel_image_matches_sequential_reference() {

@@ -12,7 +12,7 @@
 use crate::rope::{build_f64_rope, LEAF_SIZE};
 use crate::scale::Scale;
 use mgc_heap::{f64_to_word, word_to_f64};
-use mgc_runtime::{Machine, TaskResult, TaskSpec};
+use mgc_runtime::{Executor, TaskResult, TaskSpec};
 
 /// Length of the dense vector at the given scale (the paper uses 16,614).
 pub fn vector_length(scale: Scale) -> usize {
@@ -64,7 +64,7 @@ pub fn reference_checksum(scale: Scale) -> f64 {
 
 /// Spawns the SMVM workload; the root result is the checksum of the product
 /// vector.
-pub fn spawn(machine: &mut Machine, scale: Scale) {
+pub fn spawn(machine: &mut dyn Executor, scale: Scale) {
     let cols = vector_length(scale);
     let rows = num_rows(scale);
     let blocks = 96.min(rows);
@@ -134,14 +134,14 @@ pub fn spawn(machine: &mut Machine, scale: Scale) {
 }
 
 /// Reads the checksum produced by a finished SMVM run.
-pub fn take_checksum(machine: &mut Machine) -> Option<f64> {
+pub fn take_checksum(machine: &mut dyn Executor) -> Option<f64> {
     machine.take_result().map(|(word, _)| word_to_f64(word))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mgc_runtime::MachineConfig;
+    use mgc_runtime::{Machine, MachineConfig};
 
     #[test]
     fn parallel_checksum_matches_sequential_reference() {

@@ -1,0 +1,147 @@
+//! Cross-backend equivalence: the simulated and the threaded executor must
+//! agree on every deterministic invariant of every workload.
+//!
+//! What is deterministic across backends (and vproc counts):
+//!
+//! * the **workload checksum** — every benchmark folds its result in child
+//!   order, so even floating-point sums are bit-stable;
+//! * the **task count** — the fork tree is a pure function of the input;
+//! * **total nursery allocations** — what a workload allocates depends only
+//!   on its input, never on scheduling.
+//!
+//! What is not: promotion volume (the threaded backend promotes at
+//! publication, the simulated one on steal/delivery) and therefore the
+//! number of global collections — those are compared within a generous
+//! tolerance only.
+
+use mgc_heap::word_to_f64;
+use mgc_numa::{AllocPolicy, Topology};
+use mgc_runtime::Backend;
+use mgc_workloads::{run_workload_on, Scale, Workload};
+
+/// Thread count for the threaded backend; override with `MGC_VPROCS` (the
+/// CI threaded-smoke job runs with `MGC_VPROCS=4`).
+fn threaded_vprocs() -> usize {
+    std::env::var("MGC_VPROCS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(4)
+}
+
+fn checksums_agree(workload: Workload, sim: u64, threaded: u64) -> bool {
+    if sim == threaded {
+        return true;
+    }
+    // Integer checksums must be bit-identical: reinterpreting differing
+    // integers as f64 bit patterns would yield denormals whose difference
+    // always slips under a relative tolerance.
+    if matches!(workload, Workload::Quicksort | Workload::Churn) {
+        return false;
+    }
+    // Float checksums should be bit-identical too (summation happens in
+    // child order on both backends), but keep the diagnostic gentle if a
+    // summation order ever changes. The magnitude guard rejects denormal
+    // bit patterns that are really disguised integers.
+    let a = word_to_f64(sim);
+    let b = word_to_f64(threaded);
+    a.is_finite() && b.is_finite() && a.abs() > 1e-300 && (a - b).abs() <= 1e-9 * a.abs().max(1.0)
+}
+
+#[test]
+fn backends_agree_on_deterministic_invariants_for_every_workload() {
+    let topology = Topology::dual_node_test();
+    let scale = Scale::tiny();
+    let vprocs = threaded_vprocs();
+    for workload in Workload::FIGURES {
+        let (sim, sim_result) = run_workload_on(
+            Backend::Simulated,
+            &topology,
+            2,
+            AllocPolicy::Local,
+            workload,
+            scale,
+        );
+        let (threaded, threaded_result) = run_workload_on(
+            Backend::Threaded,
+            &topology,
+            vprocs,
+            AllocPolicy::Local,
+            workload,
+            scale,
+        );
+
+        let (sim_word, sim_is_ptr) = sim_result.expect("simulated run produces a checksum");
+        let (thr_word, thr_is_ptr) = threaded_result.expect("threaded run produces a checksum");
+        assert_eq!(sim_is_ptr, thr_is_ptr, "{workload}: result kinds differ");
+        assert!(
+            checksums_agree(workload, sim_word, thr_word),
+            "{workload}: checksums diverge (simulated {sim_word:#x} vs threaded {thr_word:#x})"
+        );
+
+        assert_eq!(
+            sim.total_tasks(),
+            threaded.total_tasks(),
+            "{workload}: task trees diverge"
+        );
+        assert_eq!(
+            sim.allocated_objects, threaded.allocated_objects,
+            "{workload}: allocation counts diverge"
+        );
+        assert_eq!(
+            sim.allocated_words, threaded.allocated_words,
+            "{workload}: allocation volumes diverge"
+        );
+
+        // The threaded backend promotes whatever becomes visible to other
+        // threads. A workload that shares pointers across tasks on the
+        // simulated backend must promote on the threaded one too (DMM
+        // shares nothing — "almost no shared data", §4.1 — and promotes on
+        // neither).
+        if sim.gc.promotions > 0 {
+            assert!(
+                threaded.gc.promotions > 0,
+                "{workload}: simulated run promoted but threaded run never did"
+            );
+        }
+
+        // Global collections depend on promotion volume; require the two
+        // backends to be within a generous factor of each other (per vproc,
+        // since each participant counts the collection once).
+        let sim_globals = sim.gc.global_collections / sim.vprocs as u64;
+        let thr_globals = threaded.gc.global_collections / threaded.vprocs as u64;
+        let bound = |x: u64| 5 * x + 5;
+        assert!(
+            sim_globals <= bound(thr_globals) && thr_globals <= bound(sim_globals),
+            "{workload}: global collection counts diverge wildly \
+             (simulated {sim_globals} vs threaded {thr_globals} per vproc)"
+        );
+    }
+}
+
+#[test]
+fn churn_survivors_are_identical_across_backends() {
+    let topology = Topology::dual_node_test();
+    let params = mgc_workloads::churn::ChurnParams::small();
+    let expected = mgc_workloads::churn::expected_survivors(params);
+
+    let mut sim = mgc_workloads::machine_for(&topology, 2, AllocPolicy::Local);
+    mgc_workloads::churn::spawn(&mut sim, params);
+    sim.run();
+    assert_eq!(
+        mgc_workloads::churn::take_survivors(&mut sim),
+        Some(expected)
+    );
+
+    let mut threaded = mgc_workloads::executor_for(
+        Backend::Threaded,
+        &topology,
+        threaded_vprocs(),
+        AllocPolicy::Local,
+    );
+    mgc_workloads::churn::spawn(&mut *threaded, params);
+    threaded.run();
+    let (word, is_ptr) = threaded.take_result().expect("churn produces a count");
+    assert!(!is_ptr);
+    assert_eq!(mgc_heap::word_to_i64(word), expected);
+}
