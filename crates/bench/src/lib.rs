@@ -229,6 +229,17 @@ pub struct BaselinePoint {
     pub global_collections: u64,
     /// Object promotions.
     pub promotions: u64,
+    /// Successful steals.
+    pub steals: u64,
+    /// Total bytes promoted to the global heap (major collections plus
+    /// explicit promotions) — the quantity lazy promotion-on-steal
+    /// minimises, tracked per PR by the baseline artifact.
+    pub promoted_bytes: u64,
+    /// Promotion operations caused by work actually being stolen.
+    pub promotions_at_steal: u64,
+    /// Promotion operations caused by data being published to a
+    /// machine-global structure (continuations, results, messages, proxies).
+    pub promotions_at_publish: u64,
 }
 
 impl BaselinePoint {
@@ -253,6 +264,10 @@ impl BaselinePoint {
             major_collections: report.gc.major_collections,
             global_collections: report.gc.global_collections,
             promotions: report.gc.promotions,
+            steals: report.total_steals(),
+            promoted_bytes: report.total_promoted_bytes(),
+            promotions_at_steal: report.promotions_at_steal(),
+            promotions_at_publish: report.promotions_at_publish(),
         }
     }
 }
@@ -293,8 +308,16 @@ pub fn format_baseline(points: &[BaselinePoint]) -> String {
     );
     let _ = writeln!(
         out,
-        "{:<24} {:>6} {:>14} {:>14} {:>8} {:>8} {:>8}",
-        "benchmark", "vprocs", "wall-clock", "simulated", "minors", "globals", "tasks"
+        "{:<24} {:>6} {:>14} {:>14} {:>8} {:>8} {:>8} {:>8} {:>12}",
+        "benchmark",
+        "vprocs",
+        "wall-clock",
+        "simulated",
+        "minors",
+        "globals",
+        "tasks",
+        "steals",
+        "promoted-B"
     );
     for workload in Workload::FIGURES {
         for &vprocs in &BASELINE_VPROCS {
@@ -311,7 +334,7 @@ pub fn format_baseline(points: &[BaselinePoint]) -> String {
             let ms = |ns: Option<f64>| ns.map_or("n/a".to_string(), |v| format!("{:.3}", v / 1e6));
             let _ = writeln!(
                 out,
-                "{:<24} {:>6} {:>14} {:>14} {:>8} {:>8} {:>8}",
+                "{:<24} {:>6} {:>14} {:>14} {:>8} {:>8} {:>8} {:>8} {:>12}",
                 workload.label(),
                 vprocs,
                 ms(threaded.wall_clock_ns),
@@ -319,8 +342,45 @@ pub fn format_baseline(points: &[BaselinePoint]) -> String {
                 threaded.minor_collections,
                 threaded.global_collections,
                 threaded.tasks,
+                threaded.steals,
+                threaded.promoted_bytes,
             );
         }
+    }
+    out
+}
+
+/// One line per workload comparing promoted bytes on the threaded backend
+/// against the eager-publication upper bound implied by the simulated
+/// model's promotion volume — the `bench-baseline` CI job prints this into
+/// the job summary so the lazy-promotion win is visible per PR.
+pub fn promoted_bytes_summary(points: &[BaselinePoint]) -> String {
+    let mut out = String::new();
+    for workload in Workload::FIGURES {
+        let total = |backend: Backend| -> (u64, u64, u64) {
+            points
+                .iter()
+                .filter(|p| p.workload == workload && p.backend == backend)
+                .fold((0, 0, 0), |(b, s, p), point| {
+                    (
+                        b + point.promoted_bytes,
+                        s + point.promotions_at_steal,
+                        p + point.promotions_at_publish,
+                    )
+                })
+        };
+        let (thr_bytes, thr_steal, thr_publish) = total(Backend::Threaded);
+        let (sim_bytes, _, _) = total(Backend::Simulated);
+        let _ = writeln!(
+            out,
+            "promoted-bytes {:<24} threaded {:>10} (steal-driven ops {:>5}, publish-driven ops \
+             {:>5}) | simulated {:>10}",
+            workload.label(),
+            thr_bytes,
+            thr_steal,
+            thr_publish,
+            sim_bytes,
+        );
     }
     out
 }
@@ -336,7 +396,9 @@ pub fn baseline_json(points: &[BaselinePoint]) -> String {
             "  {{\"workload\": \"{}\", \"backend\": \"{}\", \"vprocs\": {}, \
              \"wall_clock_ns\": {}, \"simulated_ns\": {}, \"tasks\": {}, \
              \"allocated_objects\": {}, \"minor_collections\": {}, \
-             \"major_collections\": {}, \"global_collections\": {}, \"promotions\": {}}}",
+             \"major_collections\": {}, \"global_collections\": {}, \"promotions\": {}, \
+             \"steals\": {}, \"promoted_bytes\": {}, \"promotions_at_steal\": {}, \
+             \"promotions_at_publish\": {}}}",
             p.workload.label(),
             p.backend,
             p.vprocs,
@@ -348,6 +410,10 @@ pub fn baseline_json(points: &[BaselinePoint]) -> String {
             p.major_collections,
             p.global_collections,
             p.promotions,
+            p.steals,
+            p.promoted_bytes,
+            p.promotions_at_steal,
+            p.promotions_at_publish,
         );
         let _ = writeln!(out, "{}", if i + 1 < points.len() { "," } else { "" });
     }
@@ -361,6 +427,7 @@ pub fn run_baseline_and_report() {
     let scale = scale_from_env();
     let points = run_baseline(scale);
     println!("{}", format_baseline(&points));
+    println!("{}", promoted_bytes_summary(&points));
     let dir = std::path::Path::new("results");
     if let Err(err) = std::fs::create_dir_all(dir) {
         eprintln!("warning: could not create {}: {err}", dir.display());
@@ -445,6 +512,10 @@ mod tests {
             major_collections: 1,
             global_collections: 0,
             promotions: 5,
+            steals: 2,
+            promoted_bytes: 640,
+            promotions_at_steal: 2,
+            promotions_at_publish: 3,
         };
         let points = vec![
             point(Backend::Simulated, None, Some(1.5e6)),
@@ -458,11 +529,19 @@ mod tests {
         assert!(json.contains("\"wall_clock_ns\": 250000"));
         assert!(json.contains("\"simulated_ns\": null"));
         assert!(json.contains("\"workload\": \"Dense-Matrix-Multiply\""));
+        assert!(json.contains("\"promoted_bytes\": 640"));
+        assert!(json.contains("\"promotions_at_steal\": 2"));
+        assert!(json.contains("\"promotions_at_publish\": 3"));
+        assert!(json.contains("\"steals\": 2"));
         // Exactly one comma-separated object per point.
         assert_eq!(json.matches("\"vprocs\"").count(), 2);
         let table = format_baseline(&points);
         assert!(table.contains("wall-clock"));
+        assert!(table.contains("promoted-B"));
         assert!(table.contains("Dense-Matrix-Multiply"));
+        let summary = promoted_bytes_summary(&points);
+        assert!(summary.contains("promoted-bytes Dense-Matrix-Multiply"));
+        assert!(summary.contains("steal-driven"));
     }
 
     #[test]

@@ -25,6 +25,13 @@ pub struct GcConfig {
     /// Ablation knob: when `false`, freed global-heap chunks lose their node
     /// affinity and are handed to whichever vproc asks first.
     pub chunk_node_affinity: bool,
+    /// Ablation knob (threaded backend): when `true`, every task pushed to a
+    /// deque has its roots promoted eagerly at publication time — the
+    /// pre-lazy-promotion behaviour. The default (`false`) promotes a task's
+    /// roots only when the task is actually stolen (§3.1), so promotion
+    /// volume is proportional to steals rather than spawns. The proptest
+    /// suite uses the eager mode as the promotion-volume upper bound.
+    pub eager_publication: bool,
     /// When `true`, the heap invariants (§2.3) are re-verified after every
     /// collection; expensive, intended for tests.
     pub verify_after_gc: bool,
@@ -37,6 +44,7 @@ impl Default for GcConfig {
             global_threshold_per_vproc_bytes: 2 * 1024 * 1024,
             promote_young_in_major: false,
             chunk_node_affinity: true,
+            eager_publication: false,
             verify_after_gc: false,
         }
     }
@@ -51,6 +59,7 @@ impl GcConfig {
             global_threshold_per_vproc_bytes: 32 * 1024,
             promote_young_in_major: false,
             chunk_node_affinity: true,
+            eager_publication: false,
             verify_after_gc: true,
         }
     }

@@ -350,9 +350,10 @@ pub fn flip_to_from_space(global: &SharedGlobalHeap) -> Vec<usize> {
 /// races against other workers evacuating the same object.
 pub fn forward_parallel(worker: &mut WorkerHeap, ptr: Addr, state: &ParallelGcState) -> Addr {
     if ptr.is_null() || !worker.is_global(ptr) {
-        // Workers reach the barrier with empty local heaps (every live
-        // object was published, hence promoted, before the safe point), so
-        // a non-global pointer here is never from-space.
+        // Local objects never live in from-space (only global chunks flip),
+        // so a non-global pointer is left alone; under lazy promotion the
+        // worker's surviving young data is instead scanned as an extra root
+        // set by [`scan_young_fields`].
         return ptr;
     }
     let chunk = worker.chunk_of(ptr);
@@ -387,6 +388,40 @@ pub fn evacuate_roots(worker: &mut WorkerHeap, roots: &mut [Addr], state: &Paral
     for root in roots.iter_mut() {
         if !root.is_null() {
             *root = forward_parallel(worker, *root, state);
+        }
+    }
+}
+
+/// Scans the worker's surviving young local data as an additional root set,
+/// forwarding any global from-space pointers its fields hold.
+///
+/// Under lazy promotion a worker reaches the stop-the-world barrier with
+/// live *local* data (the unstolen private tasks' graphs, kept young by the
+/// ramp-down's minor + major collections). Local objects never move during
+/// a global collection, but their fields may reference promoted objects in
+/// from-space — this is the threaded counterpart of the young-data scan the
+/// sequential [`Collector::global`] performs.
+pub fn scan_young_fields(worker: &mut WorkerHeap, state: &ParallelGcState) {
+    let vproc = worker.vproc();
+    let young: Vec<Addr> = worker
+        .local(vproc)
+        .young_objects()
+        .map(|(a, _)| a)
+        .collect();
+    for obj in young {
+        let header = worker.header_of(obj);
+        let fields = worker
+            .pointer_field_indices(header)
+            .expect("all mixed-object descriptors are registered before allocation");
+        for index in fields {
+            let value = worker.read_field(obj, index);
+            let Some(ptr) = word_as_pointer(value) else {
+                continue;
+            };
+            let new = forward_parallel(worker, ptr, state);
+            if new != ptr {
+                worker.write_field(obj, index, new.raw());
+            }
         }
     }
 }

@@ -64,6 +64,6 @@ pub use cost::{
 };
 pub use global::{
     evacuate_roots, flip_to_from_space, forward_parallel, release_from_space, scan_pass,
-    GlobalOutcome, ParallelGcState,
+    scan_young_fields, GlobalOutcome, ParallelGcState,
 };
 pub use stats::{CollectionKind, GcStats};

@@ -11,7 +11,7 @@
 //! * [`WorkerHeap`](crate::WorkerHeap) — the real-threads backend's
 //!   per-thread view: the worker owns its local heap outright (so the
 //!   minor-GC path takes no locks at all, §3.3) and reaches the shared
-//!   global heap through atomic words and a mutex-guarded chunk pool.
+//!   global heap through atomic words and a lock-free chunk pool.
 //!
 //! The trait deliberately exposes only what the collection algorithms need;
 //! mutator-facing allocation stays on the concrete types.

@@ -10,8 +10,8 @@ use crate::chunk::{Chunk, ChunkId, ChunkState};
 use crate::space::{AddressSpace, RegionOwner};
 use mgc_numa::NodeId;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// Counters describing global-heap activity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -203,15 +203,68 @@ impl GlobalHeap {
     }
 }
 
-/// The thread-safe chunk free-list used by the real-threads backend.
+/// Entries per link-table segment (a power of two so indexing is a shift
+/// and a mask).
+const POOL_SEG_SHIFT: usize = 10;
+const POOL_SEG_SIZE: usize = 1 << POOL_SEG_SHIFT;
+/// Maximum number of segments, bounding the pool at ~one million chunk ids.
+const POOL_MAX_SEGS: usize = 1024;
+
+/// The `next` links of the Treiber stacks, indexed by chunk id. Segments are
+/// initialised on first touch (via [`OnceLock`]), so growth never blocks a
+/// concurrent pop and steady-state access is a load through a shared
+/// reference.
+#[derive(Debug)]
+struct LinkTable {
+    segments: Vec<OnceLock<Box<[AtomicU64]>>>,
+}
+
+impl LinkTable {
+    fn new() -> Self {
+        LinkTable {
+            segments: (0..POOL_MAX_SEGS).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    /// The link slot of chunk `id`. Slots hold the successor's id + 1
+    /// (0 terminates the list).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` exceeds the pool's fixed capacity.
+    fn slot(&self, id: usize) -> &AtomicU64 {
+        let segment = id >> POOL_SEG_SHIFT;
+        assert!(
+            segment < POOL_MAX_SEGS,
+            "chunk id {id} exceeds the pool's {} link slots",
+            POOL_MAX_SEGS * POOL_SEG_SIZE
+        );
+        let segment = self.segments[segment]
+            .get_or_init(|| (0..POOL_SEG_SIZE).map(|_| AtomicU64::new(0)).collect());
+        &segment[id & (POOL_SEG_SIZE - 1)]
+    }
+}
+
+/// The lock-free chunk free-list used by the real-threads backend.
 ///
 /// This is the concurrent counterpart of [`GlobalHeap`]'s per-node free
-/// lists: acquiring or releasing a chunk is the only synchronisation point
-/// of the allocation path (§3.3), so the lists sit behind a single [`Mutex`]
-/// and the activity counters are atomics that can be read without taking it.
+/// lists. Acquiring or releasing a chunk is the only synchronisation point
+/// of the promotion path (§3.3), so it must not serialise workers: each
+/// node's free list is a **Treiber stack** whose head packs a 32-bit chunk
+/// index with a 32-bit ABA tag into one [`AtomicU64`] (the tag advances on
+/// every successful push and pop, so a pop that raced with a
+/// pop-then-repush of the same chunk cannot CAS a stale head back in). The
+/// `next` links live in a segmented table indexed by chunk id; the common
+/// case of both `push` and `pop` is a handful of atomic operations and no
+/// lock.
 #[derive(Debug)]
 pub struct SharedChunkPool {
-    free_by_node: Mutex<Vec<Vec<ChunkId>>>,
+    /// Per-node stack heads: `(tag << 32) | (chunk id + 1)`, 0 = empty.
+    heads: Vec<AtomicU64>,
+    links: LinkTable,
+    /// Per-node free-chunk counts (maintained separately so sizing queries
+    /// never walk a concurrently mutating list).
+    free_counts: Vec<AtomicUsize>,
     node_affinity: AtomicBool,
     chunks_reused_local: AtomicU64,
     chunks_reused_remote: AtomicU64,
@@ -226,7 +279,9 @@ impl SharedChunkPool {
     pub fn new(num_nodes: usize) -> Self {
         assert!(num_nodes > 0, "a machine must have at least one node");
         SharedChunkPool {
-            free_by_node: Mutex::new(vec![Vec::new(); num_nodes]),
+            heads: (0..num_nodes).map(|_| AtomicU64::new(0)).collect(),
+            links: LinkTable::new(),
+            free_counts: (0..num_nodes).map(|_| AtomicUsize::new(0)).collect(),
             node_affinity: AtomicBool::new(true),
             chunks_reused_local: AtomicU64::new(0),
             chunks_reused_remote: AtomicU64::new(0),
@@ -238,19 +293,51 @@ impl SharedChunkPool {
         self.node_affinity.store(enabled, Ordering::Release);
     }
 
+    /// Pops the top chunk of `node`'s Treiber stack.
+    fn pop_from(&self, node: usize) -> Option<ChunkId> {
+        let head = &self.heads[node];
+        let mut current = head.load(Ordering::Acquire);
+        loop {
+            let index = (current & u64::from(u32::MAX)) as u32;
+            if index == 0 {
+                return None;
+            }
+            let id = index - 1;
+            let next = self.links.slot(id as usize).load(Ordering::Acquire);
+            let tag = (current >> 32).wrapping_add(1);
+            let replacement = (tag << 32) | next;
+            match head.compare_exchange_weak(
+                current,
+                replacement,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    self.free_counts[node].fetch_sub(1, Ordering::AcqRel);
+                    return Some(ChunkId(id));
+                }
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
     /// Pops a free chunk for a vproc whose preferred node is `node`,
     /// honouring node affinity exactly as [`GlobalHeap::acquire_chunk`]
     /// does. Returns `None` when the caller must map a fresh chunk. The
     /// second tuple element says whether the reuse crossed nodes.
     pub fn pop(&self, node: NodeId) -> Option<(ChunkId, bool)> {
-        let mut lists = self.free_by_node.lock().expect("chunk pool poisoned");
-        if let Some(id) = lists[node.index()].pop() {
+        if let Some(id) = self.pop_from(node.index()) {
             self.chunks_reused_local.fetch_add(1, Ordering::Relaxed);
             return Some((id, false));
         }
         if !self.node_affinity.load(Ordering::Acquire) {
-            for list in lists.iter_mut() {
-                if let Some(id) = list.pop() {
+            for other in 0..self.heads.len() {
+                if other == node.index() {
+                    // Already probed above; a chunk pushed here since then
+                    // would be a node-local reuse, not a remote one.
+                    continue;
+                }
+                if let Some(id) = self.pop_from(other) {
                     self.chunks_reused_remote.fetch_add(1, Ordering::Relaxed);
                     return Some((id, true));
                 }
@@ -261,13 +348,31 @@ impl SharedChunkPool {
 
     /// Returns a chunk to `node`'s free list.
     pub fn push(&self, node: NodeId, id: ChunkId) {
-        let mut lists = self.free_by_node.lock().expect("chunk pool poisoned");
-        lists[node.index()].push(id);
+        let link = self.links.slot(id.index());
+        let head = &self.heads[node.index()];
+        let mut current = head.load(Ordering::Acquire);
+        loop {
+            link.store(current & u64::from(u32::MAX), Ordering::Release);
+            let tag = (current >> 32).wrapping_add(1);
+            let replacement = (tag << 32) | u64::from(id.0 + 1);
+            match head.compare_exchange_weak(
+                current,
+                replacement,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    self.free_counts[node.index()].fetch_add(1, Ordering::AcqRel);
+                    return;
+                }
+                Err(observed) => current = observed,
+            }
+        }
     }
 
     /// Number of free chunks currently parked on `node`.
     pub fn free_chunks_on(&self, node: NodeId) -> usize {
-        self.free_by_node.lock().expect("chunk pool poisoned")[node.index()].len()
+        self.free_counts[node.index()].load(Ordering::Acquire)
     }
 
     /// Chunk acquisitions satisfied from a node-local free list.
@@ -398,5 +503,76 @@ mod tests {
         pool.push(NodeId::new(1), ChunkId(4));
         assert_eq!(pool.pop(NodeId::new(0)), Some((ChunkId(4), true)));
         assert_eq!(pool.reused_remote(), 1);
+    }
+
+    #[test]
+    fn shared_pool_treiber_stack_is_lifo() {
+        let pool = SharedChunkPool::new(1);
+        let node = NodeId::new(0);
+        pool.push(node, ChunkId(1));
+        pool.push(node, ChunkId(2));
+        pool.push(node, ChunkId(3));
+        assert_eq!(pool.free_chunks_on(node), 3);
+        assert_eq!(pool.pop(node), Some((ChunkId(3), false)));
+        assert_eq!(pool.pop(node), Some((ChunkId(2), false)));
+        pool.push(node, ChunkId(7));
+        assert_eq!(pool.pop(node), Some((ChunkId(7), false)));
+        assert_eq!(pool.pop(node), Some((ChunkId(1), false)));
+        assert_eq!(pool.pop(node), None);
+        assert_eq!(pool.free_chunks_on(node), 0);
+    }
+
+    #[test]
+    fn shared_pool_concurrent_push_pop_neither_loses_nor_duplicates_chunks() {
+        use std::sync::Arc;
+
+        const CHUNKS: u32 = 64;
+        let pool = Arc::new(SharedChunkPool::new(1));
+        let node = NodeId::new(0);
+        for id in 0..CHUNKS {
+            pool.push(node, ChunkId(id));
+        }
+
+        // Four threads hammer the same node's stack with pop/push cycles —
+        // the pop-then-repush of the same id is exactly the ABA pattern the
+        // tagged head must survive.
+        let held: Vec<Vec<ChunkId>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let pool = Arc::clone(&pool);
+                    scope.spawn(move || {
+                        let mut held = Vec::new();
+                        for round in 0..2000usize {
+                            if let Some((id, _)) = pool.pop(node) {
+                                if round % 3 == 0 {
+                                    pool.push(node, id);
+                                } else {
+                                    held.push(id);
+                                }
+                            }
+                            if held.len() > 8 {
+                                pool.push(node, held.pop().unwrap());
+                            }
+                        }
+                        held
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("pool worker panicked"))
+                .collect()
+        });
+
+        let mut seen: Vec<u32> = held.into_iter().flatten().map(|id| id.0).collect();
+        while let Some((id, _)) = pool.pop(node) {
+            seen.push(id.0);
+        }
+        seen.sort_unstable();
+        assert_eq!(
+            seen,
+            (0..CHUNKS).collect::<Vec<_>>(),
+            "every chunk must come back exactly once"
+        );
     }
 }

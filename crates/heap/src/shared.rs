@@ -11,10 +11,11 @@
 //! * the **global heap** is shared: chunks store their words in
 //!   [`AtomicU64`]s (the mutator language is mutation-free, so global
 //!   objects are immutable outside collections and plain acquire/release
-//!   atomics suffice), the chunk pool is the mutex-guarded
-//!   [`SharedChunkPool`], and the chunk directory is an append-only list
-//!   behind an [`RwLock`] that workers shadow with a thread-local cache so
-//!   the common-case global read takes no lock.
+//!   atomics suffice), the chunk pool is the lock-free Treiber-stack
+//!   [`SharedChunkPool`] — so the promotion path's only synchronisation is
+//!   a handful of CAS operations per chunk lease — and the chunk directory
+//!   is an append-only list behind an [`RwLock`] that workers shadow with a
+//!   thread-local cache so the common-case global read takes no lock.
 //!
 //! Address arithmetic replaces the simulation's
 //! [`AddressSpace`](crate::AddressSpace): worker `w`'s local heap lives at

@@ -26,7 +26,7 @@
 use crate::channel::{ChannelId, ProxyId};
 use crate::machine::RuntimeState;
 use crate::task::{Delivery, Handle, JoinCell, Task, TaskResult, TaskSpec};
-use crate::threaded::WorkerState;
+use crate::threaded::{PromoteWhy, WorkerState};
 use mgc_heap::{f64_to_word, word_to_f64, Addr, DescriptorId, GcHeap, Word};
 
 /// How one field of a mixed-type object is initialised.
@@ -459,8 +459,9 @@ impl<'a> TaskCtx<'a> {
             CtxState::Threaded(worker) => {
                 // The continuation lives in the machine-global join table and
                 // may run on any worker: its roots are promoted now, by
-                // their owner. (Child tasks are promoted by `push_task`.)
-                worker.publish_roots(&mut cont_task.roots);
+                // their owner. (Child tasks stay private — and local — until
+                // they are actually stolen.)
+                worker.publish_roots(&mut cont_task.roots, PromoteWhy::Publish);
                 let join = worker.new_join(JoinCell::new(resolved_children.len(), cont_task));
                 for (slot, (mut spec, addrs)) in resolved_children.into_iter().enumerate() {
                     spec.ptr_inputs = addrs;

@@ -14,7 +14,7 @@
 //! Workloads are written against this trait so every benchmark runs — and
 //! can be cross-checked — on both.
 
-use crate::channel::ChannelId;
+use crate::channel::{ChannelId, ChannelStats};
 use crate::stats::RunReport;
 use crate::task::TaskSpec;
 use mgc_heap::{Descriptor, DescriptorId, Word};
@@ -39,6 +39,28 @@ impl Backend {
         match self {
             Backend::Simulated => "simulated",
             Backend::Threaded => "threaded",
+        }
+    }
+
+    /// The `MGC_BACKEND` environment override honoured by
+    /// `mgc_workloads::run_workload` and the examples: `simulated` (or
+    /// `sim`) / `threaded` (or `threads`). Returns `None` when the variable
+    /// is unset; an unparseable value warns (naming the knob, mirroring
+    /// `MGC_MAX_ROUNDS`) and falls back to `None` so the caller's default
+    /// applies.
+    pub fn from_env() -> Option<Backend> {
+        match std::env::var("MGC_BACKEND") {
+            Ok(value) => match value.parse::<Backend>() {
+                Ok(backend) => Some(backend),
+                Err(err) => {
+                    eprintln!(
+                        "warning: MGC_BACKEND=`{value}` is invalid ({err}); set \
+                         MGC_BACKEND=simulated or MGC_BACKEND=threaded — using the default"
+                    );
+                    None
+                }
+            },
+            Err(_) => None,
         }
     }
 }
@@ -85,6 +107,9 @@ pub trait Executor {
     /// The root task's result: the raw word and whether it is a heap
     /// pointer.
     fn take_result(&mut self) -> Option<(Word, bool)>;
+
+    /// Channel and proxy statistics of the completed run.
+    fn channel_stats(&self) -> ChannelStats;
 }
 
 #[cfg(test)]

@@ -57,6 +57,9 @@ pub use channel::{ChannelId, ChannelStats, ProxyId};
 pub use ctx::{FieldInit, TaskCtx};
 pub use executor::{Backend, Executor};
 pub use machine::{Machine, MachineConfig, MutatorCostModel};
+// Re-exported so backend users can tune the collector (e.g. the
+// `eager_publication` ablation) without depending on `mgc-core` directly.
+pub use mgc_core::GcConfig;
 pub use stats::{RunReport, VprocRunStats};
 pub use task::{Handle, TaskResult, TaskSpec};
 pub use threaded::ThreadedMachine;

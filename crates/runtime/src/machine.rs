@@ -23,6 +23,7 @@ use crate::channel::{ChannelId, ChannelState, ChannelStats, Proxy, ProxyId};
 use crate::ctx::TaskCtx;
 use crate::stats::{RunReport, VprocRunStats};
 use crate::task::{Delivery, JoinCell, Task, TaskResult, TaskSpec};
+use crate::threaded::PromoteWhy;
 use crate::vproc::VProc;
 use mgc_core::{Collector, GcConfig};
 use mgc_heap::{Addr, Descriptor, DescriptorId, Heap, HeapConfig, HeapError, Word};
@@ -407,9 +408,11 @@ impl RuntimeState {
     }
 
     /// Promotes `addr` if it lives in a local heap other than `target_vproc`'s,
-    /// charging the owning vproc (lazy promotion, §3.1). Returns the address
-    /// to use from `target_vproc`.
-    pub(crate) fn promote_for(&mut self, target_vproc: usize, addr: Addr) -> Addr {
+    /// charging the owning vproc (lazy promotion, §3.1). `why` attributes
+    /// the promotion — work actually stolen vs data published to a
+    /// machine-global structure — in the owner's run statistics. Returns the
+    /// address to use from `target_vproc`.
+    pub(crate) fn promote_for(&mut self, target_vproc: usize, addr: Addr, why: PromoteWhy) -> Addr {
         let addr = self.resolve_addr(addr);
         if addr.is_null() || !self.heap.is_local(addr) {
             return addr;
@@ -424,7 +427,18 @@ impl RuntimeState {
         }
         let (new, outcome) = self.collector.promote(&mut self.heap, owner, addr);
         self.charge_gc_cost(owner, &outcome.cost);
-        self.vprocs[owner].stats.lazy_promotions += 1;
+        let stats = &mut self.vprocs[owner].stats;
+        stats.lazy_promotions += 1;
+        match why {
+            PromoteWhy::Steal => {
+                stats.promotions_at_steal += 1;
+                stats.promoted_bytes_at_steal += outcome.promoted_bytes;
+            }
+            PromoteWhy::Publish => {
+                stats.promotions_at_publish += 1;
+                stats.promoted_bytes_at_publish += outcome.promoted_bytes;
+            }
+        }
         new
     }
 
@@ -535,12 +549,13 @@ impl RuntimeState {
                     // promotion the paper applies to stolen work.
                     let mut roots = std::mem::take(&mut continuation.roots);
                     for root in roots.iter_mut() {
-                        *root = self.promote_for(vproc, *root);
+                        *root = self.promote_for(vproc, *root, PromoteWhy::Publish);
                     }
                     continuation.roots = roots;
                     for slot in &cell.slots {
                         if slot.is_ptr {
-                            let addr = self.promote_for(vproc, Addr::new(slot.word));
+                            let addr =
+                                self.promote_for(vproc, Addr::new(slot.word), PromoteWhy::Publish);
                             continuation.roots.push(addr);
                         } else {
                             continuation.values.push(slot.word);
@@ -563,7 +578,7 @@ impl RuntimeState {
         }
         let mut task = self.vprocs[victim].steal_from()?;
         for root in task.roots.iter_mut() {
-            *root = self.promote_for(thief, *root);
+            *root = self.promote_for(thief, *root, PromoteWhy::Steal);
         }
         self.vprocs[thief].stats.steals += 1;
         self.vprocs[thief].round_cost.add_cpu_ns(STEAL_OVERHEAD_NS);
@@ -581,6 +596,10 @@ impl RuntimeState {
             let owner = self.heap.space_of(message).vproc().unwrap_or(vproc);
             let (new, outcome) = self.collector.promote(&mut self.heap, owner, message);
             self.charge_gc_cost(owner, &outcome.cost);
+            let stats = &mut self.vprocs[owner].stats;
+            stats.lazy_promotions += 1;
+            stats.promotions_at_publish += 1;
+            stats.promoted_bytes_at_publish += outcome.promoted_bytes;
             new
         } else {
             message
@@ -616,7 +635,7 @@ impl RuntimeState {
             return entry.target;
         }
         // Resolving from another vproc forces promotion of the target.
-        let addr = self.promote_for(vproc, entry.target);
+        let addr = self.promote_for(vproc, entry.target, PromoteWhy::Publish);
         let entry = &mut self.proxies[proxy.0];
         entry.target = addr;
         entry.promoted = true;
@@ -963,6 +982,10 @@ impl crate::executor::Executor for Machine {
 
     fn take_result(&mut self) -> Option<(Word, bool)> {
         Machine::take_result(self)
+    }
+
+    fn channel_stats(&self) -> ChannelStats {
+        Machine::channel_stats(self)
     }
 }
 

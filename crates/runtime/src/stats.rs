@@ -13,6 +13,23 @@ pub struct VprocRunStats {
     pub steals: u64,
     /// Objects promoted because work or results crossed vprocs.
     pub lazy_promotions: u64,
+    /// Steal requests this vproc serviced as a victim by handing a task
+    /// over (threaded backend only).
+    pub steal_requests_served: u64,
+    /// Steal requests this vproc declined because its private deque was
+    /// empty (threaded backend only).
+    pub steal_requests_declined: u64,
+    /// Promotion operations performed because work was actually stolen
+    /// (the stolen task's roots).
+    pub promotions_at_steal: u64,
+    /// Promotion operations performed because data was published to a
+    /// machine-global structure (continuations, delivered results, channel
+    /// messages, proxies).
+    pub promotions_at_publish: u64,
+    /// Bytes promoted by steal-driven promotions.
+    pub promoted_bytes_at_steal: u64,
+    /// Bytes promoted by publication-driven promotions.
+    pub promoted_bytes_at_publish: u64,
     /// Virtual nanoseconds this vproc spent busy (compute + memory + GC).
     pub busy_ns: f64,
 }
@@ -62,6 +79,53 @@ impl RunReport {
         self.per_vproc.iter().map(|v| v.steals).sum()
     }
 
+    /// Total bytes promoted to the global heap by major collections and
+    /// explicit promotions (the quantity lazy promotion minimises).
+    pub fn total_promoted_bytes(&self) -> u64 {
+        self.gc.major_promoted_bytes + self.gc.promotion_bytes
+    }
+
+    /// Total promotion operations that happened because work was stolen.
+    pub fn promotions_at_steal(&self) -> u64 {
+        self.per_vproc.iter().map(|v| v.promotions_at_steal).sum()
+    }
+
+    /// Total promotion operations that happened because data was published
+    /// to a machine-global structure.
+    pub fn promotions_at_publish(&self) -> u64 {
+        self.per_vproc.iter().map(|v| v.promotions_at_publish).sum()
+    }
+
+    /// Total bytes promoted because work was actually stolen.
+    pub fn promoted_bytes_at_steal(&self) -> u64 {
+        self.per_vproc
+            .iter()
+            .map(|v| v.promoted_bytes_at_steal)
+            .sum()
+    }
+
+    /// Total bytes promoted because data was published to a machine-global
+    /// structure.
+    pub fn promoted_bytes_at_publish(&self) -> u64 {
+        self.per_vproc
+            .iter()
+            .map(|v| v.promoted_bytes_at_publish)
+            .sum()
+    }
+
+    /// Total steal requests served by victims (threaded backend only).
+    pub fn steal_requests_served(&self) -> u64 {
+        self.per_vproc.iter().map(|v| v.steal_requests_served).sum()
+    }
+
+    /// Total steal requests declined by victims (threaded backend only).
+    pub fn steal_requests_declined(&self) -> u64 {
+        self.per_vproc
+            .iter()
+            .map(|v| v.steal_requests_declined)
+            .sum()
+    }
+
     /// Fraction of total virtual time spent in garbage collection.
     pub fn gc_fraction(&self) -> f64 {
         if self.elapsed_ns == 0.0 {
@@ -89,13 +153,15 @@ mod tests {
                     tasks_run: 5,
                     steals: 1,
                     lazy_promotions: 2,
+                    promotions_at_steal: 1,
+                    promotions_at_publish: 1,
                     busy_ns: 1e9,
+                    ..VprocRunStats::default()
                 },
                 VprocRunStats {
                     tasks_run: 3,
-                    steals: 0,
-                    lazy_promotions: 0,
                     busy_ns: 0.5e9,
+                    ..VprocRunStats::default()
                 },
             ],
             gc: GcStats::default(),
@@ -105,5 +171,8 @@ mod tests {
         assert_eq!(report.total_tasks(), 8);
         assert_eq!(report.total_steals(), 1);
         assert_eq!(report.gc_fraction(), 0.0);
+        assert_eq!(report.promotions_at_steal(), 1);
+        assert_eq!(report.promotions_at_publish(), 1);
+        assert_eq!(report.total_promoted_bytes(), 0);
     }
 }

@@ -7,23 +7,41 @@
 //!   [`WorkerHeap`](mgc_heap::WorkerHeap) — nursery allocation and
 //!   minor/major collections touch only thread-owned state, so the local-GC
 //!   path takes **zero locks**, exactly the §3.3 claim;
-//! * the global heap is shared: atomic words, a mutex-guarded chunk pool
-//!   (the §3.3 synchronisation point), and an append-only chunk directory;
-//! * work stealing uses the same mutex-guarded [`WorkDeque`]s as the
-//!   simulated backend — a task becomes stealable the moment it is pushed,
-//!   so its heap roots are **promoted at publication time** (the threaded
-//!   analogue of the paper's lazy-promotion-on-steal: data is promoted when
-//!   work becomes visible to other vprocs, and a thief never touches the
-//!   victim's local heap);
+//! * the global heap is shared: atomic words, a lock-free Treiber-stack
+//!   chunk pool (chunk lease/return — the §3.3 synchronisation point — is a
+//!   handful of CAS operations), and an append-only chunk directory that
+//!   workers shadow with a thread-local cache;
+//! * each vproc's deque is **split**: the worker pushes and pops spawned
+//!   tasks on a *private* `VecDeque` it owns outright (no lock, no atomics,
+//!   and — crucially — **no promotion**: a spawned task's heap roots stay in
+//!   the spawner's local heap). A thief posts a
+//!   [`StealRequest`](crate::vproc::StealRequest) to the victim's
+//!   [`StealMailbox`](crate::vproc::StealMailbox); the victim services
+//!   requests at its safe points (task boundaries and the ramp-down ack
+//!   path) by promoting **only the stolen task's roots** and handing the
+//!   task over. Promotion volume is therefore proportional to *steals*, not
+//!   to *spawns* — the paper's lazy promotion-on-steal, §3.1. Data that
+//!   lands in machine-global structures (fork/join continuations, delivered
+//!   results, channel messages, proxy targets) is still promoted by its
+//!   owner at publication time, because any thread may read those tables;
 //! * global collections are a real **stop-the-world ramp-down**: a pending
-//!   flag, per-vproc acknowledgement at a safe point (task boundaries),
-//!   leader-led from-space flip, parallel CAS-evacuation, and a scan loop
-//!   over a shared [`AtomicUsize`] work index
+//!   flag, per-vproc acknowledgement at a safe point (declining outstanding
+//!   steal requests on the way), local collections rooted at the private
+//!   deque's tasks, leader-led from-space flip, parallel CAS-evacuation of
+//!   the worker-owned roots (private tasks included) plus a scan of the
+//!   surviving young local data, and a Cheney loop over a shared
+//!   [`AtomicUsize`] work index
 //!   (`mgc_core::{flip_to_from_space, scan_pass, release_from_space}`).
 //!
-//! Because every published root is global, a worker reaching a safe point
-//! holds no live local data; the ramp-down's local collections empty the
-//! local heaps and the parallel phase only traces the shared structures.
+//! Unlike the eager promote-at-publication design this backend used before,
+//! a worker reaches the barrier still holding live *local* data — the
+//! unstolen private tasks' graphs. Those objects never move during a global
+//! collection; their fields are scanned as an extra root set
+//! ([`mgc_core::scan_young_fields`]).
+//!
+//! A thief blocked on a steal request never hangs: the wait is sliced, and
+//! every slice re-checks machine poison (a worker panicked), the
+//! pending-collection flag, and program termination.
 //!
 //! Time on this backend is the wall clock: [`RunReport::elapsed_ns`] (and
 //! [`RunReport::wall_clock_ns`]) report measured nanoseconds, which is what
@@ -35,16 +53,17 @@ use crate::executor::{Backend, Executor};
 use crate::machine::MachineConfig;
 use crate::stats::{RunReport, VprocRunStats};
 use crate::task::{Delivery, JoinCell, JoinId, Task, TaskResult, TaskSpec};
-use crate::vproc::WorkDeque;
+use crate::vproc::{StealMailbox, StealRequest};
 use mgc_core::{
-    evacuate_roots, flip_to_from_space, forward_parallel, release_from_space, scan_pass, Collector,
-    GcStats, ParallelGcState,
+    evacuate_roots, flip_to_from_space, forward_parallel, release_from_space, scan_pass,
+    scan_young_fields, Collector, GcStats, ParallelGcState,
 };
 use mgc_heap::{
     Addr, Descriptor, DescriptorId, DescriptorTable, GcHeap, LocalHeapStats, SharedGlobalHeap,
     ThreadedLayout, Word, WorkerHeap,
 };
 use mgc_numa::TrafficStats;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -154,7 +173,12 @@ struct GcControl {
 /// State shared by every worker thread.
 pub(crate) struct Shared {
     num_vprocs: usize,
-    pub(crate) deques: Vec<WorkDeque>,
+    /// Per-vproc steal mailboxes: the published end of each worker's split
+    /// deque (the private end lives inside [`WorkerState`]).
+    pub(crate) mailboxes: Vec<StealMailbox>,
+    /// Ablation knob (mirrors the pre-lazy-promotion behaviour): when set,
+    /// every pushed task's roots are promoted at publication time.
+    eager_publication: bool,
     /// Tasks queued or running anywhere in the machine. Zero means the
     /// program is finished: only a running task can create new tasks.
     pending_tasks: AtomicUsize,
@@ -199,16 +223,36 @@ struct WorkerOutcome {
     local: LocalHeapStats,
 }
 
-/// A worker thread's complete state: its heap view, its collector, and the
-/// shared machine. [`TaskCtx`] borrows this during task execution.
+/// Why a worker promotes an object graph to the global heap — threaded
+/// through to the [`VprocRunStats`] counters so the lazy-promotion win is
+/// measurable per run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PromoteWhy {
+    /// Work was actually stolen: the victim promotes the stolen task's
+    /// roots at handoff (the paper's lazy promotion, §3.1).
+    Steal,
+    /// Data became reachable from a machine-global structure: continuation
+    /// roots, delivered results, channel messages, proxy targets — or, in
+    /// the eager-publication ablation, a deque push.
+    Publish,
+}
+
+/// A worker thread's complete state: its heap view, its collector, the
+/// private end of its split deque, and the shared machine. [`TaskCtx`]
+/// borrows this during task execution.
 pub(crate) struct WorkerState {
     pub(crate) vproc: usize,
     pub(crate) heap: WorkerHeap,
     pub(crate) collector: Collector,
     pub(crate) shared: Arc<Shared>,
     pub(crate) stats: VprocRunStats,
-    /// Last victim probed, so steal attempts rotate instead of re-scanning
-    /// (and re-locking) every deque per attempt.
+    /// The private end of this worker's deque: owner push/pop take no lock
+    /// and **no promotion** — a queued task's roots stay in this worker's
+    /// local heap until the task is stolen (or run here). Thieves never see
+    /// this queue; they go through the steal mailbox.
+    private: VecDeque<Task>,
+    /// Last victim probed, so steal attempts rotate instead of re-probing
+    /// every mailbox from the same start each time.
     steal_cursor: usize,
 }
 
@@ -230,7 +274,9 @@ impl WorkerState {
     // ------------------------------------------------------------------
 
     /// Makes sure the nursery can hold `payload_words`, running a local
-    /// collection (rooted at the running task's roots) if it cannot.
+    /// collection (rooted at the running task's roots **and** the private
+    /// deque's tasks — their graphs live in this local heap until stolen)
+    /// if it cannot.
     pub(crate) fn reserve_nursery(&mut self, roots: &mut [Addr], payload_words: usize) {
         let needed = payload_words + 1;
         if self.heap.local(self.vproc).nursery_free_words() >= needed {
@@ -244,15 +290,44 @@ impl WorkerState {
         );
     }
 
+    /// Gathers this worker's full local root set — the supplied extra roots
+    /// (the running task) plus every private task's roots — runs `collect`
+    /// over it, and scatters the rewritten roots back.
+    fn with_local_roots(
+        &mut self,
+        extra: &mut [Addr],
+        collect: impl FnOnce(&mut Collector, &mut WorkerHeap, usize, &mut Vec<Addr>),
+    ) {
+        let mut roots: Vec<Addr> = Vec::with_capacity(extra.len() + 4 * self.private.len());
+        roots.extend_from_slice(extra);
+        for task in &self.private {
+            roots.extend_from_slice(&task.roots);
+        }
+        collect(&mut self.collector, &mut self.heap, self.vproc, &mut roots);
+        let mut cursor = 0;
+        for slot in extra.iter_mut() {
+            *slot = roots[cursor];
+            cursor += 1;
+        }
+        for task in self.private.iter_mut() {
+            for slot in task.roots.iter_mut() {
+                *slot = roots[cursor];
+                cursor += 1;
+            }
+        }
+        debug_assert_eq!(cursor, roots.len());
+    }
+
     fn local_gc(&mut self, roots: &mut [Addr]) {
         let start = Instant::now();
-        let outcome = self
-            .collector
-            .collect_local(&mut self.heap, self.vproc, roots);
+        let mut needs_global = false;
+        self.with_local_roots(roots, |collector, heap, vproc, all_roots| {
+            needs_global = collector.collect_local(heap, vproc, all_roots).needs_global;
+        });
         let pause = start.elapsed().as_nanos() as f64;
         let stats = self.collector.vproc_stats_mut(self.vproc);
         stats.minor_pause_ns += pause;
-        if outcome.needs_global {
+        if needs_global {
             self.request_global();
         }
     }
@@ -264,7 +339,7 @@ impl WorkerState {
     }
 
     // ------------------------------------------------------------------
-    // Promotion at publication
+    // Promotion (on steal, and at publication to global structures)
     // ------------------------------------------------------------------
 
     /// Follows forwarding pointers left by promotions.
@@ -279,27 +354,40 @@ impl WorkerState {
     }
 
     /// Promotes `addr` to the global heap if it still lives in this worker's
-    /// local heap. Every pointer that escapes the worker — task inputs
-    /// pushed to the deque, continuation roots, channel messages, proxy
-    /// targets, delivered results — goes through here, which is what keeps
-    /// other workers out of this worker's local heap entirely.
-    pub(crate) fn promote_shared(&mut self, addr: Addr) -> Addr {
+    /// local heap. Every pointer that escapes the worker goes through here:
+    /// stolen tasks' roots at handoff (`PromoteWhy::Steal`), and data
+    /// published to machine-global structures — continuation roots, channel
+    /// messages, proxy targets, delivered results (`PromoteWhy::Publish`).
+    /// This is what keeps other workers out of this worker's local heap
+    /// entirely.
+    pub(crate) fn promote_shared(&mut self, addr: Addr, why: PromoteWhy) -> Addr {
         let addr = self.resolve_addr(addr);
         if addr.is_null() || !self.heap.is_local(addr) {
             return addr;
         }
         let (new, outcome) = self.collector.promote(&mut self.heap, self.vproc, addr);
         self.stats.lazy_promotions += 1;
+        match why {
+            PromoteWhy::Steal => {
+                self.stats.promotions_at_steal += 1;
+                self.stats.promoted_bytes_at_steal += outcome.promoted_bytes;
+            }
+            PromoteWhy::Publish => {
+                self.stats.promotions_at_publish += 1;
+                self.stats.promoted_bytes_at_publish += outcome.promoted_bytes;
+            }
+        }
         if outcome.needs_global {
             self.request_global();
         }
         new
     }
 
-    /// Promotes every root in a task about to be published.
-    pub(crate) fn publish_roots(&mut self, roots: &mut [Addr]) {
+    /// Promotes every root in a task or continuation about to become visible
+    /// to other workers.
+    pub(crate) fn publish_roots(&mut self, roots: &mut [Addr], why: PromoteWhy) {
         for root in roots.iter_mut() {
-            *root = self.promote_shared(*root);
+            *root = self.promote_shared(*root, why);
         }
     }
 
@@ -307,15 +395,26 @@ impl WorkerState {
     // Task plumbing
     // ------------------------------------------------------------------
 
-    /// Publishes a task on this worker's deque (promoting its roots first,
-    /// since any thread may steal it from there).
+    /// Pushes a task on this worker's **private** deque. Under lazy
+    /// promotion (the default) the task's roots stay in this worker's local
+    /// heap — promotion happens only if the task is later stolen. The
+    /// eager-publication ablation promotes here instead, which is what the
+    /// proptest uses as the volume upper bound.
     pub(crate) fn push_task(&mut self, mut task: Task) {
-        let mut roots = std::mem::take(&mut task.roots);
-        self.publish_roots(&mut roots);
-        task.roots = roots;
+        if self.shared.eager_publication {
+            let mut roots = std::mem::take(&mut task.roots);
+            self.publish_roots(&mut roots, PromoteWhy::Publish);
+            task.roots = roots;
+        }
         self.shared.pending_tasks.fetch_add(1, Ordering::AcqRel);
-        self.shared.deques[self.vproc].push(task);
+        self.private.push_back(task);
+        self.publish_work_hint();
         self.shared.notify_workers();
+    }
+
+    /// Publishes the private-deque length so thieves can pick a victim.
+    fn publish_work_hint(&self) {
+        self.shared.mailboxes[self.vproc].publish_work_hint(self.private.len());
     }
 
     /// Registers a join cell (its continuation's roots must already be
@@ -353,7 +452,9 @@ impl WorkerState {
             let mut continuation = cell.continuation.expect("continuation present");
             // Children's results follow the continuation's own inputs, in
             // child order. Pointer results were promoted by the delivering
-            // worker, so they are safe to adopt on any vproc.
+            // worker (and the continuation's own roots by the forking
+            // worker), so the continuation is safe to adopt on any vproc —
+            // it lands on this worker's private deque like any other task.
             for s in &cell.slots {
                 if s.is_ptr {
                     continuation.roots.push(Addr::new(s.word));
@@ -362,11 +463,19 @@ impl WorkerState {
                 }
             }
             self.shared.pending_tasks.fetch_add(1, Ordering::AcqRel);
-            self.shared.deques[self.vproc].push(continuation);
+            self.private.push_back(continuation);
+            self.publish_work_hint();
             self.shared.notify_workers();
         }
     }
 
+    // ------------------------------------------------------------------
+    // The steal-request protocol
+    // ------------------------------------------------------------------
+
+    /// Thief side: rotates over the other vprocs' mailboxes, posting a steal
+    /// request to the first victim whose work hint is non-zero and waiting
+    /// (bounded) for the handoff.
     fn try_steal(&mut self) -> Option<Task> {
         let n = self.shared.num_vprocs;
         for _ in 0..n {
@@ -374,7 +483,10 @@ impl WorkerState {
             if self.steal_cursor == self.vproc {
                 continue;
             }
-            if let Some(task) = self.shared.deques[self.steal_cursor].steal() {
+            if self.shared.mailboxes[self.steal_cursor].work_hint() == 0 {
+                continue;
+            }
+            if let Some(task) = self.request_steal(self.steal_cursor) {
                 self.stats.steals += 1;
                 return Some(task);
             }
@@ -382,12 +494,71 @@ impl WorkerState {
         None
     }
 
+    /// Posts one steal request to `victim` and waits for the answer. The
+    /// wait aborts (cancelling the request) when the machine is poisoned, a
+    /// global collection becomes pending, the program finished, or the
+    /// victim takes too long — so a thief can never hang here.
+    fn request_steal(&mut self, victim: usize) -> Option<Task> {
+        let request = StealRequest::new();
+        self.shared.mailboxes[victim].post(Arc::clone(&request));
+        // The victim may be asleep in the idle wait; it services its mailbox
+        // at the top of its scheduler loop once woken.
+        self.shared.notify_workers();
+        let shared = Arc::clone(&self.shared);
+        request.wait(move || {
+            shared.gc.barrier.is_poisoned()
+                || shared.gc.pending.load(Ordering::Acquire)
+                || shared.pending_tasks.load(Ordering::Acquire) == 0
+        })
+    }
+
+    /// Victim side: answers every queued steal request at a safe point. A
+    /// handoff pops the *oldest* private task (the FIFO end — the largest
+    /// unit of work, as in any work-stealing deque) and promotes **only that
+    /// task's roots** before filling the request; this is the one place the
+    /// lazy-promotion design pays promotion cost, so the volume scales with
+    /// steals rather than spawns. Requests are declined when the private
+    /// deque is empty or a global collection is pending (`declining` forces
+    /// that — the ramp-down ack path must not grow the global heap).
+    fn service_steal_requests(&mut self, declining: bool) {
+        while let Some(request) = self.shared.mailboxes[self.vproc].take_request() {
+            if !request.is_pending() {
+                continue; // the thief already gave up
+            }
+            let decline = declining
+                || self.private.is_empty()
+                || self.shared.gc.pending.load(Ordering::Acquire);
+            if decline {
+                request.decline();
+                self.stats.steal_requests_declined += 1;
+                continue;
+            }
+            let mut task = self
+                .private
+                .pop_front()
+                .expect("non-empty checked just above; only the owner pops");
+            self.publish_work_hint();
+            let mut roots = std::mem::take(&mut task.roots);
+            self.publish_roots(&mut roots, PromoteWhy::Steal);
+            task.roots = roots;
+            match request.try_fill(task) {
+                Ok(()) => self.stats.steal_requests_served += 1,
+                Err(task) => {
+                    // The thief cancelled between our pending-check and the
+                    // fill: keep the (now promoted — harmless) task.
+                    self.private.push_front(task);
+                    self.publish_work_hint();
+                }
+            }
+        }
+    }
+
     // ------------------------------------------------------------------
     // Channels and proxies
     // ------------------------------------------------------------------
 
     pub(crate) fn channel_send(&mut self, channel: ChannelId, message: Addr) {
-        let message = self.promote_shared(message);
+        let message = self.promote_shared(message, PromoteWhy::Publish);
         let mut channels = self.shared.channels.lock().expect("channels poisoned");
         channels[channel.0].queue.push_back(message);
         channels[channel.0].sends += 1;
@@ -419,7 +590,7 @@ impl WorkerState {
         // proxy, so the target is promoted by its owner at creation time
         // (the threaded analogue of promote-on-remote-resolve: promotion
         // happens when the object becomes reachable from shared state).
-        let target = self.promote_shared(target);
+        let target = self.promote_shared(target, PromoteWhy::Publish);
         let mut proxies = self.shared.proxies.lock().expect("proxies poisoned");
         proxies.push(Proxy {
             owner: self.vproc,
@@ -476,8 +647,9 @@ impl WorkerState {
                 TaskResult::Unit => (0, false),
                 TaskResult::Value(w) => (w, false),
                 TaskResult::Ptr(handle) => {
-                    // Results escape this worker: promote before delivering.
-                    let addr = self.promote_shared(roots[handle.index()]);
+                    // Results land in the machine-global join table (or the
+                    // root-result slot): promote before delivering.
+                    let addr = self.promote_shared(roots[handle.index()], PromoteWhy::Publish);
                     (addr.raw(), true)
                 }
             };
@@ -527,10 +699,18 @@ impl WorkerState {
                 break;
             }
             if self.shared.gc.pending.load(Ordering::Acquire) {
+                // The ramp-down ack path is a servicing point too: decline
+                // outstanding steal requests so no thief waits on a victim
+                // that is heading into the barrier.
+                self.service_steal_requests(true);
                 self.participate_global_gc();
                 continue;
             }
-            if let Some(task) = self.shared.deques[self.vproc].pop_local() {
+            // A task boundary is the safe point where steal requests are
+            // answered (handing work over promotes only that work's roots).
+            self.service_steal_requests(false);
+            if let Some(task) = self.private.pop_back() {
+                self.publish_work_hint();
                 self.run_task(task);
                 continue;
             }
@@ -547,7 +727,13 @@ impl WorkerState {
                 if self.shared.gc.pending.load(Ordering::Acquire) {
                     continue;
                 }
+                // Decline any steal request that raced with the shutdown so
+                // no thief waits out its full patience.
+                self.service_steal_requests(true);
                 break;
+            }
+            if self.shared.mailboxes[self.vproc].has_requests() {
+                continue; // a request arrived while we were stealing: serve it
             }
             let guard = self.shared.idle_lock.lock().expect("idle lock poisoned");
             let _ = self
@@ -569,13 +755,15 @@ impl WorkerState {
         let start = Instant::now();
         let shared = self.shared.clone();
 
-        // --- Ramp-down (§3.4 steps 1–3). At a safe point every published
-        // root is global, so these collections empty the local heap.
-        let mut no_roots: Vec<Addr> = Vec::new();
-        self.collector
-            .minor(&mut self.heap, self.vproc, &mut no_roots);
-        self.collector
-            .major(&mut self.heap, self.vproc, &mut no_roots);
+        // --- Ramp-down (§3.4 steps 1–3). Under lazy promotion the unstolen
+        // private tasks' graphs still live in this local heap, so the
+        // collections are rooted at those tasks; their survivors end up in
+        // the young area (minor) with the old data promoted (major).
+        let mut no_extra: Vec<Addr> = Vec::new();
+        self.with_local_roots(&mut no_extra, |collector, heap, vproc, roots| {
+            collector.minor(heap, vproc, roots);
+            collector.major(heap, vproc, roots);
+        });
         self.heap.retire_current_chunk();
 
         // --- Acknowledge and wait for the flip: the leader (last arrival)
@@ -589,8 +777,10 @@ impl WorkerState {
             shared.gc.done.store(false, Ordering::Release);
         });
 
-        // --- Evacuate the roots this worker owns.
+        // --- Evacuate the roots this worker owns, then fix up the fields of
+        // the surviving young local data (it may reference from-space).
         self.evacuate_owned_roots();
+        scan_young_fields(&mut self.heap, &shared.gc.state);
         shared.gc.barrier.wait_with(|| {});
 
         // --- Parallel Cheney drain over the shared work index, until a full
@@ -631,19 +821,19 @@ impl WorkerState {
         stats.global_pause_ns += start.elapsed().as_nanos() as f64;
     }
 
-    /// Evacuates the roots this worker is responsible for: its own deque's
-    /// tasks, plus a `vproc`-strided slice of the shared join/channel/proxy
-    /// tables (and the root result, on worker 0).
+    /// Evacuates the roots this worker is responsible for: its private
+    /// deque's tasks (their local roots are left alone — local objects never
+    /// move in a global collection — and their global roots are forwarded),
+    /// plus a `vproc`-strided slice of the shared join/channel/proxy tables
+    /// (and the root result, on worker 0).
     fn evacuate_owned_roots(&mut self) {
         let shared = self.shared.clone();
         let state = &shared.gc.state;
         let stride = shared.num_vprocs;
 
-        shared.deques[self.vproc].with_tasks(|tasks| {
-            for task in tasks.iter_mut() {
-                evacuate_roots(&mut self.heap, &mut task.roots, state);
-            }
-        });
+        for task in self.private.iter_mut() {
+            evacuate_roots(&mut self.heap, &mut task.roots, state);
+        }
 
         {
             let mut joins = shared.joins.lock().expect("joins poisoned");
@@ -782,7 +972,8 @@ impl ThreadedMachine {
 
         let shared = Arc::new(Shared {
             num_vprocs,
-            deques: (0..num_vprocs).map(|_| WorkDeque::new()).collect(),
+            mailboxes: (0..num_vprocs).map(|_| StealMailbox::new()).collect(),
+            eager_publication: self.config.gc.eager_publication,
             pending_tasks: AtomicUsize::new(1),
             idle_lock: Mutex::new(()),
             work_cv: Condvar::new(),
@@ -807,12 +998,21 @@ impl ThreadedMachine {
                 collections: AtomicU64::new(0),
             },
         });
-        shared.deques[0].push(root);
 
+        let mut root = Some(root);
         let workers: Vec<WorkerState> = (0..num_vprocs)
             .map(|vproc| {
                 let home = topology.node_of_core(cores[vproc]);
                 let node = placer.place(home);
+                // The root task starts on worker 0's private deque; its
+                // roots are empty (nothing is allocated before the run), so
+                // seeding it before the thread starts needs no promotion.
+                let private: VecDeque<Task> = if vproc == 0 {
+                    root.take().into_iter().collect()
+                } else {
+                    VecDeque::new()
+                };
+                shared.mailboxes[vproc].publish_work_hint(private.len());
                 WorkerState {
                     vproc,
                     heap: WorkerHeap::new(
@@ -826,6 +1026,7 @@ impl ThreadedMachine {
                     collector: Collector::new(self.config.gc, num_vprocs, topology.num_nodes()),
                     shared: shared.clone(),
                     stats: VprocRunStats::default(),
+                    private,
                     steal_cursor: vproc,
                 }
             })
@@ -934,6 +1135,10 @@ impl Executor for ThreadedMachine {
     fn take_result(&mut self) -> Option<(Word, bool)> {
         self.result.take()
     }
+
+    fn channel_stats(&self) -> ChannelStats {
+        ThreadedMachine::channel_stats(self)
+    }
 }
 
 #[cfg(test)]
@@ -1030,6 +1235,126 @@ mod tests {
             message.contains("exploded on purpose"),
             "the original panic message should propagate, got: {message:?}"
         );
+    }
+
+    #[test]
+    fn thief_blocked_on_a_steal_request_survives_a_victim_panic() {
+        // Worker 0 pushes stealable-looking work (its hint goes non-zero),
+        // gives the other workers time to post steal requests, and then
+        // panics *without ever reaching a safe point* — so the requests are
+        // never serviced. The blocked thieves must abort their waits via the
+        // poison/timeout path instead of hanging the machine.
+        let result = std::panic::catch_unwind(|| {
+            let mut m = machine(4);
+            m.spawn_root(TaskSpec::new("root", |ctx| {
+                for _ in 0..8 {
+                    ctx.spawn(TaskSpec::new("never-runs", |_| TaskResult::Unit), &[]);
+                }
+                // Let the idle workers wake up and post their requests.
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                panic!("victim exploded before its next safe point");
+            }));
+            m.run();
+        });
+        let payload = result.expect_err("the victim panic must propagate");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            message.contains("exploded before its next safe point"),
+            "the victim's panic should propagate, got: {message:?}"
+        );
+    }
+
+    #[test]
+    fn single_worker_spawn_tree_promotes_nothing_at_steal() {
+        // With one vproc there are no thieves: under lazy promotion the
+        // spawned tasks' graphs must stay local (the eager design promoted
+        // every pushed root).
+        let mut m = machine(1);
+        m.spawn_root(TaskSpec::new("root", |ctx| {
+            let children: Vec<_> = (0..16i64)
+                .map(|i| {
+                    let obj = ctx.alloc_raw(&[i64_to_word(i); 8]);
+                    (
+                        TaskSpec::new("child", |ctx| {
+                            TaskResult::Value(ctx.read_raw(ctx.input(0), 0))
+                        }),
+                        vec![obj],
+                    )
+                })
+                .collect();
+            ctx.fork_join(
+                children,
+                TaskSpec::new("sum", |ctx| {
+                    let total: i64 = (0..ctx.num_values())
+                        .map(|i| word_to_i64(ctx.value(i)))
+                        .sum();
+                    TaskResult::Value(i64_to_word(total))
+                }),
+                &[],
+            );
+            TaskResult::Unit
+        }));
+        let report = m.run();
+        assert_eq!(m.take_result(), Some((i64_to_word((0..16).sum()), false)));
+        assert_eq!(report.total_steals(), 0);
+        assert_eq!(report.promotions_at_steal(), 0);
+        assert_eq!(
+            report.per_vproc[0].steal_requests_served, 0,
+            "nobody can request a steal on a single-vproc machine"
+        );
+    }
+
+    #[test]
+    fn stolen_work_is_promoted_at_steal_time() {
+        // Spawn enough slow children from one worker that the other three
+        // post steal requests and get tasks (with heap roots) handed over.
+        let mut m = machine(4);
+        m.spawn_root(TaskSpec::new("root", |ctx| {
+            let children: Vec<_> = (0..32i64)
+                .map(|i| {
+                    let obj = ctx.alloc_raw(&[i64_to_word(i); 8]);
+                    (
+                        TaskSpec::new("slow-child", |ctx| {
+                            std::thread::sleep(std::time::Duration::from_micros(300));
+                            TaskResult::Value(ctx.read_raw(ctx.input(0), 0))
+                        }),
+                        vec![obj],
+                    )
+                })
+                .collect();
+            ctx.fork_join(
+                children,
+                TaskSpec::new("sum", |ctx| {
+                    let total: i64 = (0..ctx.num_values())
+                        .map(|i| word_to_i64(ctx.value(i)))
+                        .sum();
+                    TaskResult::Value(i64_to_word(total))
+                }),
+                &[],
+            );
+            TaskResult::Unit
+        }));
+        let report = m.run();
+        assert_eq!(m.take_result(), Some((i64_to_word((0..32).sum()), false)));
+        if report.total_steals() > 0 {
+            assert_eq!(
+                report.total_steals(),
+                report
+                    .per_vproc
+                    .iter()
+                    .map(|v| v.steal_requests_served)
+                    .sum::<u64>(),
+                "every successful steal corresponds to one served request"
+            );
+            assert!(
+                report.promotions_at_steal() > 0,
+                "stolen tasks carry local roots, so steals must promote"
+            );
+        }
     }
 
     #[test]

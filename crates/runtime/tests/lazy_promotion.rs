@@ -1,0 +1,109 @@
+//! Property test for the lazy promotion-on-steal protocol: for random
+//! fork/join spawn trees, the threaded backend's explicit-promotion volume
+//! under lazy promotion is never larger than under the eager-publication
+//! ablation (the pre-refactor promote-at-push behaviour).
+//!
+//! The argument is set inclusion: publications (continuation roots,
+//! delivered results) are identical in both modes, and the graphs promoted
+//! at steal time are a subset of the graphs eager mode promotes at push
+//! time — the mutator language is mutation-free, so a task's reachable
+//! graph is the same at push and at steal.
+
+use mgc_runtime::{
+    Executor, GcConfig, MachineConfig, RunReport, TaskResult, TaskSpec, ThreadedMachine,
+};
+use proptest::prelude::*;
+
+/// A recursive fork/join tree: every node allocates a payload object in its
+/// nursery and hands it to each child as a pointer input, so stealing a
+/// child forces the promotion of the parent's object graph.
+fn tree_task(depth: u8, fanout: u8, payload_words: u8, seed: u64) -> TaskSpec {
+    TaskSpec::new("tree-node", move |ctx| {
+        let words: Vec<u64> = (0..u64::from(payload_words) + 1)
+            .map(|i| seed.wrapping_add(i))
+            .collect();
+        let obj = ctx.alloc_raw(&words);
+        if depth == 0 {
+            return TaskResult::Value(ctx.read_raw(obj, 0));
+        }
+        let children: Vec<_> = (0..fanout)
+            .map(|i| {
+                (
+                    tree_task(
+                        depth - 1,
+                        fanout,
+                        payload_words,
+                        seed.wrapping_mul(31).wrapping_add(u64::from(i)),
+                    ),
+                    vec![obj],
+                )
+            })
+            .collect();
+        ctx.fork_join(
+            children,
+            TaskSpec::new("tree-sum", |ctx| {
+                let total: u64 = (0..ctx.num_values())
+                    .map(|i| ctx.value(i))
+                    .fold(0, u64::wrapping_add);
+                TaskResult::Value(total)
+            }),
+            &[],
+        );
+        TaskResult::Unit
+    })
+}
+
+fn run_tree(
+    vprocs: usize,
+    eager: bool,
+    depth: u8,
+    fanout: u8,
+    payload_words: u8,
+    seed: u64,
+) -> (RunReport, Option<(u64, bool)>) {
+    let config = MachineConfig::small_for_tests(vprocs).with_gc(GcConfig {
+        eager_publication: eager,
+        ..GcConfig::small_for_tests()
+    });
+    let mut machine = ThreadedMachine::new(config);
+    machine.spawn_root(tree_task(depth, fanout, payload_words, seed));
+    let report = machine.run();
+    let result = machine.take_result();
+    (report, result)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn lazy_promotion_volume_is_bounded_by_eager_publication(
+        depth in 1u8..4,
+        fanout in 1u8..4,
+        payload_words in 1u8..12,
+        seed in any::<u64>(),
+        vprocs in 1usize..4,
+    ) {
+        let (eager, eager_result) = run_tree(vprocs, true, depth, fanout, payload_words, seed);
+        let (lazy, lazy_result) = run_tree(vprocs, false, depth, fanout, payload_words, seed);
+
+        // The program itself is scheduling- and promotion-independent.
+        prop_assert_eq!(eager_result, lazy_result);
+        prop_assert_eq!(eager.total_tasks(), lazy.total_tasks());
+
+        // The property under test: promotion volume on the threaded backend
+        // is ≤ the eager-publication volume.
+        prop_assert!(
+            lazy.gc.promotion_bytes <= eager.gc.promotion_bytes,
+            "lazy promoted {} bytes but eager publication only {} \
+             (depth {depth}, fanout {fanout}, payload {payload_words}, vprocs {vprocs})",
+            lazy.gc.promotion_bytes,
+            eager.gc.promotion_bytes,
+        );
+
+        // And its corollary: with one vproc nothing is stolen, so lazy mode
+        // promotes nothing on the push path at all.
+        if vprocs == 1 {
+            prop_assert_eq!(lazy.promotions_at_steal(), 0);
+        }
+    }
+}

@@ -156,8 +156,11 @@ pub fn executor_for(
     }
 }
 
-/// Runs one workload to completion on the simulated backend and returns its
-/// report.
+/// Runs one workload to completion and returns its report. The backend
+/// defaults to the simulated one; set the `MGC_BACKEND` environment variable
+/// (`simulated`/`threaded`) to override it — the examples and ad-hoc
+/// experiments use this to flip a whole run onto real threads without
+/// touching code.
 pub fn run_workload(
     topology: &Topology,
     vprocs: usize,
@@ -165,9 +168,10 @@ pub fn run_workload(
     workload: Workload,
     scale: Scale,
 ) -> RunReport {
-    let mut machine = machine_for(topology, vprocs, policy);
-    workload.spawn(&mut machine, scale);
-    machine.run()
+    let backend = Backend::from_env().unwrap_or(Backend::Simulated);
+    let mut executor = executor_for(backend, topology, vprocs, policy);
+    workload.spawn(&mut *executor, scale);
+    executor.run()
 }
 
 /// Runs one workload on the chosen backend, returning the run report and

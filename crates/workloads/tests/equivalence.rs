@@ -9,9 +9,10 @@
 //! * **total nursery allocations** — what a workload allocates depends only
 //!   on its input, never on scheduling.
 //!
-//! What is not: promotion volume (the threaded backend promotes at
-//! publication, the simulated one on steal/delivery) and therefore the
-//! number of global collections — those are compared within a generous
+//! What is not: promotion volume (both backends promote lazily — on steal
+//! and on publication to machine-global structures — but *which* tasks are
+//! stolen depends on real scheduling on the threaded backend) and therefore
+//! the number of global collections — those are compared within a generous
 //! tolerance only.
 
 use mgc_heap::word_to_f64;
@@ -93,15 +94,24 @@ fn backends_agree_on_deterministic_invariants_for_every_workload() {
             "{workload}: allocation volumes diverge"
         );
 
-        // The threaded backend promotes whatever becomes visible to other
-        // threads. A workload that shares pointers across tasks on the
-        // simulated backend must promote on the threaded one too (DMM
-        // shares nothing — "almost no shared data", §4.1 — and promotes on
-        // neither).
-        if sim.gc.promotions > 0 {
+        // The threaded backend promotes stolen work at handoff and
+        // published data (results, continuations, messages) at publication.
+        // Under lazy promotion-on-steal a threaded run where no task is
+        // actually stolen may legitimately promote *nothing* even when the
+        // simulated model (whose scheduler steals deterministically) does —
+        // that is the point of the design. What must always hold is the
+        // internal consistency of the steal-side accounting.
+        if threaded.total_steals() == 0 {
+            assert_eq!(
+                threaded.promotions_at_steal(),
+                0,
+                "{workload}: steal-driven promotions without any steal"
+            );
+        }
+        if threaded.promotions_at_steal() > 0 {
             assert!(
-                threaded.gc.promotions > 0,
-                "{workload}: simulated run promoted but threaded run never did"
+                threaded.total_steals() > 0,
+                "{workload}: promotion attributed to steals that never happened"
             );
         }
 

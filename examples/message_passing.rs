@@ -8,14 +8,22 @@
 //!
 //! ```text
 //! cargo run --example message_passing --release
+//! MGC_BACKEND=threaded cargo run --example message_passing --release
 //! ```
 
 use manticore_gc::heap::i64_to_word;
 use manticore_gc::numa::Topology;
-use manticore_gc::runtime::{Machine, MachineConfig, TaskResult, TaskSpec};
+use manticore_gc::runtime::{
+    Backend, Executor, Machine, MachineConfig, TaskResult, TaskSpec, ThreadedMachine,
+};
 
 fn main() {
-    let mut machine = Machine::new(MachineConfig::new(Topology::intel_xeon_32(), 4));
+    let config = MachineConfig::new(Topology::intel_xeon_32(), 4);
+    let backend = Backend::from_env().unwrap_or(Backend::Simulated);
+    let mut machine: Box<dyn Executor> = match backend {
+        Backend::Simulated => Box::new(Machine::new(config)),
+        Backend::Threaded => Box::new(ThreadedMachine::new(config)),
+    };
     let channel = machine.create_channel();
 
     machine.spawn_root(TaskSpec::new("producer", move |ctx| {
@@ -53,5 +61,9 @@ fn main() {
     println!("proxies promoted    : {}", stats.proxies_promoted);
     println!("promotions (lazy)   : {}", report.gc.promotions);
     println!("bytes promoted      : {}", report.gc.promotion_bytes);
-    println!("virtual time        : {:.3} ms", report.elapsed_ns / 1e6);
+    let clock = match backend {
+        Backend::Simulated => "virtual time",
+        Backend::Threaded => "wall-clock time",
+    };
+    println!("{clock:<20}: {:.3} ms", report.elapsed_ns / 1e6);
 }

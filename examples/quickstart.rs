@@ -1,21 +1,29 @@
-//! Quickstart: build a simulated NUMA machine, run a small parallel program
-//! under the Manticore-style collector, and inspect what the memory system
-//! and the collector did.
+//! Quickstart: build a NUMA machine, run a small parallel program under the
+//! Manticore-style collector, and inspect what the memory system and the
+//! collector did.
 //!
 //! ```text
 //! cargo run --example quickstart --release
+//! MGC_BACKEND=threaded cargo run --example quickstart --release   # real OS threads
 //! ```
 
 use manticore_gc::heap::i64_to_word;
 use manticore_gc::numa::{AllocPolicy, Topology};
-use manticore_gc::runtime::{Machine, MachineConfig, TaskResult, TaskSpec};
+use manticore_gc::runtime::{
+    Backend, Executor, Machine, MachineConfig, TaskResult, TaskSpec, ThreadedMachine,
+};
 
 fn main() {
     // A 48-core AMD "Magny Cours" machine (the paper's Appendix A.1),
-    // 16 vprocs, local page placement.
+    // 16 vprocs, local page placement. `MGC_BACKEND=threaded` runs the same
+    // program on real OS threads instead of the discrete-event simulation.
     let config =
         MachineConfig::new(Topology::amd_magny_cours_48(), 16).with_policy(AllocPolicy::Local);
-    let mut machine = Machine::new(config);
+    let backend = Backend::from_env().unwrap_or(Backend::Simulated);
+    let mut machine: Box<dyn Executor> = match backend {
+        Backend::Simulated => Box::new(Machine::new(config)),
+        Backend::Threaded => Box::new(ThreadedMachine::new(config)),
+    };
 
     // A fork/join program: every child builds a little list in its nursery,
     // sums it, and returns the sum; the continuation adds everything up.
@@ -58,10 +66,20 @@ fn main() {
     let report = machine.run();
     let (result, _) = machine.take_result().expect("program produces a result");
 
+    let clock = match backend {
+        Backend::Simulated => "virtual time",
+        Backend::Threaded => "wall-clock time",
+    };
+    println!("backend             : {backend}");
     println!("result              : {}", result as i64);
-    println!("virtual time        : {:.3} ms", report.elapsed_ns / 1e6);
+    println!("{clock:<20}: {:.3} ms", report.elapsed_ns / 1e6);
     println!("tasks executed      : {}", report.total_tasks());
     println!("work steals         : {}", report.total_steals());
+    println!(
+        "promotions          : {} at steal / {} at publish",
+        report.promotions_at_steal(),
+        report.promotions_at_publish()
+    );
     println!("minor collections   : {}", report.gc.minor_collections);
     println!("major collections   : {}", report.gc.major_collections);
     println!("global collections  : {}", report.gc.global_collections);
