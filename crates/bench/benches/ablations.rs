@@ -64,14 +64,16 @@ fn bench_workload_virtual_time(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablations/simulator_cost");
     group.bench_function("barnes_hut_tiny_8_threads", |b| {
         b.iter(|| {
-            mgc_workloads::run_workload(
-                &Topology::amd_magny_cours_48(),
-                8,
-                mgc_numa::AllocPolicy::Local,
-                Workload::BarnesHut,
-                Scale::tiny(),
-            )
-            .elapsed_ns
+            Workload::BarnesHut
+                .experiment(Scale::tiny())
+                .topology(Topology::amd_magny_cours_48())
+                .vprocs(8)
+                .policy(mgc_numa::AllocPolicy::Local)
+                .verify_checksum(false)
+                .run()
+                .expect("eight vprocs fit the AMD topology")
+                .report
+                .elapsed_ns
         })
     });
     group.finish();

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mgc_numa::{AllocPolicy, Topology};
-use mgc_workloads::{run_workload, Scale, Workload};
+use mgc_workloads::{Scale, Workload};
 use std::time::Duration;
 
 fn bench_figure_points(c: &mut Criterion) {
@@ -32,7 +32,18 @@ fn bench_figure_points(c: &mut Criterion) {
         ),
     ] {
         group.bench_function(format!("{name}/dmm_8_threads"), |b| {
-            b.iter(|| run_workload(&topology, 8, policy, Workload::Dmm, Scale::tiny()).elapsed_ns)
+            b.iter(|| {
+                Workload::Dmm
+                    .experiment(Scale::tiny())
+                    .topology(topology.clone())
+                    .vprocs(8)
+                    .policy(policy)
+                    .verify_checksum(false)
+                    .run()
+                    .expect("eight vprocs fit the figure topologies")
+                    .report
+                    .elapsed_ns
+            })
         });
     }
     group.finish();
@@ -44,7 +55,18 @@ fn bench_smvm_policy_contrast(c: &mut Criterion) {
     let topology = Topology::amd_magny_cours_48();
     for policy in [AllocPolicy::Local, AllocPolicy::SocketZero] {
         group.bench_function(policy.label(), |b| {
-            b.iter(|| run_workload(&topology, 12, policy, Workload::Smvm, Scale::tiny()).elapsed_ns)
+            b.iter(|| {
+                Workload::Smvm
+                    .experiment(Scale::tiny())
+                    .topology(topology.clone())
+                    .vprocs(12)
+                    .policy(policy)
+                    .verify_checksum(false)
+                    .run()
+                    .expect("twelve vprocs fit the AMD topology")
+                    .report
+                    .elapsed_ns
+            })
         });
     }
     group.finish();

@@ -4,11 +4,36 @@
 //! `--backend threaded` switches to the wall-clock baseline mode instead:
 //! every workload runs at 1/2/4 vprocs under **both** execution backends,
 //! the wall-clock and simulated times are printed side by side, and
-//! `results/BENCH_threaded.json` is written (the CI perf-trajectory
-//! artifact).
+//! `results/BENCH_threaded.json` is written (an array of `RunRecord` JSON
+//! objects — the CI perf-trajectory artifact).
+//!
+//! Baseline-mode options opening the scenario grid beyond the paper's five
+//! benchmarks:
+//!
+//! * `--churn` — include the synthetic allocation-churn benchmark, with
+//!   its parameters derived from `MGC_SCALE`;
+//! * `--churn-workers N` / `--churn-objects N` / `--churn-survive N` /
+//!   `--churn-words N` — override the corresponding `ChurnParams` field
+//!   (each implies `--churn`), so allocation volume, object size, survival
+//!   rate, and parallelism are all reachable from the command line.
+
+use mgc_workloads::churn::ChurnParams;
+
+/// Parses the value of a `--churn-*` flag as a positive integer.
+fn positive(value: Option<&String>, flag: &str) -> usize {
+    let parsed = value
+        .unwrap_or_else(|| panic!("{flag} requires a positive integer value"))
+        .parse::<usize>()
+        .unwrap_or_else(|_| panic!("{flag} requires a positive integer value"));
+    assert!(parsed > 0, "{flag} requires a positive integer value");
+    parsed
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut backend = mgc_runtime::Backend::Simulated;
+    let mut churn_requested = false;
+    let mut churn_params = ChurnParams::at_scale(mgc_bench::scale_from_env());
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -19,13 +44,38 @@ fn main() {
                 backend = value.parse().unwrap_or_else(|err: String| panic!("{err}"));
             }
             "--baseline" => backend = mgc_runtime::Backend::Threaded,
-            other => panic!("unknown argument `{other}` (expected --backend <simulated|threaded>)"),
+            "--churn" => churn_requested = true,
+            "--churn-workers" => {
+                churn_params.workers = positive(iter.next(), "--churn-workers");
+                churn_requested = true;
+            }
+            "--churn-objects" => {
+                churn_params.objects_per_worker = positive(iter.next(), "--churn-objects");
+                churn_requested = true;
+            }
+            "--churn-survive" => {
+                churn_params.survive_every = positive(iter.next(), "--churn-survive");
+                churn_requested = true;
+            }
+            "--churn-words" => {
+                churn_params.object_words = positive(iter.next(), "--churn-words");
+                churn_requested = true;
+            }
+            other => panic!(
+                "unknown argument `{other}` (expected --backend <simulated|threaded>, --churn, \
+                 or --churn-{{workers,objects,survive,words}} <n>)"
+            ),
         }
     }
+    let churn = churn_requested.then_some(churn_params);
 
     match backend {
-        mgc_runtime::Backend::Threaded => mgc_bench::run_baseline_and_report(),
+        mgc_runtime::Backend::Threaded => mgc_bench::run_baseline_and_report(churn),
         mgc_runtime::Backend::Simulated => {
+            assert!(
+                churn.is_none(),
+                "--churn applies to the baseline mode; combine it with --backend threaded"
+            );
             println!("{}", mgc_bench::table1());
             for spec in [
                 mgc_bench::figure4(),

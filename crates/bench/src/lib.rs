@@ -19,8 +19,9 @@
 #![warn(missing_docs)]
 
 use mgc_numa::{AllocPolicy, Topology};
-use mgc_runtime::{Backend, RunReport};
-use mgc_workloads::{run_workload_on, speedup_series, Scale, SpeedupPoint, Workload};
+use mgc_runtime::{run_records_json, Backend, Experiment, Program, RunRecord};
+use mgc_workloads::churn::{Churn, ChurnParams};
+use mgc_workloads::{speedup_series, Scale, SpeedupPoint, Workload};
 use std::fmt::Write as _;
 
 /// Description of one speedup figure.
@@ -99,9 +100,18 @@ pub fn run_figure(spec: &FigureSpec, scale: Scale) -> FigureData {
     let series = Workload::FIGURES
         .iter()
         .map(|&workload| {
-            let baseline =
-                mgc_workloads::run_workload(&spec.topology, 1, AllocPolicy::Local, workload, scale)
-                    .elapsed_ns;
+            let baseline = workload
+                .experiment(scale)
+                .topology(spec.topology.clone())
+                .vprocs(1)
+                .policy(AllocPolicy::Local)
+                // Figures read timings only; skip the sequential reference
+                // checksum each point would otherwise recompute.
+                .verify_checksum(false)
+                .run()
+                .expect("figure baselines use one vproc")
+                .report
+                .elapsed_ns;
             let points = speedup_series(
                 &spec.topology,
                 &spec.threads,
@@ -204,93 +214,42 @@ pub fn table1() -> String {
 /// and the first perf question is simply "does adding threads help").
 pub const BASELINE_VPROCS: [usize; 3] = [1, 2, 4];
 
-/// One measurement of one workload on one backend.
-#[derive(Debug, Clone)]
-pub struct BaselinePoint {
-    /// The workload measured.
-    pub workload: Workload,
-    /// The backend it ran on.
-    pub backend: Backend,
-    /// Number of vprocs (threads).
-    pub vprocs: usize,
-    /// Measured wall-clock nanoseconds (threaded backend only).
-    pub wall_clock_ns: Option<f64>,
-    /// Modelled virtual nanoseconds (simulated backend only).
-    pub simulated_ns: Option<f64>,
-    /// Tasks executed.
-    pub tasks: u64,
-    /// Objects allocated in nurseries.
-    pub allocated_objects: u64,
-    /// Minor collections.
-    pub minor_collections: u64,
-    /// Major collections.
-    pub major_collections: u64,
-    /// Global collections (summed over participating vprocs).
-    pub global_collections: u64,
-    /// Object promotions.
-    pub promotions: u64,
-    /// Successful steals.
-    pub steals: u64,
-    /// Total bytes promoted to the global heap (major collections plus
-    /// explicit promotions) — the quantity lazy promotion-on-steal
-    /// minimises, tracked per PR by the baseline artifact.
-    pub promoted_bytes: u64,
-    /// Promotion operations caused by work actually being stolen.
-    pub promotions_at_steal: u64,
-    /// Promotion operations caused by data being published to a
-    /// machine-global structure (continuations, results, messages, proxies).
-    pub promotions_at_publish: u64,
+/// Runs one baseline point through the [`Experiment`] front door. The
+/// expected checksum usually means running a sequential reference of the
+/// whole program, so the sweep verifies it only at the first vproc count
+/// of each (program, backend) pair instead of recomputing it six times —
+/// checksum stability across vproc counts is the equivalence suite's job.
+fn baseline_point(program: Box<dyn Program>, backend: Backend, vprocs: usize) -> RunRecord {
+    Experiment::new(program)
+        .backend(backend)
+        .topology(Topology::dual_node_test())
+        .vprocs(vprocs)
+        .policy(AllocPolicy::Local)
+        .verify_checksum(vprocs == BASELINE_VPROCS[0])
+        .run()
+        .expect("baseline vproc counts fit the dual-node test topology")
 }
 
-impl BaselinePoint {
-    fn from_report(
-        workload: Workload,
-        backend: Backend,
-        vprocs: usize,
-        report: &RunReport,
-    ) -> Self {
-        BaselinePoint {
-            workload,
-            backend,
-            vprocs,
-            wall_clock_ns: report.wall_clock_ns,
-            simulated_ns: match backend {
-                Backend::Simulated => Some(report.elapsed_ns),
-                Backend::Threaded => None,
-            },
-            tasks: report.total_tasks(),
-            allocated_objects: report.allocated_objects,
-            minor_collections: report.gc.minor_collections,
-            major_collections: report.gc.major_collections,
-            global_collections: report.gc.global_collections,
-            promotions: report.gc.promotions,
-            steals: report.total_steals(),
-            promoted_bytes: report.total_promoted_bytes(),
-            promotions_at_steal: report.promotions_at_steal(),
-            promotions_at_publish: report.promotions_at_publish(),
-        }
-    }
-}
-
-/// Runs every figure workload at 1/2/4 vprocs under **both** backends on
-/// the small test topology, so wall-clock and simulated time can be read
-/// side by side.
-pub fn run_baseline(scale: Scale) -> Vec<BaselinePoint> {
-    let topology = Topology::dual_node_test();
+/// Runs every figure workload — plus, when `churn` is given, the synthetic
+/// churn benchmark with those parameters — at 1/2/4 vprocs under **both**
+/// backends on the small test topology, so wall-clock and simulated time
+/// can be read side by side. Every point is a full [`RunRecord`].
+pub fn run_baseline(scale: Scale, churn: Option<ChurnParams>) -> Vec<RunRecord> {
     let mut points = Vec::new();
     for workload in Workload::FIGURES {
         for &vprocs in &BASELINE_VPROCS {
             for backend in Backend::ALL {
-                let (report, _) = run_workload_on(
+                points.push(baseline_point(workload.program(scale), backend, vprocs));
+            }
+        }
+    }
+    if let Some(params) = churn {
+        for &vprocs in &BASELINE_VPROCS {
+            for backend in Backend::ALL {
+                points.push(baseline_point(
+                    Box::new(Churn::new(params)),
                     backend,
-                    &topology,
                     vprocs,
-                    AllocPolicy::Local,
-                    workload,
-                    scale,
-                );
-                points.push(BaselinePoint::from_report(
-                    workload, backend, vprocs, &report,
                 ));
             }
         }
@@ -298,9 +257,20 @@ pub fn run_baseline(scale: Scale) -> Vec<BaselinePoint> {
     points
 }
 
+/// The program names of a baseline run, in first-seen order.
+fn baseline_programs(points: &[RunRecord]) -> Vec<&str> {
+    let mut names: Vec<&str> = Vec::new();
+    for point in points {
+        if !names.contains(&point.program.as_str()) {
+            names.push(&point.program);
+        }
+    }
+    names
+}
+
 /// Formats the baseline as an aligned table: wall-clock time next to
-/// simulated time, per workload and vproc count.
-pub fn format_baseline(points: &[BaselinePoint]) -> String {
+/// simulated time, per program and vproc count.
+pub fn format_baseline(points: &[RunRecord]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -319,12 +289,12 @@ pub fn format_baseline(points: &[BaselinePoint]) -> String {
         "steals",
         "promoted-B"
     );
-    for workload in Workload::FIGURES {
+    for program in baseline_programs(points) {
         for &vprocs in &BASELINE_VPROCS {
             let find = |backend: Backend| {
-                points
-                    .iter()
-                    .find(|p| p.workload == workload && p.vprocs == vprocs && p.backend == backend)
+                points.iter().find(|p| {
+                    p.program == program && p.config.num_vprocs == vprocs && p.backend == backend
+                })
             };
             let (Some(threaded), Some(simulated)) =
                 (find(Backend::Threaded), find(Backend::Simulated))
@@ -335,37 +305,37 @@ pub fn format_baseline(points: &[BaselinePoint]) -> String {
             let _ = writeln!(
                 out,
                 "{:<24} {:>6} {:>14} {:>14} {:>8} {:>8} {:>8} {:>8} {:>12}",
-                workload.label(),
+                program,
                 vprocs,
-                ms(threaded.wall_clock_ns),
-                ms(simulated.simulated_ns),
-                threaded.minor_collections,
-                threaded.global_collections,
-                threaded.tasks,
-                threaded.steals,
-                threaded.promoted_bytes,
+                ms(threaded.wall_clock_ns()),
+                ms(simulated.simulated_ns()),
+                threaded.report.gc.minor_collections,
+                threaded.report.gc.global_collections,
+                threaded.report.total_tasks(),
+                threaded.report.total_steals(),
+                threaded.report.total_promoted_bytes(),
             );
         }
     }
     out
 }
 
-/// One line per workload comparing promoted bytes on the threaded backend
+/// One line per program comparing promoted bytes on the threaded backend
 /// against the eager-publication upper bound implied by the simulated
 /// model's promotion volume — the `bench-baseline` CI job prints this into
 /// the job summary so the lazy-promotion win is visible per PR.
-pub fn promoted_bytes_summary(points: &[BaselinePoint]) -> String {
+pub fn promoted_bytes_summary(points: &[RunRecord]) -> String {
     let mut out = String::new();
-    for workload in Workload::FIGURES {
+    for program in baseline_programs(points) {
         let total = |backend: Backend| -> (u64, u64, u64) {
             points
                 .iter()
-                .filter(|p| p.workload == workload && p.backend == backend)
+                .filter(|p| p.program == program && p.backend == backend)
                 .fold((0, 0, 0), |(b, s, p), point| {
                     (
-                        b + point.promoted_bytes,
-                        s + point.promotions_at_steal,
-                        p + point.promotions_at_publish,
+                        b + point.report.total_promoted_bytes(),
+                        s + point.report.promotions_at_steal(),
+                        p + point.report.promotions_at_publish(),
                     )
                 })
         };
@@ -373,59 +343,19 @@ pub fn promoted_bytes_summary(points: &[BaselinePoint]) -> String {
         let (sim_bytes, _, _) = total(Backend::Simulated);
         let _ = writeln!(
             out,
-            "promoted-bytes {:<24} threaded {:>10} (steal-driven ops {:>5}, publish-driven ops \
-             {:>5}) | simulated {:>10}",
-            workload.label(),
-            thr_bytes,
-            thr_steal,
-            thr_publish,
-            sim_bytes,
+            "promoted-bytes {program:<24} threaded {thr_bytes:>10} (steal-driven ops \
+             {thr_steal:>5}, publish-driven ops {thr_publish:>5}) | simulated {sim_bytes:>10}",
         );
     }
-    out
-}
-
-/// Serialises baseline points as JSON (hand-rolled: the vendored `serde`
-/// shim does not serialise).
-pub fn baseline_json(points: &[BaselinePoint]) -> String {
-    let mut out = String::from("[\n");
-    for (i, p) in points.iter().enumerate() {
-        let opt = |v: Option<f64>| v.map_or("null".to_string(), |x| format!("{x:.0}"));
-        let _ = write!(
-            out,
-            "  {{\"workload\": \"{}\", \"backend\": \"{}\", \"vprocs\": {}, \
-             \"wall_clock_ns\": {}, \"simulated_ns\": {}, \"tasks\": {}, \
-             \"allocated_objects\": {}, \"minor_collections\": {}, \
-             \"major_collections\": {}, \"global_collections\": {}, \"promotions\": {}, \
-             \"steals\": {}, \"promoted_bytes\": {}, \"promotions_at_steal\": {}, \
-             \"promotions_at_publish\": {}}}",
-            p.workload.label(),
-            p.backend,
-            p.vprocs,
-            opt(p.wall_clock_ns),
-            opt(p.simulated_ns),
-            p.tasks,
-            p.allocated_objects,
-            p.minor_collections,
-            p.major_collections,
-            p.global_collections,
-            p.promotions,
-            p.steals,
-            p.promoted_bytes,
-            p.promotions_at_steal,
-            p.promotions_at_publish,
-        );
-        let _ = writeln!(out, "{}", if i + 1 < points.len() { "," } else { "" });
-    }
-    out.push_str("]\n");
     out
 }
 
 /// Runs the baseline sweep, prints the side-by-side table, and writes
-/// `results/BENCH_threaded.json` (the CI `bench-baseline` artifact).
-pub fn run_baseline_and_report() {
+/// `results/BENCH_threaded.json` — an array of [`RunRecord`] JSON objects,
+/// the CI `bench-baseline` artifact.
+pub fn run_baseline_and_report(churn: Option<ChurnParams>) {
     let scale = scale_from_env();
-    let points = run_baseline(scale);
+    let points = run_baseline(scale, churn);
     println!("{}", format_baseline(&points));
     println!("{}", promoted_bytes_summary(&points));
     let dir = std::path::Path::new("results");
@@ -434,7 +364,7 @@ pub fn run_baseline_and_report() {
         return;
     }
     let path = dir.join("BENCH_threaded.json");
-    match std::fs::write(&path, baseline_json(&points)) {
+    match std::fs::write(&path, run_records_json(&points)) {
         Ok(()) => println!("wrote {}", path.display()),
         Err(err) => eprintln!("warning: could not write {}: {err}", path.display()),
     }
@@ -499,40 +429,25 @@ mod tests {
     }
 
     #[test]
-    fn baseline_json_is_well_formed_and_covers_both_backends() {
-        let point = |backend: Backend, wall: Option<f64>, sim: Option<f64>| BaselinePoint {
-            workload: Workload::Dmm,
-            backend,
-            vprocs: 2,
-            wall_clock_ns: wall,
-            simulated_ns: sim,
-            tasks: 10,
-            allocated_objects: 100,
-            minor_collections: 3,
-            major_collections: 1,
-            global_collections: 0,
-            promotions: 5,
-            steals: 2,
-            promoted_bytes: 640,
-            promotions_at_steal: 2,
-            promotions_at_publish: 3,
-        };
-        let points = vec![
-            point(Backend::Simulated, None, Some(1.5e6)),
-            point(Backend::Threaded, Some(2.5e5), None),
-        ];
-        let json = baseline_json(&points);
+    fn baseline_records_are_well_formed_and_cover_both_backends() {
+        let points: Vec<RunRecord> = Backend::ALL
+            .iter()
+            .map(|&backend| baseline_point(Workload::Dmm.program(Scale::tiny()), backend, 1))
+            .collect();
+        let json = run_records_json(&points);
         assert!(json.starts_with("[\n"));
         assert!(json.trim_end().ends_with(']'));
         assert!(json.contains("\"backend\": \"simulated\""));
         assert!(json.contains("\"backend\": \"threaded\""));
-        assert!(json.contains("\"wall_clock_ns\": 250000"));
+        assert!(json.contains("\"wall_clock_ns\": null"));
         assert!(json.contains("\"simulated_ns\": null"));
-        assert!(json.contains("\"workload\": \"Dense-Matrix-Multiply\""));
-        assert!(json.contains("\"promoted_bytes\": 640"));
-        assert!(json.contains("\"promotions_at_steal\": 2"));
-        assert!(json.contains("\"promotions_at_publish\": 3"));
-        assert!(json.contains("\"steals\": 2"));
+        assert!(json.contains("\"program\": \"Dense-Matrix-Multiply\""));
+        assert!(json.contains("\"policy\": \"local\""));
+        assert!(json.contains("\"topology\": \"test-dual-node\""));
+        assert!(json.contains("\"checksum_ok\": true"));
+        assert!(json.contains("\"promoted_bytes\": "));
+        assert!(json.contains("\"promotions_at_steal\": "));
+        assert!(json.contains("\"promotions_at_publish\": "));
         // Exactly one comma-separated object per point.
         assert_eq!(json.matches("\"vprocs\"").count(), 2);
         let table = format_baseline(&points);
@@ -542,6 +457,24 @@ mod tests {
         let summary = promoted_bytes_summary(&points);
         assert!(summary.contains("promoted-bytes Dense-Matrix-Multiply"));
         assert!(summary.contains("steal-driven"));
+    }
+
+    #[test]
+    fn churn_baseline_points_carry_their_parameters() {
+        let params = ChurnParams {
+            objects_per_worker: 400,
+            object_words: 4,
+            survive_every: 16,
+            workers: 2,
+        };
+        let point = baseline_point(Box::new(Churn::new(params)), Backend::Simulated, 1);
+        assert_eq!(point.program, "Synthetic-Churn");
+        assert_eq!(point.checksum_ok, Some(true));
+        let json = point.to_json();
+        assert!(json.contains("\"objects_per_worker\": 400"));
+        assert!(json.contains("\"workers\": 2"));
+        let summary = promoted_bytes_summary(std::slice::from_ref(&point));
+        assert!(summary.contains("promoted-bytes Synthetic-Churn"));
     }
 
     #[test]

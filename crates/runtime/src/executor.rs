@@ -42,26 +42,14 @@ impl Backend {
         }
     }
 
-    /// The `MGC_BACKEND` environment override honoured by
-    /// `mgc_workloads::run_workload` and the examples: `simulated` (or
-    /// `sim`) / `threaded` (or `threads`). Returns `None` when the variable
-    /// is unset; an unparseable value warns (naming the knob, mirroring
-    /// `MGC_MAX_ROUNDS`) and falls back to `None` so the caller's default
-    /// applies.
+    /// The `MGC_BACKEND` environment override: `simulated` (or `sim`) /
+    /// `threaded` (or `threads`). Parsed by
+    /// [`crate::env::EnvOverrides`] — the one place `MGC_*` variables are
+    /// interpreted. Returns `None` when the variable is unset; an
+    /// unparseable value warns (naming the knob) and falls back to `None`
+    /// so the caller's default applies.
     pub fn from_env() -> Option<Backend> {
-        match std::env::var("MGC_BACKEND") {
-            Ok(value) => match value.parse::<Backend>() {
-                Ok(backend) => Some(backend),
-                Err(err) => {
-                    eprintln!(
-                        "warning: MGC_BACKEND=`{value}` is invalid ({err}); set \
-                         MGC_BACKEND=simulated or MGC_BACKEND=threaded — using the default"
-                    );
-                    None
-                }
-            },
-            Err(_) => None,
-        }
+        crate::env::EnvOverrides::capture().backend
     }
 }
 

@@ -1,0 +1,741 @@
+//! The one front door for every run: a validated, typed experiment
+//! configuration around any [`Program`].
+//!
+//! The paper's evaluation (§4) is a grid of *scenarios* — workload × vproc
+//! count × allocation policy × heap geometry × backend. [`Experiment`] makes
+//! that grid the API: pick a program, chain the dimensions you care about,
+//! and [`Experiment::run`] validates the combination (into a typed
+//! [`ConfigError`] instead of a mid-run panic), applies the `MGC_*`
+//! environment overrides, builds the backend, and returns a [`RunRecord`] —
+//! the single result format shared by the sweep JSON, the CI perf baseline,
+//! and the cross-backend equivalence suite.
+//!
+//! # Environment overrides
+//!
+//! This is the **one place** the `MGC_*` variables are applied (they are
+//! *parsed* in [`crate::env`]): `MGC_BACKEND` supplies the backend and
+//! `MGC_VPROCS` the vproc count **when the builder left them unset** — an
+//! explicit [`Experiment::backend`] or [`Experiment::vprocs`] call always
+//! wins, so programmatic sweeps are immune to ambient configuration.
+//! (`MGC_MAX_ROUNDS` is read by the simulated [`Machine`] itself when it is
+//! built, since it also applies to machines constructed without an
+//! experiment.)
+//!
+//! # Example
+//!
+//! ```
+//! use mgc_runtime::{Backend, Experiment, Program, Executor, TaskResult, TaskSpec};
+//! use mgc_heap::i64_to_word;
+//!
+//! struct Double(i64);
+//!
+//! impl Program for Double {
+//!     fn name(&self) -> &str {
+//!         "double"
+//!     }
+//!     fn spawn(&self, executor: &mut dyn Executor) {
+//!         let n = self.0;
+//!         executor.spawn_root(TaskSpec::new("double", move |_ctx| {
+//!             TaskResult::Value(i64_to_word(n * 2))
+//!         }));
+//!     }
+//! }
+//!
+//! let record = Experiment::new(Double(21))
+//!     .vprocs(2)
+//!     .backend(Backend::Simulated)
+//!     .run()
+//!     .expect("two vprocs fit the test topology");
+//! assert_eq!(record.result.map(|(word, _)| word as i64), Some(42));
+//! assert!(record.simulated_ns().unwrap() > 0.0);
+//! ```
+
+use crate::channel::ChannelStats;
+use crate::env::EnvOverrides;
+use crate::executor::{Backend, Executor};
+use crate::machine::{Machine, MachineConfig, MutatorCostModel};
+use crate::program::Program;
+use crate::stats::RunReport;
+use crate::threaded::ThreadedMachine;
+use mgc_core::GcConfig;
+use mgc_heap::{HeapConfig, Word};
+use mgc_numa::{AllocPolicy, Topology};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// The scheduling quantum experiments default to, in virtual nanoseconds.
+///
+/// Finer than the raw [`MachineConfig::new`] default so that scaled-down
+/// benchmark inputs still spread across many vprocs instead of completing
+/// inside a single vproc's first quantum.
+pub const DEFAULT_QUANTUM_NS: f64 = 25_000.0;
+
+/// Smallest accepted global-heap chunk, in bytes.
+const MIN_CHUNK_BYTES: usize = 1024;
+/// Smallest accepted per-vproc local heap, in bytes.
+const MIN_LOCAL_HEAP_BYTES: usize = 4096;
+
+/// Why an experiment configuration was rejected by validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// The resolved vproc count was zero.
+    ZeroVprocs,
+    /// More vprocs were requested than the topology has cores.
+    VprocsExceedTopology {
+        /// Requested vproc count.
+        vprocs: usize,
+        /// Cores the topology actually has.
+        cores: usize,
+    },
+    /// The heap geometry is too small to hold any real program.
+    DegenerateHeap {
+        /// Which [`HeapConfig`] field is degenerate.
+        field: &'static str,
+        /// The rejected value.
+        bytes: usize,
+        /// The smallest accepted value.
+        min: usize,
+    },
+    /// The scheduling quantum is zero, negative, or not finite.
+    NonPositiveQuantum {
+        /// The rejected value.
+        quantum_ns: f64,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroVprocs => write!(f, "at least one vproc is required"),
+            ConfigError::VprocsExceedTopology { vprocs, cores } => write!(
+                f,
+                "{vprocs} vprocs requested but the topology has only {cores} cores \
+                 (vprocs are pinned one per core)"
+            ),
+            ConfigError::DegenerateHeap { field, bytes, min } => write!(
+                f,
+                "degenerate heap geometry: {field} = {bytes} bytes is below the minimum of {min}"
+            ),
+            ConfigError::NonPositiveQuantum { quantum_ns } => write!(
+                f,
+                "the scheduling quantum must be positive and finite, got {quantum_ns} ns"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// A validated experiment configuration: the backend plus the fully resolved
+/// [`MachineConfig`]. Produced by [`Experiment::validate`]; useful on its
+/// own when a test needs direct access to the built machine (e.g. to verify
+/// the heap after the run).
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// The backend the experiment will run on.
+    pub backend: Backend,
+    /// The resolved machine configuration (topology, vprocs, heap geometry,
+    /// collector settings, cost model, quantum).
+    pub machine: MachineConfig,
+}
+
+impl ExperimentConfig {
+    /// Builds an executor of the configured backend.
+    pub fn build_executor(&self) -> Box<dyn Executor> {
+        match self.backend {
+            Backend::Simulated => Box::new(Machine::new(self.machine.clone())),
+            Backend::Threaded => Box::new(ThreadedMachine::new(self.machine.clone())),
+        }
+    }
+}
+
+/// Builder for one run of a [`Program`]: scenario dimensions in, validated
+/// [`RunRecord`] out. Unset dimensions fall back to the `MGC_*` environment
+/// overrides (backend, vprocs) and then to the documented defaults — see
+/// [`Experiment::new`].
+pub struct Experiment<P: Program> {
+    program: P,
+    topology: Option<Topology>,
+    vprocs: Option<usize>,
+    policy: Option<AllocPolicy>,
+    backend: Option<Backend>,
+    heap: Option<HeapConfig>,
+    gc: Option<GcConfig>,
+    mutator_costs: Option<MutatorCostModel>,
+    quantum_ns: Option<f64>,
+    env: Option<EnvOverrides>,
+    verify_checksum: bool,
+}
+
+impl<P: Program> std::fmt::Debug for Experiment<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Experiment")
+            .field("program", &self.program.name())
+            .field("topology", &self.topology.as_ref().map(Topology::name))
+            .field("vprocs", &self.vprocs)
+            .field("policy", &self.policy)
+            .field("backend", &self.backend)
+            .field("quantum_ns", &self.quantum_ns)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<P: Program> Experiment<P> {
+    /// Starts an experiment around `program` with every dimension at its
+    /// default: the two-node test topology, one vproc, local allocation, the
+    /// default heap/collector configuration, [`DEFAULT_QUANTUM_NS`], and the
+    /// simulated backend — each of which the `MGC_*` overrides or the
+    /// builder methods below may change.
+    pub fn new(program: P) -> Self {
+        Experiment {
+            program,
+            topology: None,
+            vprocs: None,
+            policy: None,
+            backend: None,
+            heap: None,
+            gc: None,
+            mutator_costs: None,
+            quantum_ns: None,
+            env: None,
+            verify_checksum: true,
+        }
+    }
+
+    /// Sets the machine topology (e.g. [`Topology::amd_magny_cours_48`]).
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Sets the number of vprocs. Overrides `MGC_VPROCS`.
+    pub fn vprocs(mut self, vprocs: usize) -> Self {
+        self.vprocs = Some(vprocs);
+        self
+    }
+
+    /// Sets the physical page/chunk placement policy (§4.3 of the paper).
+    /// Takes precedence over the policy inside a [`Experiment::heap`]
+    /// configuration.
+    pub fn policy(mut self, policy: AllocPolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Sets the execution backend. Overrides `MGC_BACKEND`.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Sets the heap geometry.
+    pub fn heap(mut self, heap: HeapConfig) -> Self {
+        self.heap = Some(heap);
+        self
+    }
+
+    /// Sets the collector configuration.
+    pub fn gc(mut self, gc: GcConfig) -> Self {
+        self.gc = Some(gc);
+        self
+    }
+
+    /// Sets the mutator cache-cost model (simulated backend).
+    pub fn mutator_costs(mut self, costs: MutatorCostModel) -> Self {
+        self.mutator_costs = Some(costs);
+        self
+    }
+
+    /// Sets the scheduling quantum in virtual nanoseconds.
+    pub fn quantum_ns(mut self, quantum_ns: f64) -> Self {
+        self.quantum_ns = Some(quantum_ns);
+        self
+    }
+
+    /// Supplies the environment overrides explicitly instead of capturing
+    /// them from the process environment — tests use this to pin behaviour
+    /// without mutating process-global state.
+    pub fn env_overrides(mut self, env: EnvOverrides) -> Self {
+        self.env = Some(env);
+        self
+    }
+
+    /// Whether to check the result against [`Program::expected_checksum`]
+    /// after the run (the default). Computing the expected value usually
+    /// means running a *sequential* reference of the whole program, so hot
+    /// paths that only read timings — the figure pipeline, the criterion
+    /// benches — pass `false` to skip it; `checksum_ok` is then `None`.
+    pub fn verify_checksum(mut self, verify: bool) -> Self {
+        self.verify_checksum = verify;
+        self
+    }
+
+    /// Resolves defaults and environment overrides, then validates the
+    /// configuration into a typed error instead of a mid-run panic.
+    pub fn validate(&self) -> Result<ExperimentConfig, ConfigError> {
+        let env = self.env.unwrap_or_else(EnvOverrides::capture);
+        let backend = self.backend.or(env.backend).unwrap_or(Backend::Simulated);
+        let vprocs = self.vprocs.or(env.vprocs).unwrap_or(1);
+        let topology = self
+            .topology
+            .clone()
+            .unwrap_or_else(Topology::dual_node_test);
+        let mut heap = self.heap.unwrap_or_default();
+        if let Some(policy) = self.policy {
+            heap.policy = policy;
+        }
+        let quantum_ns = self.quantum_ns.unwrap_or(DEFAULT_QUANTUM_NS);
+
+        if vprocs == 0 {
+            return Err(ConfigError::ZeroVprocs);
+        }
+        let cores = topology.num_cores();
+        if vprocs > cores {
+            return Err(ConfigError::VprocsExceedTopology { vprocs, cores });
+        }
+        if heap.chunk_size_bytes < MIN_CHUNK_BYTES {
+            return Err(ConfigError::DegenerateHeap {
+                field: "chunk_size_bytes",
+                bytes: heap.chunk_size_bytes,
+                min: MIN_CHUNK_BYTES,
+            });
+        }
+        if heap.local_heap_bytes < MIN_LOCAL_HEAP_BYTES {
+            return Err(ConfigError::DegenerateHeap {
+                field: "local_heap_bytes",
+                bytes: heap.local_heap_bytes,
+                min: MIN_LOCAL_HEAP_BYTES,
+            });
+        }
+        if !quantum_ns.is_finite() || quantum_ns <= 0.0 {
+            return Err(ConfigError::NonPositiveQuantum { quantum_ns });
+        }
+
+        Ok(ExperimentConfig {
+            backend,
+            machine: MachineConfig {
+                topology,
+                num_vprocs: vprocs,
+                heap,
+                gc: self.gc.unwrap_or_default(),
+                mutator_costs: self.mutator_costs.unwrap_or_default(),
+                quantum_ns,
+            },
+        })
+    }
+
+    /// Validates, builds the backend, spawns the program, runs it to
+    /// completion, and packages everything into a [`RunRecord`].
+    pub fn run(self) -> Result<RunRecord, ConfigError> {
+        let config = self.validate()?;
+        let mut executor = config.build_executor();
+        self.program.spawn(&mut *executor);
+        let report = executor.run();
+        let result = executor.take_result();
+        let channels = executor.channel_stats();
+        // A pointer result is a heap address, not the checksum value itself
+        // — comparing it against an expected checksum would be meaningless,
+        // so pointer results stay unverified (`None`).
+        let checksum_ok = if self.verify_checksum {
+            match (self.program.expected_checksum(), result) {
+                (Some(expected), Some((word, false))) => Some(expected.matches(word)),
+                (Some(_), Some((_, true))) => None,
+                (Some(_), None) => Some(false),
+                (None, _) => None,
+            }
+        } else {
+            None
+        };
+        Ok(RunRecord {
+            program: self.program.name().to_string(),
+            params: self.program.params_json(),
+            backend: config.backend,
+            config: config.machine,
+            result,
+            checksum_ok,
+            channels,
+            report,
+        })
+    }
+}
+
+/// The complete, self-describing result of one experiment run: the resolved
+/// configuration, the program identity, the root result, and the full
+/// [`RunReport`]. This is the one output format shared by the sweep JSON,
+/// `results/BENCH_threaded.json`, the equivalence suite, and the CI
+/// bench-baseline job.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// The program's name ([`Program::name`]).
+    pub program: String,
+    /// The program's parameters as a JSON object ([`Program::params_json`]).
+    pub params: String,
+    /// The backend the run executed on.
+    pub backend: Backend,
+    /// The fully resolved machine configuration the run used.
+    pub config: MachineConfig,
+    /// The root task's result: the raw word and whether it is a heap
+    /// pointer.
+    pub result: Option<(Word, bool)>,
+    /// Whether the result matched the program's expected checksum (`None`
+    /// when the program declares no expectation).
+    pub checksum_ok: Option<bool>,
+    /// Channel and proxy statistics of the run.
+    pub channels: ChannelStats,
+    /// The full run report (timings, per-vproc stats, GC stats, traffic).
+    pub report: RunReport,
+}
+
+impl RunRecord {
+    /// Measured wall-clock nanoseconds (threaded backend only).
+    pub fn wall_clock_ns(&self) -> Option<f64> {
+        self.report.wall_clock_ns
+    }
+
+    /// Modelled virtual nanoseconds (simulated backend only).
+    pub fn simulated_ns(&self) -> Option<f64> {
+        match self.backend {
+            Backend::Simulated => Some(self.report.elapsed_ns),
+            Backend::Threaded => None,
+        }
+    }
+
+    /// Serialises the record as one JSON object (hand-rolled: the vendored
+    /// `serde` shim does not serialise). This is the schema the CI
+    /// bench-baseline job asserts on.
+    pub fn to_json(&self) -> String {
+        let opt_f64 = |v: Option<f64>| v.map_or("null".to_string(), |x| format!("{x:.0}"));
+        let opt_bool = |v: Option<bool>| v.map_or("null".to_string(), |x| x.to_string());
+        let result = self
+            .result
+            .map_or("null".to_string(), |(word, _)| format!("\"{word:#x}\""));
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"program\": \"{}\", \"params\": {}, \"backend\": \"{}\", \"vprocs\": {}, \
+             \"topology\": \"{}\", \"policy\": \"{}\", \"chunk_size_bytes\": {}, \
+             \"local_heap_bytes\": {}, \"quantum_ns\": {:.0}, \"eager_publication\": {}, \
+             \"wall_clock_ns\": {}, \"simulated_ns\": {}, \"checksum\": {}, \
+             \"checksum_ok\": {}, ",
+            escape_json(&self.program),
+            self.params,
+            self.backend,
+            self.config.num_vprocs,
+            escape_json(self.config.topology.name()),
+            self.config.heap.policy,
+            self.config.heap.chunk_size_bytes,
+            self.config.heap.local_heap_bytes,
+            self.config.quantum_ns,
+            self.config.gc.eager_publication,
+            opt_f64(self.wall_clock_ns()),
+            opt_f64(self.simulated_ns()),
+            result,
+            opt_bool(self.checksum_ok),
+        );
+        let _ = write!(
+            out,
+            "\"tasks\": {}, \"allocated_objects\": {}, \"minor_collections\": {}, \
+             \"major_collections\": {}, \"global_collections\": {}, \"promotions\": {}, \
+             \"steals\": {}, \"promoted_bytes\": {}, \"promotions_at_steal\": {}, \
+             \"promotions_at_publish\": {}, \"channel_sends\": {}, \"channel_receives\": {}",
+            self.report.total_tasks(),
+            self.report.allocated_objects,
+            self.report.gc.minor_collections,
+            self.report.gc.major_collections,
+            self.report.gc.global_collections,
+            self.report.gc.promotions,
+            self.report.total_steals(),
+            self.report.total_promoted_bytes(),
+            self.report.promotions_at_steal(),
+            self.report.promotions_at_publish(),
+            self.channels.sends,
+            self.channels.receives,
+        );
+        out.push('}');
+        out
+    }
+}
+
+/// Serialises a slice of records as a JSON array, one record per line (the
+/// format of `results/BENCH_threaded.json`).
+pub fn run_records_json(records: &[RunRecord]) -> String {
+    let mut out = String::from("[\n");
+    for (i, record) in records.iter().enumerate() {
+        let _ = write!(out, "  {}", record.to_json());
+        let _ = writeln!(out, "{}", if i + 1 < records.len() { "," } else { "" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Escapes a string for inclusion inside JSON double quotes.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Checksum;
+    use crate::task::{TaskResult, TaskSpec};
+    use mgc_heap::i64_to_word;
+
+    /// A minimal program: one root task returning a constant.
+    struct Constant(i64);
+
+    impl Program for Constant {
+        fn name(&self) -> &str {
+            "constant"
+        }
+
+        fn spawn(&self, executor: &mut dyn Executor) {
+            let value = self.0;
+            executor.spawn_root(TaskSpec::new("constant", move |ctx| {
+                ctx.work(10);
+                TaskResult::Value(i64_to_word(value))
+            }));
+        }
+
+        fn expected_checksum(&self) -> Option<Checksum> {
+            Some(Checksum::I64(self.0))
+        }
+
+        fn params_json(&self) -> String {
+            format!("{{\"value\": {}}}", self.0)
+        }
+    }
+
+    fn pinned(program: Constant) -> Experiment<Constant> {
+        // Pin the environment so ambient MGC_* variables cannot skew the
+        // validation tests.
+        Experiment::new(program).env_overrides(EnvOverrides::default())
+    }
+
+    #[test]
+    fn zero_vprocs_is_a_typed_error() {
+        let err = pinned(Constant(1)).vprocs(0).validate().unwrap_err();
+        assert_eq!(err, ConfigError::ZeroVprocs);
+        assert!(err.to_string().contains("at least one vproc"));
+    }
+
+    #[test]
+    fn vprocs_beyond_topology_capacity_are_rejected() {
+        // The dual-node test topology has 4 cores.
+        let err = pinned(Constant(1)).vprocs(5).validate().unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::VprocsExceedTopology {
+                vprocs: 5,
+                cores: 4
+            }
+        );
+        assert!(err.to_string().contains("only 4 cores"));
+    }
+
+    #[test]
+    fn degenerate_chunk_size_is_rejected() {
+        let heap = HeapConfig {
+            chunk_size_bytes: 64,
+            ..HeapConfig::small_for_tests()
+        };
+        let err = pinned(Constant(1)).heap(heap).validate().unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::DegenerateHeap {
+                field: "chunk_size_bytes",
+                bytes: 64,
+                min: 1024
+            }
+        );
+    }
+
+    #[test]
+    fn degenerate_local_heap_is_rejected() {
+        let heap = HeapConfig {
+            local_heap_bytes: 512,
+            ..HeapConfig::small_for_tests()
+        };
+        let err = pinned(Constant(1)).heap(heap).validate().unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::DegenerateHeap {
+                field: "local_heap_bytes",
+                bytes: 512,
+                min: 4096
+            }
+        );
+        assert!(err.to_string().contains("degenerate heap geometry"));
+    }
+
+    #[test]
+    fn non_positive_quantum_is_rejected() {
+        let err = pinned(Constant(1)).quantum_ns(0.0).validate().unwrap_err();
+        assert_eq!(err, ConfigError::NonPositiveQuantum { quantum_ns: 0.0 });
+        let err = pinned(Constant(1))
+            .quantum_ns(f64::NAN)
+            .validate()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::NonPositiveQuantum { .. }));
+    }
+
+    #[test]
+    fn defaults_resolve_to_the_documented_values() {
+        let config = pinned(Constant(1)).validate().expect("defaults are valid");
+        assert_eq!(config.backend, Backend::Simulated);
+        assert_eq!(config.machine.num_vprocs, 1);
+        assert_eq!(config.machine.topology.name(), "test-dual-node");
+        assert_eq!(config.machine.heap.policy, AllocPolicy::Local);
+        assert_eq!(config.machine.quantum_ns, DEFAULT_QUANTUM_NS);
+    }
+
+    #[test]
+    fn env_overrides_fill_unset_dimensions_only() {
+        let env = EnvOverrides {
+            backend: Some(Backend::Threaded),
+            vprocs: Some(3),
+            max_rounds: None,
+        };
+        let config = Experiment::new(Constant(1))
+            .env_overrides(env)
+            .validate()
+            .expect("env values are valid");
+        assert_eq!(config.backend, Backend::Threaded);
+        assert_eq!(config.machine.num_vprocs, 3);
+
+        // Explicit builder calls always beat the environment.
+        let config = Experiment::new(Constant(1))
+            .env_overrides(env)
+            .backend(Backend::Simulated)
+            .vprocs(2)
+            .validate()
+            .expect("explicit values are valid");
+        assert_eq!(config.backend, Backend::Simulated);
+        assert_eq!(config.machine.num_vprocs, 2);
+    }
+
+    #[test]
+    fn policy_setter_overrides_heap_config_policy() {
+        let heap = HeapConfig {
+            policy: AllocPolicy::Interleaved,
+            ..HeapConfig::default()
+        };
+        let config = pinned(Constant(1))
+            .heap(heap)
+            .policy(AllocPolicy::SocketZero)
+            .validate()
+            .unwrap();
+        assert_eq!(config.machine.heap.policy, AllocPolicy::SocketZero);
+
+        // Without the explicit policy call the heap's own policy survives.
+        let config = pinned(Constant(1)).heap(heap).validate().unwrap();
+        assert_eq!(config.machine.heap.policy, AllocPolicy::Interleaved);
+    }
+
+    #[test]
+    fn run_produces_a_checked_record() {
+        let record = pinned(Constant(17))
+            .vprocs(2)
+            .run()
+            .expect("the configuration is valid");
+        assert_eq!(record.program, "constant");
+        assert_eq!(record.result, Some((i64_to_word(17), false)));
+        assert_eq!(record.checksum_ok, Some(true));
+        assert_eq!(record.backend, Backend::Simulated);
+        assert!(record.simulated_ns().unwrap() > 0.0);
+        assert_eq!(record.wall_clock_ns(), None);
+        assert_eq!(record.report.total_tasks(), 1);
+    }
+
+    #[test]
+    fn verify_checksum_false_skips_the_reference() {
+        let record = pinned(Constant(17))
+            .verify_checksum(false)
+            .run()
+            .expect("the configuration is valid");
+        assert_eq!(record.result, Some((i64_to_word(17), false)));
+        assert_eq!(record.checksum_ok, None);
+    }
+
+    #[test]
+    fn pointer_results_are_not_compared_against_checksums() {
+        /// Returns a heap pointer as its root result while declaring a
+        /// value-level expectation: the pointer's address must not be
+        /// compared against it.
+        struct PointerResult;
+
+        impl Program for PointerResult {
+            fn name(&self) -> &str {
+                "pointer-result"
+            }
+
+            fn spawn(&self, executor: &mut dyn Executor) {
+                executor.spawn_root(TaskSpec::new("pointer-result", |ctx| {
+                    let obj = ctx.alloc_raw(&[i64_to_word(9)]);
+                    TaskResult::Ptr(obj)
+                }));
+            }
+
+            fn expected_checksum(&self) -> Option<Checksum> {
+                Some(Checksum::I64(9))
+            }
+        }
+
+        let record = Experiment::new(PointerResult)
+            .env_overrides(EnvOverrides::default())
+            .run()
+            .expect("the configuration is valid");
+        let (_, is_ptr) = record.result.expect("a pointer result is produced");
+        assert!(is_ptr);
+        assert_eq!(
+            record.checksum_ok, None,
+            "a heap address must never be checked against a value checksum"
+        );
+    }
+
+    #[test]
+    fn record_json_carries_the_schema_fields() {
+        let record = pinned(Constant(5)).run().unwrap();
+        let json = record.to_json();
+        for key in [
+            "\"program\": \"constant\"",
+            "\"params\": {\"value\": 5}",
+            "\"backend\": \"simulated\"",
+            "\"vprocs\": 1",
+            "\"topology\": \"test-dual-node\"",
+            "\"policy\": \"local\"",
+            "\"quantum_ns\": 25000",
+            "\"wall_clock_ns\": null",
+            "\"simulated_ns\": ",
+            "\"checksum_ok\": true",
+            "\"tasks\": 1",
+            "\"promoted_bytes\": ",
+            "\"promotions_at_steal\": ",
+            "\"promotions_at_publish\": ",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        let array = run_records_json(&[record.clone(), record]);
+        assert!(array.starts_with("[\n"));
+        assert!(array.trim_end().ends_with(']'));
+        assert_eq!(array.matches("\"program\"").count(), 2);
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(escape_json("plain"), "plain");
+        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape_json("line\nbreak"), "line\\nbreak");
+    }
+}

@@ -23,17 +23,47 @@
 //! The [`Executor`] trait abstracts over the two; workloads written against
 //! it run — and can be cross-checked — on both.
 //!
+//! The front door for running anything is the [`Experiment`] builder over
+//! the open [`Program`] trait: pick a program, chain the scenario dimensions
+//! (topology, vprocs, placement policy, backend, heap geometry, collector
+//! settings), and get back a validated, self-describing [`RunRecord`].
+//!
 //! # Example
+//!
+//! ```
+//! use mgc_runtime::{Experiment, Program, Executor, TaskSpec, TaskResult};
+//! use mgc_heap::i64_to_word;
+//!
+//! struct Hello;
+//!
+//! impl Program for Hello {
+//!     fn name(&self) -> &str {
+//!         "hello"
+//!     }
+//!     fn spawn(&self, executor: &mut dyn Executor) {
+//!         executor.spawn_root(TaskSpec::new("hello", |ctx| {
+//!             let obj = ctx.alloc_raw(&[i64_to_word(41)]);
+//!             let value = ctx.read_raw(obj, 0) + 1;
+//!             TaskResult::Value(value)
+//!         }));
+//!     }
+//! }
+//!
+//! let record = Experiment::new(Hello).vprocs(2).run().unwrap();
+//! assert_eq!(record.result, Some((42, false)));
+//! assert!(record.report.elapsed_ns > 0.0);
+//! ```
+//!
+//! The raw machine API remains available when a test needs direct access to
+//! the built backend:
 //!
 //! ```
 //! use mgc_runtime::{Machine, MachineConfig, TaskSpec, TaskResult};
 //! use mgc_heap::i64_to_word;
 //!
 //! let mut machine = Machine::new(MachineConfig::small_for_tests(2));
-//! machine.spawn_root(TaskSpec::new("hello", |ctx| {
-//!     let obj = ctx.alloc_raw(&[i64_to_word(41)]);
-//!     let value = ctx.read_raw(obj, 0) + 1;
-//!     TaskResult::Value(value)
+//! machine.spawn_root(TaskSpec::new("hello", |_ctx| {
+//!     TaskResult::Value(i64_to_word(42))
 //! }));
 //! let report = machine.run();
 //! assert_eq!(machine.take_result(), Some((42, false)));
@@ -46,8 +76,11 @@
 
 mod channel;
 mod ctx;
+pub mod env;
 mod executor;
+mod experiment;
 mod machine;
+mod program;
 mod stats;
 mod task;
 mod threaded;
@@ -55,11 +88,16 @@ mod vproc;
 
 pub use channel::{ChannelId, ChannelStats, ProxyId};
 pub use ctx::{FieldInit, TaskCtx};
+pub use env::EnvOverrides;
 pub use executor::{Backend, Executor};
+pub use experiment::{
+    run_records_json, ConfigError, Experiment, ExperimentConfig, RunRecord, DEFAULT_QUANTUM_NS,
+};
 pub use machine::{Machine, MachineConfig, MutatorCostModel};
 // Re-exported so backend users can tune the collector (e.g. the
 // `eager_publication` ablation) without depending on `mgc-core` directly.
 pub use mgc_core::GcConfig;
+pub use program::{Checksum, Program};
 pub use stats::{RunReport, VprocRunStats};
 pub use task::{Handle, TaskResult, TaskSpec};
 pub use threaded::ThreadedMachine;

@@ -39,22 +39,19 @@ const STEAL_OVERHEAD_NS: f64 = 1_200.0;
 /// environment variable.
 const MAX_ROUNDS: u64 = 50_000_000;
 
-/// The effective round cap: `MGC_MAX_ROUNDS` when set (and parseable as a
-/// positive integer), otherwise [`MAX_ROUNDS`].
+/// The effective round cap: `MGC_MAX_ROUNDS` when set (parsed by
+/// [`crate::env::EnvOverrides`], the one place `MGC_*` variables are
+/// interpreted), otherwise [`MAX_ROUNDS`]. Only `MGC_MAX_ROUNDS` is looked
+/// up here — a machine is built per run, and warning about unrelated knobs
+/// (`MGC_BACKEND`/`MGC_VPROCS`) on every construction would spam stderr.
 fn round_limit_from_env() -> u64 {
-    match std::env::var("MGC_MAX_ROUNDS") {
-        Ok(value) => match value.parse::<u64>() {
-            Ok(limit) if limit > 0 => limit,
-            _ => {
-                eprintln!(
-                    "warning: MGC_MAX_ROUNDS=`{value}` is not a positive integer; \
-                     using the default of {MAX_ROUNDS}"
-                );
-                MAX_ROUNDS
-            }
-        },
-        Err(_) => MAX_ROUNDS,
-    }
+    crate::env::EnvOverrides::from_lookup(|key| {
+        (key == "MGC_MAX_ROUNDS")
+            .then(|| std::env::var(key).ok())
+            .flatten()
+    })
+    .max_rounds
+    .unwrap_or(MAX_ROUNDS)
 }
 
 /// Cache behaviour of mutator memory accesses.

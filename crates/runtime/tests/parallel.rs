@@ -14,13 +14,11 @@ fn machine(vprocs: usize) -> Machine {
     Machine::new(MachineConfig::small_for_tests(vprocs))
 }
 
-/// Thread count for the threaded-backend tests; override with `MGC_VPROCS`.
+/// Thread count for the threaded-backend tests; override with `MGC_VPROCS`
+/// (parsed by `mgc_runtime::env`, the one place `MGC_*` knobs are
+/// interpreted).
 fn threaded_vprocs() -> usize {
-    std::env::var("MGC_VPROCS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&v| v > 0)
-        .unwrap_or(4)
+    mgc_runtime::EnvOverrides::capture().vprocs.unwrap_or(4)
 }
 
 fn threaded_machine() -> ThreadedMachine {

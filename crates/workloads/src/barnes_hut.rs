@@ -11,7 +11,8 @@
 
 use crate::scale::Scale;
 use mgc_heap::{f64_to_word, word_to_f64, Descriptor, DescriptorId};
-use mgc_runtime::{Executor, FieldInit, Handle, TaskCtx, TaskResult, TaskSpec};
+use mgc_runtime::{Executor, FieldInit, Handle, Program, TaskCtx, TaskResult, TaskSpec};
+use serde::{Deserialize, Serialize};
 
 /// Number of particles at the given scale (the paper uses 400,000).
 pub fn num_particles(scale: Scale) -> usize {
@@ -21,6 +22,73 @@ pub fn num_particles(scale: Scale) -> usize {
 /// Number of iterations at the given scale (the paper runs 20).
 pub fn num_iterations(scale: Scale) -> usize {
     scale.apply(20, 2)
+}
+
+/// Parameters of the Barnes-Hut benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BarnesHutParams {
+    /// Number of particles in the Plummer distribution (the paper uses
+    /// 400,000).
+    pub particles: usize,
+    /// Number of build-tree/compute-forces iterations (the paper runs 20).
+    pub iterations: usize,
+}
+
+impl BarnesHutParams {
+    /// The paper's input shrunk by `scale` (floors: 512 particles, 2
+    /// iterations).
+    pub fn at_scale(scale: Scale) -> Self {
+        BarnesHutParams {
+            particles: num_particles(scale),
+            iterations: num_iterations(scale),
+        }
+    }
+}
+
+impl Default for BarnesHutParams {
+    fn default() -> Self {
+        BarnesHutParams::at_scale(Scale::default())
+    }
+}
+
+/// The Barnes-Hut N-body simulation as a [`Program`].
+///
+/// No `expected_checksum` is declared: there is no cheap sequential
+/// reference for the N-body physics, so equivalence tests compare runs
+/// against each other instead (`result_is_independent_of_vproc_count`).
+#[derive(Debug, Clone, Copy)]
+pub struct BarnesHut {
+    /// The run's parameters.
+    pub params: BarnesHutParams,
+}
+
+impl BarnesHut {
+    /// A Barnes-Hut program with explicit parameters.
+    pub fn new(params: BarnesHutParams) -> Self {
+        BarnesHut { params }
+    }
+
+    /// A Barnes-Hut program at the paper's input scaled by `scale`.
+    pub fn at_scale(scale: Scale) -> Self {
+        BarnesHut::new(BarnesHutParams::at_scale(scale))
+    }
+}
+
+impl Program for BarnesHut {
+    fn name(&self) -> &str {
+        "Barnes-Hut"
+    }
+
+    fn spawn(&self, machine: &mut dyn Executor) {
+        spawn_with(machine, self.params);
+    }
+
+    fn params_json(&self) -> String {
+        format!(
+            "{{\"particles\": {}, \"iterations\": {}}}",
+            self.params.particles, self.params.iterations
+        )
+    }
 }
 
 /// Opening criterion of the Barnes-Hut approximation.
@@ -291,11 +359,16 @@ fn iteration_task(desc: DescriptorId, remaining: usize, blocks: usize) -> TaskSp
     })
 }
 
-/// Spawns the Barnes-Hut workload; the root result is a checksum over the
-/// final particle positions.
+/// Spawns the Barnes-Hut workload at the given scale; the root result is a
+/// checksum over the final particle positions.
 pub fn spawn(machine: &mut dyn Executor, scale: Scale) {
-    let n = num_particles(scale);
-    let iterations = num_iterations(scale);
+    spawn_with(machine, BarnesHutParams::at_scale(scale));
+}
+
+/// Spawns the Barnes-Hut workload with explicit parameters.
+pub fn spawn_with(machine: &mut dyn Executor, params: BarnesHutParams) {
+    let n = params.particles;
+    let iterations = params.iterations;
     let desc = register_tree_descriptor(machine);
     let blocks = 96;
     machine.spawn_root(TaskSpec::new("bh-root", move |ctx| {

@@ -4,8 +4,9 @@
 //! alive, so the full minor → major → global promotion pipeline is
 //! exercised at a controllable rate.
 
+use crate::scale::Scale;
 use mgc_heap::{i64_to_word, word_to_i64};
-use mgc_runtime::{Executor, Handle, TaskResult, TaskSpec};
+use mgc_runtime::{Checksum, Executor, Handle, Program, TaskResult, TaskSpec};
 use serde::{Deserialize, Serialize};
 
 /// Parameters of the churn workload.
@@ -41,6 +42,64 @@ impl ChurnParams {
             survive_every: 32,
             workers: 4,
         }
+    }
+
+    /// The default configuration shrunk by `scale` (floors: 500 objects per
+    /// worker, 4 workers); object size and survival rate are unaffected by
+    /// scale.
+    pub fn at_scale(scale: Scale) -> Self {
+        let default = ChurnParams::default();
+        ChurnParams {
+            objects_per_worker: scale.apply(default.objects_per_worker, 500),
+            workers: scale.apply(default.workers, 4),
+            ..default
+        }
+    }
+}
+
+/// The synthetic allocation-churn benchmark as a [`Program`]. Every field of
+/// [`ChurnParams`] is reachable here, so sweeps can dial allocation volume,
+/// object size, survival rate, and parallelism independently.
+#[derive(Debug, Clone, Copy)]
+pub struct Churn {
+    /// The run's parameters.
+    pub params: ChurnParams,
+}
+
+impl Churn {
+    /// A churn program with explicit parameters.
+    pub fn new(params: ChurnParams) -> Self {
+        Churn { params }
+    }
+
+    /// A churn program with the default parameters scaled by `scale`.
+    pub fn at_scale(scale: Scale) -> Self {
+        Churn::new(ChurnParams::at_scale(scale))
+    }
+}
+
+impl Program for Churn {
+    fn name(&self) -> &str {
+        "Synthetic-Churn"
+    }
+
+    fn spawn(&self, machine: &mut dyn Executor) {
+        spawn(machine, self.params);
+    }
+
+    fn expected_checksum(&self) -> Option<Checksum> {
+        Some(Checksum::I64(expected_survivors(self.params)))
+    }
+
+    fn params_json(&self) -> String {
+        format!(
+            "{{\"objects_per_worker\": {}, \"object_words\": {}, \"survive_every\": {}, \
+             \"workers\": {}}}",
+            self.params.objects_per_worker,
+            self.params.object_words,
+            self.params.survive_every,
+            self.params.workers
+        )
     }
 }
 

@@ -9,11 +9,71 @@
 
 use crate::scale::Scale;
 use mgc_heap::{f64_to_word, word_to_f64};
-use mgc_runtime::{Executor, TaskResult, TaskSpec};
+use mgc_runtime::{Checksum, Executor, Program, TaskResult, TaskSpec};
+use serde::{Deserialize, Serialize};
 
 /// Matrix dimension at the given scale (the paper uses 600 × 600).
 pub fn dimension(scale: Scale) -> usize {
     scale.apply(600, 48)
+}
+
+/// Parameters of the DMM benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DmmParams {
+    /// Edge length of the square operand matrices (the paper uses 600).
+    pub dimension: usize,
+}
+
+impl DmmParams {
+    /// The paper's input shrunk by `scale` (with a floor of 48).
+    pub fn at_scale(scale: Scale) -> Self {
+        DmmParams {
+            dimension: dimension(scale),
+        }
+    }
+}
+
+impl Default for DmmParams {
+    fn default() -> Self {
+        DmmParams::at_scale(Scale::default())
+    }
+}
+
+/// Dense-matrix multiplication as a [`Program`].
+#[derive(Debug, Clone, Copy)]
+pub struct Dmm {
+    /// The run's parameters.
+    pub params: DmmParams,
+}
+
+impl Dmm {
+    /// A DMM program with explicit parameters.
+    pub fn new(params: DmmParams) -> Self {
+        Dmm { params }
+    }
+
+    /// A DMM program at the paper's input scaled by `scale`.
+    pub fn at_scale(scale: Scale) -> Self {
+        Dmm::new(DmmParams::at_scale(scale))
+    }
+}
+
+impl Program for Dmm {
+    fn name(&self) -> &str {
+        "Dense-Matrix-Multiply"
+    }
+
+    fn spawn(&self, machine: &mut dyn Executor) {
+        spawn_with(machine, self.params);
+    }
+
+    fn expected_checksum(&self) -> Option<Checksum> {
+        Some(Checksum::F64(checksum_for(self.params)))
+    }
+
+    fn params_json(&self) -> String {
+        format!("{{\"dimension\": {}}}", self.params.dimension)
+    }
 }
 
 /// Deterministic matrix generators, so every block (and the sequential
@@ -29,7 +89,12 @@ fn b_elem(k: usize, j: usize) -> f64 {
 /// The checksum (sum of all result elements) computed sequentially; used by
 /// tests to validate the parallel run.
 pub fn reference_checksum(scale: Scale) -> f64 {
-    let n = dimension(scale);
+    checksum_for(DmmParams::at_scale(scale))
+}
+
+/// The sequential reference checksum for explicit parameters.
+fn checksum_for(params: DmmParams) -> f64 {
+    let n = params.dimension;
     let mut sum = 0.0;
     for i in 0..n {
         for j in 0..n {
@@ -43,10 +108,15 @@ pub fn reference_checksum(scale: Scale) -> f64 {
     sum
 }
 
-/// Spawns the DMM workload onto `machine`. The root task's result is the
-/// checksum of the product matrix.
+/// Spawns the DMM workload onto `machine` at the given scale. The root
+/// task's result is the checksum of the product matrix.
 pub fn spawn(machine: &mut dyn Executor, scale: Scale) {
-    let n = dimension(scale);
+    spawn_with(machine, DmmParams::at_scale(scale));
+}
+
+/// Spawns the DMM workload with explicit parameters.
+pub fn spawn_with(machine: &mut dyn Executor, params: DmmParams) {
+    let n = params.dimension;
     let blocks = 96.min(n);
     machine.spawn_root(TaskSpec::new("dmm-root", move |ctx| {
         let rows_per_block = n.div_ceil(blocks);

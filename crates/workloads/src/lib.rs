@@ -18,20 +18,45 @@
 //! long-lived shared data (the Barnes-Hut tree, the SMVM vector), and no
 //! mutation.
 //!
+//! Each benchmark is a [`Program`] with a public, serde-ready parameter
+//! struct (e.g. [`barnes_hut::BarnesHutParams`], [`churn::ChurnParams`]) —
+//! derived from a [`Scale`] but overridable, so the scenario space is not
+//! limited to the paper's fixed inputs. Runs go through the [`Experiment`]
+//! builder:
+//!
 //! # Example
 //!
 //! ```
 //! use mgc_numa::{AllocPolicy, Topology};
-//! use mgc_workloads::{run_workload, Scale, Workload};
+//! use mgc_runtime::Experiment;
+//! use mgc_workloads::{Scale, Workload};
 //!
-//! let report = run_workload(
-//!     &Topology::dual_node_test(),
-//!     2,
-//!     AllocPolicy::Local,
-//!     Workload::Dmm,
-//!     Scale::tiny(),
-//! );
-//! assert!(report.elapsed_ns > 0.0);
+//! let record = Experiment::new(Workload::Dmm.program(Scale::tiny()))
+//!     .topology(Topology::dual_node_test())
+//!     .vprocs(2)
+//!     .policy(AllocPolicy::Local)
+//!     .run()
+//!     .expect("two vprocs fit the dual-node test topology");
+//! assert!(record.report.elapsed_ns > 0.0);
+//! assert_eq!(record.checksum_ok, Some(true));
+//! ```
+//!
+//! Custom parameters open the grid beyond the paper:
+//!
+//! ```
+//! use mgc_runtime::Experiment;
+//! use mgc_workloads::churn::{Churn, ChurnParams};
+//!
+//! let record = Experiment::new(Churn::new(ChurnParams {
+//!         objects_per_worker: 1_000,
+//!         object_words: 4,
+//!         survive_every: 16,
+//!         workers: 2,
+//!     }))
+//!     .vprocs(2)
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(record.checksum_ok, Some(true));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -52,7 +77,9 @@ pub use scale::Scale;
 
 use mgc_heap::Word;
 use mgc_numa::{AllocPolicy, Topology};
-use mgc_runtime::{Backend, Executor, Machine, MachineConfig, RunReport, ThreadedMachine};
+use mgc_runtime::{
+    Backend, Executor, Experiment, Machine, MachineConfig, Program, RunReport, ThreadedMachine,
+};
 use serde::{Deserialize, Serialize};
 
 /// The benchmarks of the paper's evaluation.
@@ -93,7 +120,8 @@ impl Workload {
         Workload::Churn,
     ];
 
-    /// The label used in the paper's figures.
+    /// The label used in the paper's figures (and as the
+    /// [`Program::name`]).
     pub fn label(self) -> &'static str {
         match self {
             Workload::Dmm => "Dense-Matrix-Multiply",
@@ -105,16 +133,31 @@ impl Workload {
         }
     }
 
-    /// Spawns this workload onto a machine.
-    pub fn spawn(self, machine: &mut dyn Executor, scale: Scale) {
+    /// This benchmark as a [`Program`] with the paper's input scaled by
+    /// `scale`. For parameters beyond the paper's grid, construct the
+    /// per-module program directly (e.g.
+    /// [`churn::Churn::new`]/[`barnes_hut::BarnesHut::new`]).
+    pub fn program(self, scale: Scale) -> Box<dyn Program> {
         match self {
-            Workload::Dmm => dmm::spawn(machine, scale),
-            Workload::Raytracer => raytracer::spawn(machine, scale),
-            Workload::Quicksort => quicksort::spawn(machine, scale),
-            Workload::BarnesHut => barnes_hut::spawn(machine, scale),
-            Workload::Smvm => smvm::spawn(machine, scale),
-            Workload::Churn => churn::spawn(machine, churn::ChurnParams::default()),
+            Workload::Dmm => Box::new(dmm::Dmm::at_scale(scale)),
+            Workload::Raytracer => Box::new(raytracer::Raytracer::at_scale(scale)),
+            Workload::Quicksort => Box::new(quicksort::Quicksort::at_scale(scale)),
+            Workload::BarnesHut => Box::new(barnes_hut::BarnesHut::at_scale(scale)),
+            Workload::Smvm => Box::new(smvm::Smvm::at_scale(scale)),
+            Workload::Churn => Box::new(churn::Churn::at_scale(scale)),
         }
+    }
+
+    /// An [`Experiment`] around [`Workload::program`] — the front door for
+    /// running one of the paper's benchmarks. Chain the scenario dimensions
+    /// (topology, vprocs, policy, backend, heap, gc) before `run()`.
+    pub fn experiment(self, scale: Scale) -> Experiment<Box<dyn Program>> {
+        Experiment::new(self.program(scale))
+    }
+
+    /// Spawns this workload onto a machine at the given scale.
+    pub fn spawn(self, machine: &mut dyn Executor, scale: Scale) {
+        self.program(scale).spawn(machine);
     }
 }
 
@@ -124,25 +167,30 @@ impl std::fmt::Display for Workload {
     }
 }
 
-/// The machine configuration the workloads run under.
+/// The machine configuration the deprecated free-function entry points run
+/// under (the [`Experiment`] defaults express the same configuration).
 fn workload_config(topology: &Topology, vprocs: usize, policy: AllocPolicy) -> MachineConfig {
     let mut config = MachineConfig::new(topology.clone(), vprocs).with_policy(policy);
-    // A finer scheduling quantum than the library default, so that scaled-down
-    // benchmark inputs still spread across many vprocs instead of completing
-    // inside a single vproc's first quantum.
-    config.quantum_ns = 25_000.0;
+    config.quantum_ns = mgc_runtime::DEFAULT_QUANTUM_NS;
     config
 }
 
 /// Builds a simulated machine for `topology` with `vprocs` vprocs and the
 /// given page placement policy, using the default (scaled-down) heap
 /// geometry.
+#[deprecated(
+    note = "validate an `mgc_runtime::Experiment` and build from its `ExperimentConfig` instead"
+)]
 pub fn machine_for(topology: &Topology, vprocs: usize, policy: AllocPolicy) -> Machine {
     Machine::new(workload_config(topology, vprocs, policy))
 }
 
 /// Builds an executor of the requested backend with the same configuration
 /// as [`machine_for`].
+#[deprecated(
+    note = "validate an `mgc_runtime::Experiment` and call `ExperimentConfig::build_executor` \
+            instead"
+)]
 pub fn executor_for(
     backend: Backend,
     topology: &Topology,
@@ -157,10 +205,9 @@ pub fn executor_for(
 }
 
 /// Runs one workload to completion and returns its report. The backend
-/// defaults to the simulated one; set the `MGC_BACKEND` environment variable
-/// (`simulated`/`threaded`) to override it — the examples and ad-hoc
-/// experiments use this to flip a whole run onto real threads without
-/// touching code.
+/// defaults to the simulated one; the `MGC_BACKEND` environment variable
+/// (`simulated`/`threaded`) overrides it.
+#[deprecated(note = "use `Workload::experiment(scale).topology(..).vprocs(..).policy(..).run()`")]
 pub fn run_workload(
     topology: &Topology,
     vprocs: usize,
@@ -168,15 +215,25 @@ pub fn run_workload(
     workload: Workload,
     scale: Scale,
 ) -> RunReport {
-    let backend = Backend::from_env().unwrap_or(Backend::Simulated);
-    let mut executor = executor_for(backend, topology, vprocs, policy);
-    workload.spawn(&mut *executor, scale);
-    executor.run()
+    workload
+        .experiment(scale)
+        .topology(topology.clone())
+        .vprocs(vprocs)
+        .policy(policy)
+        // The legacy entry point never computed reference checksums.
+        .verify_checksum(false)
+        .run()
+        .expect("legacy run_workload configurations are valid")
+        .report
 }
 
 /// Runs one workload on the chosen backend, returning the run report and
 /// the root task's result (the workload checksum, for cross-backend
 /// equivalence checks).
+#[deprecated(
+    note = "use `Workload::experiment(scale).backend(..)...run()` and read \
+            `RunRecord::{report, result}`"
+)]
 pub fn run_workload_on(
     backend: Backend,
     topology: &Topology,
@@ -185,11 +242,18 @@ pub fn run_workload_on(
     workload: Workload,
     scale: Scale,
 ) -> (RunReport, Option<(Word, bool)>) {
-    let mut executor = executor_for(backend, topology, vprocs, policy);
-    workload.spawn(&mut *executor, scale);
-    let report = executor.run();
-    let result = executor.take_result();
-    (report, result)
+    let record = workload
+        .experiment(scale)
+        .backend(backend)
+        .topology(topology.clone())
+        .vprocs(vprocs)
+        .policy(policy)
+        // The legacy entry point returned the raw result for the caller to
+        // check; it never computed reference checksums itself.
+        .verify_checksum(false)
+        .run()
+        .expect("legacy run_workload_on configurations are valid");
+    (record.report, record.result)
 }
 
 /// One point of a speedup curve.
@@ -213,13 +277,25 @@ pub fn speedup_series(
     scale: Scale,
     baseline_ns: Option<f64>,
 ) -> Vec<SpeedupPoint> {
-    let baseline = baseline_ns.unwrap_or_else(|| {
-        run_workload(topology, 1, AllocPolicy::Local, workload, scale).elapsed_ns
-    });
+    let run = |threads: usize, policy: AllocPolicy| {
+        workload
+            .experiment(scale)
+            .topology(topology.clone())
+            .vprocs(threads)
+            .policy(policy)
+            // A speedup curve reads timings only; skip the sequential
+            // reference checksum each point would otherwise recompute.
+            .verify_checksum(false)
+            .run()
+            .expect("speedup series thread counts fit the topology")
+            .report
+            .elapsed_ns
+    };
+    let baseline = baseline_ns.unwrap_or_else(|| run(1, AllocPolicy::Local));
     threads
         .iter()
         .map(|&t| {
-            let elapsed = run_workload(topology, t, policy, workload, scale).elapsed_ns;
+            let elapsed = run(t, policy);
             SpeedupPoint {
                 threads: t,
                 elapsed_ns: elapsed,
@@ -242,12 +318,33 @@ mod tests {
     }
 
     #[test]
+    fn program_names_match_workload_labels() {
+        for workload in Workload::ALL {
+            assert_eq!(workload.program(Scale::tiny()).name(), workload.label());
+        }
+    }
+
+    #[test]
     fn every_figure_workload_runs_on_a_small_machine() {
         let topology = Topology::dual_node_test();
         for workload in Workload::FIGURES {
-            let report = run_workload(&topology, 2, AllocPolicy::Local, workload, Scale::tiny());
-            assert!(report.total_tasks() > 1, "{workload} should be parallel");
-            assert!(report.elapsed_ns > 0.0);
+            let record = workload
+                .experiment(Scale::tiny())
+                .topology(topology.clone())
+                .vprocs(2)
+                .policy(AllocPolicy::Local)
+                .run()
+                .expect("two vprocs fit the dual-node test topology");
+            assert!(
+                record.report.total_tasks() > 1,
+                "{workload} should be parallel"
+            );
+            assert!(record.report.elapsed_ns > 0.0);
+            assert_ne!(
+                record.checksum_ok,
+                Some(false),
+                "{workload} produced a wrong checksum"
+            );
         }
     }
 
@@ -267,5 +364,15 @@ mod tests {
         assert_eq!(series.len(), 2);
         assert!((series[0].speedup - 1.0).abs() < 0.05);
         assert!(series[1].speedup > 1.5, "4 threads should beat 1");
+    }
+
+    #[test]
+    fn churn_params_scale_with_floors() {
+        let tiny = churn::ChurnParams::at_scale(Scale::tiny());
+        let paper = churn::ChurnParams::at_scale(Scale::paper());
+        assert_eq!(paper, churn::ChurnParams::default());
+        assert!(tiny.objects_per_worker >= 500);
+        assert!(tiny.workers >= 4);
+        assert!(tiny.objects_per_worker < paper.objects_per_worker);
     }
 }

@@ -10,11 +10,73 @@
 use crate::rope::{build_i64_rope, read_i64_rope};
 use crate::scale::Scale;
 use mgc_heap::{i64_to_word, word_to_i64};
-use mgc_runtime::{Executor, Handle, TaskCtx, TaskResult, TaskSpec};
+use mgc_runtime::{Checksum, Executor, Handle, Program, TaskCtx, TaskResult, TaskSpec};
+use serde::{Deserialize, Serialize};
 
 /// Number of integers to sort at the given scale (the paper sorts 10 M).
 pub fn input_size(scale: Scale) -> usize {
     scale.apply(10_000_000, 2_048)
+}
+
+/// Parameters of the quicksort benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuicksortParams {
+    /// Number of integers to sort (the paper sorts 10,000,000).
+    pub elements: usize,
+}
+
+impl QuicksortParams {
+    /// The paper's input shrunk by `scale` (with a floor of 2,048).
+    pub fn at_scale(scale: Scale) -> Self {
+        QuicksortParams {
+            elements: input_size(scale),
+        }
+    }
+}
+
+impl Default for QuicksortParams {
+    fn default() -> Self {
+        QuicksortParams::at_scale(Scale::default())
+    }
+}
+
+/// Parallel quicksort as a [`Program`].
+#[derive(Debug, Clone, Copy)]
+pub struct Quicksort {
+    /// The run's parameters.
+    pub params: QuicksortParams,
+}
+
+impl Quicksort {
+    /// A quicksort program with explicit parameters.
+    pub fn new(params: QuicksortParams) -> Self {
+        Quicksort { params }
+    }
+
+    /// A quicksort program at the paper's input scaled by `scale`.
+    pub fn at_scale(scale: Scale) -> Self {
+        Quicksort::new(QuicksortParams::at_scale(scale))
+    }
+}
+
+impl Program for Quicksort {
+    fn name(&self) -> &str {
+        "Quicksort"
+    }
+
+    fn spawn(&self, machine: &mut dyn Executor) {
+        spawn_with(machine, self.params);
+    }
+
+    fn expected_checksum(&self) -> Option<Checksum> {
+        Some(Checksum::I64(
+            generate_input(self.params.elements).iter().sum(),
+        ))
+    }
+
+    fn params_json(&self) -> String {
+        format!("{{\"elements\": {}}}", self.params.elements)
+    }
 }
 
 /// Below this size a task sorts sequentially instead of forking.
@@ -97,10 +159,15 @@ fn build_i64_rope_or_empty(ctx: &mut TaskCtx<'_>, values: &[i64]) -> Handle {
     }
 }
 
-/// Spawns the quicksort workload; the root result is the sorted rope's
-/// checksum (sum of elements), which sorting must preserve.
+/// Spawns the quicksort workload at the given scale; the root result is the
+/// sorted rope's checksum (sum of elements), which sorting must preserve.
 pub fn spawn(machine: &mut dyn Executor, scale: Scale) {
-    let n = input_size(scale);
+    spawn_with(machine, QuicksortParams::at_scale(scale));
+}
+
+/// Spawns the quicksort workload with explicit parameters.
+pub fn spawn_with(machine: &mut dyn Executor, params: QuicksortParams) {
+    let n = params.elements;
     machine.spawn_root(TaskSpec::new("qsort-root", move |ctx| {
         let input = generate_input(n);
         let rope = build_i64_rope(ctx, &input);

@@ -8,11 +8,71 @@
 
 use crate::scale::Scale;
 use mgc_heap::{f64_to_word, word_to_f64};
-use mgc_runtime::{Executor, TaskResult, TaskSpec};
+use mgc_runtime::{Checksum, Executor, Program, TaskResult, TaskSpec};
+use serde::{Deserialize, Serialize};
 
 /// Image edge length at the given scale (the paper renders 512 × 512).
 pub fn image_size(scale: Scale) -> usize {
     scale.apply(512, 64)
+}
+
+/// Parameters of the raytracer benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RaytracerParams {
+    /// Edge length of the square image (the paper renders 512 × 512).
+    pub image_size: usize,
+}
+
+impl RaytracerParams {
+    /// The paper's input shrunk by `scale` (with a floor of 64).
+    pub fn at_scale(scale: Scale) -> Self {
+        RaytracerParams {
+            image_size: image_size(scale),
+        }
+    }
+}
+
+impl Default for RaytracerParams {
+    fn default() -> Self {
+        RaytracerParams::at_scale(Scale::default())
+    }
+}
+
+/// The raytracer as a [`Program`].
+#[derive(Debug, Clone, Copy)]
+pub struct Raytracer {
+    /// The run's parameters.
+    pub params: RaytracerParams,
+}
+
+impl Raytracer {
+    /// A raytracer program with explicit parameters.
+    pub fn new(params: RaytracerParams) -> Self {
+        Raytracer { params }
+    }
+
+    /// A raytracer program at the paper's input scaled by `scale`.
+    pub fn at_scale(scale: Scale) -> Self {
+        Raytracer::new(RaytracerParams::at_scale(scale))
+    }
+}
+
+impl Program for Raytracer {
+    fn name(&self) -> &str {
+        "Raytracer"
+    }
+
+    fn spawn(&self, machine: &mut dyn Executor) {
+        spawn_with(machine, self.params);
+    }
+
+    fn expected_checksum(&self) -> Option<Checksum> {
+        Some(Checksum::F64(checksum_for(self.params)))
+    }
+
+    fn params_json(&self) -> String {
+        format!("{{\"image_size\": {}}}", self.params.image_size)
+    }
 }
 
 /// The scene: spheres as `(cx, cy, cz, radius, reflectance)`.
@@ -58,7 +118,12 @@ fn trace(px: f64, py: f64) -> f64 {
 
 /// Sequentially computed checksum of the whole image, for validation.
 pub fn reference_checksum(scale: Scale) -> f64 {
-    let size = image_size(scale);
+    checksum_for(RaytracerParams::at_scale(scale))
+}
+
+/// The sequential reference checksum for explicit parameters.
+fn checksum_for(params: RaytracerParams) -> f64 {
+    let size = params.image_size;
     let mut sum = 0.0;
     for y in 0..size {
         for x in 0..size {
@@ -72,10 +137,15 @@ fn pixel_coord(index: usize, size: usize) -> f64 {
     (index as f64 / size as f64) * 2.0 - 1.0
 }
 
-/// Spawns the raytracer onto `machine`; the root result is the image
-/// checksum.
+/// Spawns the raytracer onto `machine` at the given scale; the root result
+/// is the image checksum.
 pub fn spawn(machine: &mut dyn Executor, scale: Scale) {
-    let size = image_size(scale);
+    spawn_with(machine, RaytracerParams::at_scale(scale));
+}
+
+/// Spawns the raytracer with explicit parameters.
+pub fn spawn_with(machine: &mut dyn Executor, params: RaytracerParams) {
+    let size = params.image_size;
     let blocks = 96.min(size);
     machine.spawn_root(TaskSpec::new("ray-root", move |ctx| {
         let rows_per_block = size.div_ceil(blocks);

@@ -12,11 +12,75 @@
 use crate::rope::{build_f64_rope, LEAF_SIZE};
 use crate::scale::Scale;
 use mgc_heap::{f64_to_word, word_to_f64};
-use mgc_runtime::{Executor, TaskResult, TaskSpec};
+use mgc_runtime::{Checksum, Executor, Program, TaskResult, TaskSpec};
+use serde::{Deserialize, Serialize};
 
 /// Length of the dense vector at the given scale (the paper uses 16,614).
 pub fn vector_length(scale: Scale) -> usize {
     scale.apply(16_614, 512)
+}
+
+/// Parameters of the SMVM benchmark. The matrix is square-ish: one row per
+/// vector element, [`NNZ_PER_ROW`] non-zeroes per row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SmvmParams {
+    /// Length of the shared dense vector (the paper uses 16,614).
+    pub vector_length: usize,
+}
+
+impl SmvmParams {
+    /// The paper's input shrunk by `scale` (with a floor of 512).
+    pub fn at_scale(scale: Scale) -> Self {
+        SmvmParams {
+            vector_length: vector_length(scale),
+        }
+    }
+}
+
+impl Default for SmvmParams {
+    fn default() -> Self {
+        SmvmParams::at_scale(Scale::default())
+    }
+}
+
+/// Sparse-matrix × dense-vector multiplication as a [`Program`].
+#[derive(Debug, Clone, Copy)]
+pub struct Smvm {
+    /// The run's parameters.
+    pub params: SmvmParams,
+}
+
+impl Smvm {
+    /// An SMVM program with explicit parameters.
+    pub fn new(params: SmvmParams) -> Self {
+        Smvm { params }
+    }
+
+    /// An SMVM program at the paper's input scaled by `scale`.
+    pub fn at_scale(scale: Scale) -> Self {
+        Smvm::new(SmvmParams::at_scale(scale))
+    }
+}
+
+impl Program for Smvm {
+    fn name(&self) -> &str {
+        "SMVM"
+    }
+
+    fn spawn(&self, machine: &mut dyn Executor) {
+        spawn_with(machine, self.params);
+    }
+
+    fn expected_checksum(&self) -> Option<Checksum> {
+        Some(Checksum::F64(checksum_for(self.params)))
+    }
+
+    fn params_json(&self) -> String {
+        format!(
+            "{{\"vector_length\": {}, \"nnz_per_row\": {NNZ_PER_ROW}}}",
+            self.params.vector_length
+        )
+    }
 }
 
 /// Number of matrix rows (square-ish matrix: one row per vector element).
@@ -49,8 +113,13 @@ fn val_of(r: usize, k: usize) -> f64 {
 
 /// Sequentially computed checksum of the product vector.
 pub fn reference_checksum(scale: Scale) -> f64 {
-    let cols = vector_length(scale);
-    let rows = num_rows(scale);
+    checksum_for(SmvmParams::at_scale(scale))
+}
+
+/// The sequential reference checksum for explicit parameters.
+fn checksum_for(params: SmvmParams) -> f64 {
+    let cols = params.vector_length;
+    let rows = params.vector_length;
     let mut sum = 0.0;
     for r in 0..rows {
         let mut dot = 0.0;
@@ -62,11 +131,16 @@ pub fn reference_checksum(scale: Scale) -> f64 {
     sum
 }
 
-/// Spawns the SMVM workload; the root result is the checksum of the product
-/// vector.
+/// Spawns the SMVM workload at the given scale; the root result is the
+/// checksum of the product vector.
 pub fn spawn(machine: &mut dyn Executor, scale: Scale) {
-    let cols = vector_length(scale);
-    let rows = num_rows(scale);
+    spawn_with(machine, SmvmParams::at_scale(scale));
+}
+
+/// Spawns the SMVM workload with explicit parameters.
+pub fn spawn_with(machine: &mut dyn Executor, params: SmvmParams) {
+    let cols = params.vector_length;
+    let rows = params.vector_length;
     let blocks = 96.min(rows);
     machine.spawn_root(TaskSpec::new("smvm-root", move |ctx| {
         // The shared dense vector, built once by the root task. When blocks

@@ -14,20 +14,35 @@
 //! stolen depends on real scheduling on the threaded backend) and therefore
 //! the number of global collections — those are compared within a generous
 //! tolerance only.
+//!
+//! Both runs go through the [`Experiment`] front door with an explicit
+//! `backend(..)`, which pins the backend regardless of `MGC_BACKEND`.
 
 use mgc_heap::word_to_f64;
 use mgc_numa::{AllocPolicy, Topology};
-use mgc_runtime::Backend;
-use mgc_workloads::{run_workload_on, Scale, Workload};
+use mgc_runtime::{Backend, EnvOverrides, Experiment, RunRecord};
+use mgc_workloads::{churn, Scale, Workload};
 
 /// Thread count for the threaded backend; override with `MGC_VPROCS` (the
-/// CI threaded-smoke job runs with `MGC_VPROCS=4`).
+/// CI threaded-smoke job runs with `MGC_VPROCS=4`). Clamped to the
+/// dual-node test topology's core count, since `Experiment` validation
+/// rejects oversubscription.
 fn threaded_vprocs() -> usize {
-    std::env::var("MGC_VPROCS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&v| v > 0)
+    EnvOverrides::capture()
+        .vprocs
         .unwrap_or(4)
+        .min(Topology::dual_node_test().num_cores())
+}
+
+fn run_on(backend: Backend, vprocs: usize, workload: Workload, scale: Scale) -> RunRecord {
+    workload
+        .experiment(scale)
+        .backend(backend)
+        .topology(Topology::dual_node_test())
+        .vprocs(vprocs)
+        .policy(AllocPolicy::Local)
+        .run()
+        .expect("the equivalence configurations are valid")
 }
 
 fn checksums_agree(workload: Workload, sim: u64, threaded: u64) -> bool {
@@ -51,46 +66,43 @@ fn checksums_agree(workload: Workload, sim: u64, threaded: u64) -> bool {
 
 #[test]
 fn backends_agree_on_deterministic_invariants_for_every_workload() {
-    let topology = Topology::dual_node_test();
     let scale = Scale::tiny();
     let vprocs = threaded_vprocs();
     for workload in Workload::FIGURES {
-        let (sim, sim_result) = run_workload_on(
-            Backend::Simulated,
-            &topology,
-            2,
-            AllocPolicy::Local,
-            workload,
-            scale,
-        );
-        let (threaded, threaded_result) = run_workload_on(
-            Backend::Threaded,
-            &topology,
-            vprocs,
-            AllocPolicy::Local,
-            workload,
-            scale,
-        );
+        let sim = run_on(Backend::Simulated, 2, workload, scale);
+        let threaded = run_on(Backend::Threaded, vprocs, workload, scale);
 
-        let (sim_word, sim_is_ptr) = sim_result.expect("simulated run produces a checksum");
-        let (thr_word, thr_is_ptr) = threaded_result.expect("threaded run produces a checksum");
+        let (sim_word, sim_is_ptr) = sim.result.expect("simulated run produces a checksum");
+        let (thr_word, thr_is_ptr) = threaded.result.expect("threaded run produces a checksum");
         assert_eq!(sim_is_ptr, thr_is_ptr, "{workload}: result kinds differ");
         assert!(
             checksums_agree(workload, sim_word, thr_word),
             "{workload}: checksums diverge (simulated {sim_word:#x} vs threaded {thr_word:#x})"
         );
+        // Programs that declare an expected checksum must match it on both
+        // backends (the `Program::expected_checksum` hook).
+        assert_ne!(
+            sim.checksum_ok,
+            Some(false),
+            "{workload}: wrong simulated checksum"
+        );
+        assert_ne!(
+            threaded.checksum_ok,
+            Some(false),
+            "{workload}: wrong threaded checksum"
+        );
 
         assert_eq!(
-            sim.total_tasks(),
-            threaded.total_tasks(),
+            sim.report.total_tasks(),
+            threaded.report.total_tasks(),
             "{workload}: task trees diverge"
         );
         assert_eq!(
-            sim.allocated_objects, threaded.allocated_objects,
+            sim.report.allocated_objects, threaded.report.allocated_objects,
             "{workload}: allocation counts diverge"
         );
         assert_eq!(
-            sim.allocated_words, threaded.allocated_words,
+            sim.report.allocated_words, threaded.report.allocated_words,
             "{workload}: allocation volumes diverge"
         );
 
@@ -101,16 +113,16 @@ fn backends_agree_on_deterministic_invariants_for_every_workload() {
         // simulated model (whose scheduler steals deterministically) does —
         // that is the point of the design. What must always hold is the
         // internal consistency of the steal-side accounting.
-        if threaded.total_steals() == 0 {
+        if threaded.report.total_steals() == 0 {
             assert_eq!(
-                threaded.promotions_at_steal(),
+                threaded.report.promotions_at_steal(),
                 0,
                 "{workload}: steal-driven promotions without any steal"
             );
         }
-        if threaded.promotions_at_steal() > 0 {
+        if threaded.report.promotions_at_steal() > 0 {
             assert!(
-                threaded.total_steals() > 0,
+                threaded.report.total_steals() > 0,
                 "{workload}: promotion attributed to steals that never happened"
             );
         }
@@ -118,8 +130,8 @@ fn backends_agree_on_deterministic_invariants_for_every_workload() {
         // Global collections depend on promotion volume; require the two
         // backends to be within a generous factor of each other (per vproc,
         // since each participant counts the collection once).
-        let sim_globals = sim.gc.global_collections / sim.vprocs as u64;
-        let thr_globals = threaded.gc.global_collections / threaded.vprocs as u64;
+        let sim_globals = sim.report.gc.global_collections / sim.report.vprocs as u64;
+        let thr_globals = threaded.report.gc.global_collections / threaded.report.vprocs as u64;
         let bound = |x: u64| 5 * x + 5;
         assert!(
             sim_globals <= bound(thr_globals) && thr_globals <= bound(sim_globals),
@@ -131,27 +143,23 @@ fn backends_agree_on_deterministic_invariants_for_every_workload() {
 
 #[test]
 fn churn_survivors_are_identical_across_backends() {
-    let topology = Topology::dual_node_test();
-    let params = mgc_workloads::churn::ChurnParams::small();
-    let expected = mgc_workloads::churn::expected_survivors(params);
+    let params = churn::ChurnParams::small();
+    let expected = churn::expected_survivors(params);
 
-    let mut sim = mgc_workloads::machine_for(&topology, 2, AllocPolicy::Local);
-    mgc_workloads::churn::spawn(&mut sim, params);
-    sim.run();
-    assert_eq!(
-        mgc_workloads::churn::take_survivors(&mut sim),
-        Some(expected)
-    );
-
-    let mut threaded = mgc_workloads::executor_for(
-        Backend::Threaded,
-        &topology,
-        threaded_vprocs(),
-        AllocPolicy::Local,
-    );
-    mgc_workloads::churn::spawn(&mut *threaded, params);
-    threaded.run();
-    let (word, is_ptr) = threaded.take_result().expect("churn produces a count");
-    assert!(!is_ptr);
-    assert_eq!(mgc_heap::word_to_i64(word), expected);
+    for (backend, vprocs) in [
+        (Backend::Simulated, 2),
+        (Backend::Threaded, threaded_vprocs()),
+    ] {
+        let record = Experiment::new(churn::Churn::new(params))
+            .backend(backend)
+            .topology(Topology::dual_node_test())
+            .vprocs(vprocs)
+            .policy(AllocPolicy::Local)
+            .run()
+            .expect("the churn configurations are valid");
+        let (word, is_ptr) = record.result.expect("churn produces a count");
+        assert!(!is_ptr);
+        assert_eq!(mgc_heap::word_to_i64(word), expected, "{backend}");
+        assert_eq!(record.checksum_ok, Some(true), "{backend}");
+    }
 }

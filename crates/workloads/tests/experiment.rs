@@ -1,0 +1,189 @@
+//! The `Experiment` front door, exercised over the workload programs:
+//!
+//! * a property test: any configuration *accepted by validation* runs to
+//!   completion on **both** backends at tiny scale and produces a correct
+//!   checksum — validation is the only gate between a builder chain and a
+//!   successful run;
+//! * rejected configurations fail with the matching typed [`ConfigError`],
+//!   never a panic;
+//! * the deprecated free-function shims (`run_workload`,
+//!   `run_workload_on`) still work and agree with the `Experiment` they
+//!   delegate to (the one compat test keeping them honest for their final
+//!   PR cycle).
+
+use mgc_heap::HeapConfig;
+use mgc_numa::{AllocPolicy, Topology};
+use mgc_runtime::{Backend, ConfigError, EnvOverrides};
+use mgc_workloads::{churn, Scale, Workload};
+use proptest::prelude::*;
+
+/// The cheap programs the property test cycles through (tiny scale keeps
+/// each run in the tens of milliseconds).
+const PROGRAMS: [Workload; 3] = [Workload::Dmm, Workload::Raytracer, Workload::Quicksort];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn accepted_experiments_run_to_completion_on_both_backends(
+        vprocs in 0usize..6,
+        policy_index in 0usize..4,
+        program_index in 0usize..3,
+        small_heap in any::<u8>(),
+    ) {
+        let workload = PROGRAMS[program_index];
+        let heap = if small_heap.is_multiple_of(2) {
+            HeapConfig::default()
+        } else {
+            HeapConfig::small_for_tests()
+        };
+        let build = || {
+            workload
+                .experiment(Scale::tiny())
+                .env_overrides(EnvOverrides::default())
+                .topology(Topology::dual_node_test())
+                .vprocs(vprocs)
+                .policy(AllocPolicy::ALL[policy_index])
+                .heap(heap)
+        };
+        match build().validate() {
+            Err(err) => {
+                // The dual-node test topology has 4 cores, so the only
+                // rejectable dimension here is the vproc count.
+                prop_assert!(
+                    matches!(
+                        err,
+                        ConfigError::ZeroVprocs | ConfigError::VprocsExceedTopology { .. }
+                    ),
+                    "unexpected rejection: {err}"
+                );
+                prop_assert!(vprocs == 0 || vprocs > 4);
+            }
+            Ok(_) => {
+                for backend in Backend::ALL {
+                    let record = build()
+                        .backend(backend)
+                        .run()
+                        .expect("validation already accepted this configuration");
+                    prop_assert!(record.report.total_tasks() > 0, "{workload} ran no tasks");
+                    prop_assert_eq!(
+                        record.checksum_ok,
+                        Some(true),
+                        "{} produced a wrong checksum on {}",
+                        workload,
+                        backend
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_config_error_is_reachable_from_the_builder() {
+    let experiment = || {
+        Workload::Dmm
+            .experiment(Scale::tiny())
+            .env_overrides(EnvOverrides::default())
+            .topology(Topology::dual_node_test())
+    };
+    assert_eq!(
+        experiment().vprocs(0).validate().unwrap_err(),
+        ConfigError::ZeroVprocs
+    );
+    assert_eq!(
+        experiment().vprocs(9).validate().unwrap_err(),
+        ConfigError::VprocsExceedTopology {
+            vprocs: 9,
+            cores: 4
+        }
+    );
+    let degenerate = experiment()
+        .vprocs(1)
+        .heap(HeapConfig {
+            chunk_size_bytes: 0,
+            ..HeapConfig::default()
+        })
+        .validate()
+        .unwrap_err();
+    assert!(matches!(
+        degenerate,
+        ConfigError::DegenerateHeap {
+            field: "chunk_size_bytes",
+            ..
+        }
+    ));
+    let degenerate = experiment()
+        .vprocs(1)
+        .heap(HeapConfig {
+            local_heap_bytes: 1,
+            ..HeapConfig::default()
+        })
+        .validate()
+        .unwrap_err();
+    assert!(matches!(
+        degenerate,
+        ConfigError::DegenerateHeap {
+            field: "local_heap_bytes",
+            ..
+        }
+    ));
+    assert_eq!(
+        experiment()
+            .vprocs(1)
+            .quantum_ns(-1.0)
+            .validate()
+            .unwrap_err(),
+        ConfigError::NonPositiveQuantum { quantum_ns: -1.0 }
+    );
+}
+
+/// The one compat test exercising the deprecated shims for their final PR
+/// cycle: they must still run and agree with the `Experiment` they now
+/// delegate to.
+#[test]
+#[allow(deprecated)]
+fn deprecated_shims_agree_with_the_experiment_front_door() {
+    let topology = Topology::dual_node_test();
+    let scale = Scale::tiny();
+
+    let record = Workload::Dmm
+        .experiment(scale)
+        .backend(Backend::Simulated)
+        .topology(topology.clone())
+        .vprocs(2)
+        .policy(AllocPolicy::Local)
+        .run()
+        .expect("the compat configuration is valid");
+
+    let report =
+        mgc_workloads::run_workload(&topology, 2, AllocPolicy::Local, Workload::Dmm, scale);
+    assert_eq!(report.total_tasks(), record.report.total_tasks());
+    assert_eq!(report.allocated_objects, record.report.allocated_objects);
+
+    let (report_on, result_on) = mgc_workloads::run_workload_on(
+        Backend::Simulated,
+        &topology,
+        2,
+        AllocPolicy::Local,
+        Workload::Dmm,
+        scale,
+    );
+    assert_eq!(report_on.total_tasks(), record.report.total_tasks());
+    assert_eq!(report_on.elapsed_ns, record.report.elapsed_ns);
+    assert_eq!(result_on, record.result);
+
+    let mut machine = mgc_workloads::machine_for(&topology, 2, AllocPolicy::Local);
+    churn::spawn(&mut machine, churn::ChurnParams::small());
+    machine.run();
+    assert_eq!(
+        churn::take_survivors(&mut machine),
+        Some(churn::expected_survivors(churn::ChurnParams::small()))
+    );
+
+    let mut executor =
+        mgc_workloads::executor_for(Backend::Threaded, &topology, 2, AllocPolicy::Local);
+    Workload::Raytracer.spawn(&mut *executor, scale);
+    let report = executor.run();
+    assert!(report.wall_clock_ns.is_some());
+}

@@ -12,15 +12,11 @@
 //! deadlock or a promotion storm into a fast failure).
 
 use mgc_numa::{AllocPolicy, Topology};
-use mgc_runtime::{GcConfig, MachineConfig, RunReport, ThreadedMachine};
+use mgc_runtime::{EnvOverrides, GcConfig, MachineConfig, RunReport, ThreadedMachine};
 use mgc_workloads::{barnes_hut, Scale, Workload};
 
 fn threaded_vprocs() -> usize {
-    std::env::var("MGC_VPROCS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&v| v > 0)
-        .unwrap_or(4)
+    EnvOverrides::capture().vprocs.unwrap_or(4)
 }
 
 fn run_barnes_hut(vprocs: usize, eager: bool) -> RunReport {

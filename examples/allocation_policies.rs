@@ -1,13 +1,14 @@
 //! Compares the three physical page-placement policies of the paper's §4.3
 //! (local, interleaved, socket-zero) on the SMVM benchmark — the workload
-//! whose shared dense vector makes placement matter most.
+//! whose shared dense vector makes placement matter most. Each cell is one
+//! `Experiment` with a different (threads × policy) coordinate.
 //!
 //! ```text
 //! cargo run --example allocation_policies --release
 //! ```
 
 use manticore_gc::numa::{AllocPolicy, Topology};
-use manticore_gc::workloads::{run_workload, Scale, Workload};
+use manticore_gc::workloads::{Scale, Workload};
 
 fn main() {
     let topology = Topology::amd_magny_cours_48();
@@ -26,8 +27,14 @@ fn main() {
             AllocPolicy::Interleaved,
             AllocPolicy::SocketZero,
         ] {
-            let report = run_workload(&topology, t, policy, Workload::Smvm, scale);
-            row.push_str(&format!(" {:>14.3}", report.elapsed_ns / 1e6));
+            let record = Workload::Smvm
+                .experiment(scale)
+                .topology(topology.clone())
+                .vprocs(t)
+                .policy(policy)
+                .run()
+                .expect("the thread counts fit the 48-core machine");
+            row.push_str(&format!(" {:>14.3}", record.report.elapsed_ns / 1e6));
         }
         println!("{row}");
     }

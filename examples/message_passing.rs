@@ -4,7 +4,9 @@
 //! the collector forbids pointers between local heaps (§2.3/§3.1 of the
 //! paper); this example shows the promotion traffic that message passing
 //! generates, and the use of an object proxy for a structure that stays
-//! vproc-local until another vproc actually needs it.
+//! vproc-local until another vproc actually needs it. The producer/consumer
+//! is written as a [`Program`], so the same code runs on either backend
+//! through the `Experiment` front door.
 //!
 //! ```text
 //! cargo run --example message_passing --release
@@ -14,56 +16,82 @@
 use manticore_gc::heap::i64_to_word;
 use manticore_gc::numa::Topology;
 use manticore_gc::runtime::{
-    Backend, Executor, Machine, MachineConfig, TaskResult, TaskSpec, ThreadedMachine,
+    Backend, Checksum, Executor, Experiment, Program, TaskResult, TaskSpec,
 };
 
+/// Sends `messages` records over a channel, consumes them, and exposes a
+/// local accumulator through a proxy.
+struct ProducerConsumer {
+    messages: i64,
+}
+
+impl Program for ProducerConsumer {
+    fn name(&self) -> &str {
+        "message-passing"
+    }
+
+    fn spawn(&self, machine: &mut dyn Executor) {
+        let messages = self.messages;
+        let channel = machine.create_channel();
+        machine.spawn_root(TaskSpec::new("producer", move |ctx| {
+            // Produce a batch of messages; each is a small record built in
+            // the producer's nursery and promoted by `send`.
+            for i in 0..messages {
+                let payload = ctx.alloc_raw(&[i64_to_word(i), i64_to_word(i * i)]);
+                ctx.send(channel, payload);
+            }
+
+            // A local accumulator exposed to the runtime through a proxy: it
+            // is only promoted if a remote vproc resolves the proxy.
+            let accumulator = ctx.alloc_raw(&[i64_to_word(0)]);
+            let proxy = ctx.create_proxy(accumulator);
+
+            // Consume the messages (possibly after the channel contents
+            // survived a garbage collection — promotion guarantees they are
+            // global).
+            let mut received = 0i64;
+            let mut sum = 0i64;
+            while let Some(msg) = ctx.recv(channel) {
+                sum += ctx.read_raw(msg, 1) as i64;
+                received += 1;
+            }
+            let local_again = ctx.resolve_proxy(proxy);
+            let _ = ctx.read_raw(local_again, 0);
+            println!("received {received} messages, sum of squares = {sum}");
+            TaskResult::Value(i64_to_word(sum))
+        }));
+    }
+
+    fn expected_checksum(&self) -> Option<Checksum> {
+        Some(Checksum::I64(
+            (0..self.messages).map(|i| i * i).sum::<i64>(),
+        ))
+    }
+
+    fn params_json(&self) -> String {
+        format!("{{\"messages\": {}}}", self.messages)
+    }
+}
+
 fn main() {
-    let config = MachineConfig::new(Topology::intel_xeon_32(), 4);
-    let backend = Backend::from_env().unwrap_or(Backend::Simulated);
-    let mut machine: Box<dyn Executor> = match backend {
-        Backend::Simulated => Box::new(Machine::new(config)),
-        Backend::Threaded => Box::new(ThreadedMachine::new(config)),
-    };
-    let channel = machine.create_channel();
+    // `MGC_BACKEND=threaded` flips the run onto real OS threads: the
+    // experiment applies the override because no backend is pinned here.
+    let record = Experiment::new(ProducerConsumer { messages: 100 })
+        .topology(Topology::intel_xeon_32())
+        .vprocs(4)
+        .run()
+        .expect("four vprocs fit the 32-core machine");
 
-    machine.spawn_root(TaskSpec::new("producer", move |ctx| {
-        // Produce a batch of messages; each is a small record built in the
-        // producer's nursery and promoted by `send`.
-        for i in 0..100i64 {
-            let payload = ctx.alloc_raw(&[i64_to_word(i), i64_to_word(i * i)]);
-            ctx.send(channel, payload);
-        }
-
-        // A local accumulator exposed to the runtime through a proxy: it is
-        // only promoted if a remote vproc resolves the proxy.
-        let accumulator = ctx.alloc_raw(&[i64_to_word(0)]);
-        let proxy = ctx.create_proxy(accumulator);
-
-        // Consume the messages (possibly after the channel contents survived
-        // a garbage collection — promotion guarantees they are global).
-        let mut received = 0i64;
-        let mut sum = 0i64;
-        while let Some(msg) = ctx.recv(channel) {
-            sum += ctx.read_raw(msg, 1) as i64;
-            received += 1;
-        }
-        let local_again = ctx.resolve_proxy(proxy);
-        let _ = ctx.read_raw(local_again, 0);
-        println!("received {received} messages, sum of squares = {sum}");
-        TaskResult::Value(i64_to_word(sum))
-    }));
-
-    let report = machine.run();
-    let stats = machine.channel_stats();
+    let stats = record.channels;
     println!("channel sends       : {}", stats.sends);
     println!("channel receives    : {}", stats.receives);
     println!("proxies created     : {}", stats.proxies_created);
     println!("proxies promoted    : {}", stats.proxies_promoted);
-    println!("promotions (lazy)   : {}", report.gc.promotions);
-    println!("bytes promoted      : {}", report.gc.promotion_bytes);
-    let clock = match backend {
+    println!("promotions (lazy)   : {}", record.report.gc.promotions);
+    println!("bytes promoted      : {}", record.report.gc.promotion_bytes);
+    let clock = match record.backend {
         Backend::Simulated => "virtual time",
         Backend::Threaded => "wall-clock time",
     };
-    println!("{clock:<20}: {:.3} ms", report.elapsed_ns / 1e6);
+    println!("{clock:<20}: {:.3} ms", record.report.elapsed_ns / 1e6);
 }

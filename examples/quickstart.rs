@@ -1,6 +1,6 @@
-//! Quickstart: build a NUMA machine, run a small parallel program under the
-//! Manticore-style collector, and inspect what the memory system and the
-//! collector did.
+//! Quickstart: write a program against the open `Program` trait, run it
+//! through the `Experiment` front door on a modelled NUMA machine, and
+//! inspect what the memory system and the collector did.
 //!
 //! ```text
 //! cargo run --example quickstart --release
@@ -10,68 +10,108 @@
 use manticore_gc::heap::i64_to_word;
 use manticore_gc::numa::{AllocPolicy, Topology};
 use manticore_gc::runtime::{
-    Backend, Executor, Machine, MachineConfig, TaskResult, TaskSpec, ThreadedMachine,
+    Backend, Checksum, Executor, Experiment, Program, TaskResult, TaskSpec,
 };
+
+/// A fork/join program: every child builds a little list in its nursery,
+/// sums it, and returns the sum; the continuation adds everything up.
+struct ListSums {
+    children: i64,
+    cells_per_child: i64,
+}
+
+impl Program for ListSums {
+    fn name(&self) -> &str {
+        "quickstart-list-sums"
+    }
+
+    fn spawn(&self, machine: &mut dyn Executor) {
+        let (children, cells) = (self.children, self.cells_per_child);
+        machine.spawn_root(TaskSpec::new("quickstart", move |ctx| {
+            let children: Vec<_> = (0..children)
+                .map(|seed| {
+                    (
+                        TaskSpec::new("build-and-sum", move |ctx| {
+                            let mut list = None;
+                            for i in 0..cells {
+                                let cell = ctx.alloc_raw(&[i64_to_word(seed + i)]);
+                                list = Some(ctx.alloc_vector(&[Some(cell), list]));
+                            }
+                            // Walk the list back.
+                            let mut sum = 0i64;
+                            let mut cursor = list;
+                            while let Some(cell) = cursor {
+                                let value = ctx.read_ptr(cell, 0).expect("list cells hold a value");
+                                sum += ctx.read_raw(value, 0) as i64;
+                                cursor = ctx.read_ptr(cell, 1);
+                            }
+                            ctx.work(4_000);
+                            TaskResult::Value(i64_to_word(sum))
+                        }),
+                        vec![],
+                    )
+                })
+                .collect();
+            ctx.fork_join(
+                children,
+                TaskSpec::new("total", |ctx| {
+                    let total: i64 = (0..ctx.num_values()).map(|i| ctx.value(i) as i64).sum();
+                    TaskResult::Value(i64_to_word(total))
+                }),
+                &[],
+            );
+            TaskResult::Unit
+        }));
+    }
+
+    fn expected_checksum(&self) -> Option<Checksum> {
+        // Each child sums `seed + i` for i in 0..cells.
+        let per_child_offset = self.cells_per_child * (self.cells_per_child - 1) / 2;
+        let seeds = self.children * (self.children - 1) / 2;
+        Some(Checksum::I64(
+            self.cells_per_child * seeds + self.children * per_child_offset,
+        ))
+    }
+
+    fn params_json(&self) -> String {
+        format!(
+            "{{\"children\": {}, \"cells_per_child\": {}}}",
+            self.children, self.cells_per_child
+        )
+    }
+}
 
 fn main() {
     // A 48-core AMD "Magny Cours" machine (the paper's Appendix A.1),
-    // 16 vprocs, local page placement. `MGC_BACKEND=threaded` runs the same
-    // program on real OS threads instead of the discrete-event simulation.
-    let config =
-        MachineConfig::new(Topology::amd_magny_cours_48(), 16).with_policy(AllocPolicy::Local);
-    let backend = Backend::from_env().unwrap_or(Backend::Simulated);
-    let mut machine: Box<dyn Executor> = match backend {
-        Backend::Simulated => Box::new(Machine::new(config)),
-        Backend::Threaded => Box::new(ThreadedMachine::new(config)),
-    };
+    // 16 vprocs, local page placement. The experiment honours
+    // `MGC_BACKEND=threaded` (real OS threads instead of the discrete-event
+    // simulation) because no explicit backend is pinned here.
+    let record = Experiment::new(ListSums {
+        children: 64,
+        cells_per_child: 200,
+    })
+    .topology(Topology::amd_magny_cours_48())
+    .vprocs(16)
+    .policy(AllocPolicy::Local)
+    .run()
+    .expect("sixteen vprocs fit the 48-core machine");
 
-    // A fork/join program: every child builds a little list in its nursery,
-    // sums it, and returns the sum; the continuation adds everything up.
-    machine.spawn_root(TaskSpec::new("quickstart", |ctx| {
-        let children: Vec<_> = (0..64i64)
-            .map(|seed| {
-                (
-                    TaskSpec::new("build-and-sum", move |ctx| {
-                        let mut list = None;
-                        for i in 0..200i64 {
-                            let cell = ctx.alloc_raw(&[i64_to_word(seed + i)]);
-                            list = Some(ctx.alloc_vector(&[Some(cell), list]));
-                        }
-                        // Walk the list back.
-                        let mut sum = 0i64;
-                        let mut cursor = list;
-                        while let Some(cell) = cursor {
-                            let value = ctx.read_ptr(cell, 0).expect("list cells hold a value");
-                            sum += ctx.read_raw(value, 0) as i64;
-                            cursor = ctx.read_ptr(cell, 1);
-                        }
-                        ctx.work(4_000);
-                        TaskResult::Value(i64_to_word(sum))
-                    }),
-                    vec![],
-                )
-            })
-            .collect();
-        ctx.fork_join(
-            children,
-            TaskSpec::new("total", |ctx| {
-                let total: i64 = (0..ctx.num_values()).map(|i| ctx.value(i) as i64).sum();
-                TaskResult::Value(i64_to_word(total))
-            }),
-            &[],
-        );
-        TaskResult::Unit
-    }));
-
-    let report = machine.run();
-    let (result, _) = machine.take_result().expect("program produces a result");
-
-    let clock = match backend {
+    let (result, _) = record.result.expect("program produces a result");
+    let report = &record.report;
+    let clock = match record.backend {
         Backend::Simulated => "virtual time",
         Backend::Threaded => "wall-clock time",
     };
-    println!("backend             : {backend}");
+    println!("backend             : {}", record.backend);
     println!("result              : {}", result as i64);
+    println!(
+        "checksum            : {}",
+        if record.checksum_ok == Some(true) {
+            "ok"
+        } else {
+            "MISMATCH"
+        }
+    );
     println!("{clock:<20}: {:.3} ms", report.elapsed_ns / 1e6);
     println!("tasks executed      : {}", report.total_tasks());
     println!("work steals         : {}", report.total_steals());

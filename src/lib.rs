@@ -21,16 +21,17 @@
 //!
 //! ```
 //! use manticore_gc::numa::{AllocPolicy, Topology};
-//! use manticore_gc::workloads::{run_workload, Scale, Workload};
+//! use manticore_gc::workloads::{Scale, Workload};
 //!
-//! let report = run_workload(
-//!     &Topology::intel_xeon_32(),
-//!     4,
-//!     AllocPolicy::Local,
-//!     Workload::Raytracer,
-//!     Scale::tiny(),
-//! );
-//! assert!(report.gc.minor_collections > 0 || report.elapsed_ns > 0.0);
+//! let record = Workload::Raytracer
+//!     .experiment(Scale::tiny())
+//!     .topology(Topology::intel_xeon_32())
+//!     .vprocs(4)
+//!     .policy(AllocPolicy::Local)
+//!     .run()
+//!     .expect("four vprocs fit the 32-core machine");
+//! assert!(record.report.elapsed_ns > 0.0);
+//! assert_eq!(record.checksum_ok, Some(true));
 //! ```
 
 #![forbid(unsafe_code)]

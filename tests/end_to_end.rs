@@ -1,25 +1,33 @@
 //! Workspace-level integration tests: the full stack (topology → heap →
 //! collector → runtime → workloads) exercised together, plus the qualitative
-//! properties the paper's evaluation rests on.
+//! properties the paper's evaluation rests on. Every run goes through the
+//! `Experiment` front door.
 
 use manticore_gc::gc::GcConfig;
 use manticore_gc::heap::HeapConfig;
 use manticore_gc::numa::{AllocPolicy, Topology};
-use manticore_gc::runtime::{Machine, MachineConfig};
-use manticore_gc::workloads::{churn, dmm, run_workload, smvm, Scale, Workload};
+use manticore_gc::runtime::{Experiment, Machine, Program};
+use manticore_gc::workloads::{churn, dmm, smvm, Scale, Workload};
 
 #[test]
 fn all_collection_kinds_fire_and_results_stay_correct() {
     // A DMM run on a machine with tiny heaps: minor, major, and global
     // collections all trigger, and the numeric result is still exactly the
-    // sequential reference.
+    // sequential reference. The experiment is validated first and the
+    // machine built from its resolved config, so the heap stays accessible
+    // for post-run verification.
     let scale = Scale::tiny();
-    let mut config = MachineConfig::new(Topology::dual_node_test(), 4)
-        .with_heap(HeapConfig::small_for_tests())
-        .with_gc(GcConfig::small_for_tests());
-    config.quantum_ns = 50_000.0;
-    let mut machine = Machine::new(config);
-    dmm::spawn(&mut machine, scale);
+    let program = dmm::Dmm::at_scale(scale);
+    let config = Experiment::new(program)
+        .topology(Topology::dual_node_test())
+        .vprocs(4)
+        .heap(HeapConfig::small_for_tests())
+        .gc(GcConfig::small_for_tests())
+        .quantum_ns(50_000.0)
+        .validate()
+        .expect("four vprocs fit the dual-node test topology");
+    let mut machine = Machine::new(config.machine.clone());
+    program.spawn(&mut machine);
     let report = machine.run();
     let checksum = dmm::take_checksum(&mut machine).expect("dmm produces a checksum");
     let reference = dmm::reference_checksum(scale);
@@ -36,11 +44,19 @@ fn figure5_shape_abundant_parallelism_scales_better_than_shared_data() {
     // limits it.
     let topology = Topology::amd_magny_cours_48();
     let scale = Scale::tiny();
-    let speedup = |workload: Workload| {
-        let t1 = run_workload(&topology, 1, AllocPolicy::Local, workload, scale).elapsed_ns;
-        let t24 = run_workload(&topology, 24, AllocPolicy::Local, workload, scale).elapsed_ns;
-        t1 / t24
+    let time = |workload: Workload, threads: usize| {
+        workload
+            .experiment(scale)
+            .topology(topology.clone())
+            .vprocs(threads)
+            .policy(AllocPolicy::Local)
+            .verify_checksum(false)
+            .run()
+            .expect("the thread counts fit the 48-core machine")
+            .report
+            .elapsed_ns
     };
+    let speedup = |workload: Workload| time(workload, 1) / time(workload, 24);
     let bh_speedup = speedup(Workload::BarnesHut);
     let smvm_speedup = speedup(Workload::Smvm);
     assert!(
@@ -53,17 +69,27 @@ fn figure5_shape_abundant_parallelism_scales_better_than_shared_data() {
     );
 }
 
+/// Runs the churn benchmark with its **default** (paper-like) parameters —
+/// through the public params-aware API, which the old `Workload::spawn`
+/// entry point kept unreachable.
+fn churn_time(topology: &Topology, threads: usize, policy: AllocPolicy) -> f64 {
+    Experiment::new(churn::Churn::new(churn::ChurnParams::default()))
+        .topology(topology.clone())
+        .vprocs(threads)
+        .policy(policy)
+        .run()
+        .expect("the thread counts fit the 48-core machine")
+        .report
+        .elapsed_ns
+}
+
 #[test]
 fn figure7_shape_socket_zero_collapses_at_scale() {
     // Figure 5 vs Figure 7: with every page on node 0, adding threads beyond
     // ~12 stops helping much; with local allocation it keeps helping.
     let topology = Topology::amd_magny_cours_48();
-    let scale = Scale::tiny();
-    let time = |threads: usize, policy: AllocPolicy| {
-        run_workload(&topology, threads, policy, Workload::Churn, scale).elapsed_ns
-    };
-    let local_48 = time(48, AllocPolicy::Local);
-    let socket0_48 = time(48, AllocPolicy::SocketZero);
+    let local_48 = churn_time(&topology, 48, AllocPolicy::Local);
+    let socket0_48 = churn_time(&topology, 48, AllocPolicy::SocketZero);
     assert!(
         socket0_48 > local_48,
         "socket-zero at 48 threads ({socket0_48:.0} ns) must be slower than local ({local_48:.0} ns)"
@@ -75,23 +101,8 @@ fn interleaved_beats_socket_zero_under_contention() {
     // §4.3: spreading pages across the nodes beats concentrating everything
     // on node 0 once many threads are allocating and collecting at once.
     let topology = Topology::amd_magny_cours_48();
-    let scale = Scale::tiny();
-    let interleaved = run_workload(
-        &topology,
-        36,
-        AllocPolicy::Interleaved,
-        Workload::Churn,
-        scale,
-    )
-    .elapsed_ns;
-    let socket0 = run_workload(
-        &topology,
-        36,
-        AllocPolicy::SocketZero,
-        Workload::Churn,
-        scale,
-    )
-    .elapsed_ns;
+    let interleaved = churn_time(&topology, 36, AllocPolicy::Interleaved);
+    let socket0 = churn_time(&topology, 36, AllocPolicy::SocketZero);
     assert!(
         interleaved < socket0,
         "interleaved ({interleaved:.0}) should beat socket-zero ({socket0:.0}) for churn at 36 threads"
@@ -102,11 +113,17 @@ fn interleaved_beats_socket_zero_under_contention() {
 fn churn_survivors_survive_on_the_paper_machines() {
     for topology in [Topology::amd_magny_cours_48(), Topology::intel_xeon_32()] {
         let params = churn::ChurnParams::small();
-        let mut machine = Machine::new(MachineConfig::new(topology, 6));
-        churn::spawn(&mut machine, params);
-        machine.run();
+        let record = Experiment::new(churn::Churn::new(params))
+            .topology(topology)
+            .vprocs(6)
+            .quantum_ns(200_000.0)
+            .run()
+            .expect("six vprocs fit both paper machines");
+        // `Churn` declares its expected survivor count as the program
+        // checksum, so the experiment checks it for us.
+        assert_eq!(record.checksum_ok, Some(true));
         assert_eq!(
-            churn::take_survivors(&mut machine),
+            record.result.map(|(word, _)| word as i64),
             Some(churn::expected_survivors(params))
         );
     }
@@ -123,10 +140,17 @@ fn smvm_checksum_is_policy_independent() {
         AllocPolicy::Interleaved,
         AllocPolicy::SocketZero,
     ] {
-        let mut machine = Machine::new(MachineConfig::new(topology.clone(), 8).with_policy(policy));
-        smvm::spawn(&mut machine, scale);
-        machine.run();
-        checksums.push(smvm::take_checksum(&mut machine).expect("smvm checksum"));
+        let record = Workload::Smvm
+            .experiment(scale)
+            .topology(topology.clone())
+            .vprocs(8)
+            .policy(policy)
+            .quantum_ns(200_000.0)
+            .run()
+            .expect("eight vprocs fit the 48-core machine");
+        assert_eq!(record.checksum_ok, Some(true), "{policy}");
+        let (word, _) = record.result.expect("smvm checksum");
+        checksums.push(manticore_gc::heap::word_to_f64(word));
     }
     assert!((checksums[0] - smvm::reference_checksum(scale)).abs() < 1e-6);
     assert!(checksums.iter().all(|&c| (c - checksums[0]).abs() < 1e-9));
