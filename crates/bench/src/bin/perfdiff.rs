@@ -1,0 +1,82 @@
+//! The CI perf gate: compares a fresh `BENCH_threaded.json` sweep against
+//! the checked-in baseline and exits non-zero on a regression.
+//!
+//! ```text
+//! perfdiff --baseline results/baseline/BENCH_threaded.json \
+//!          --current  results/BENCH_threaded.json \
+//!          [--max-wall-ratio 2.5] [--max-promoted-ratio 1.5] \
+//!          [--min-wall-ms 5] [--min-promoted-kb 64]
+//! ```
+//!
+//! The Markdown comparison table goes to stdout (the CI job tees it into
+//! `$GITHUB_STEP_SUMMARY`); the exit code is the gate.
+
+use mgc_bench::perfdiff::{compare, markdown, parse_run_records, Thresholds};
+
+fn parse_f64(value: Option<&String>, flag: &str) -> f64 {
+    value
+        .unwrap_or_else(|| panic!("{flag} requires a positive number"))
+        .parse::<f64>()
+        .ok()
+        .filter(|v| *v > 0.0)
+        .unwrap_or_else(|| panic!("{flag} requires a positive number"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline_path = None;
+    let mut current_path = None;
+    let mut thresholds = Thresholds::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--baseline" => baseline_path = iter.next().cloned(),
+            "--current" => current_path = iter.next().cloned(),
+            "--max-wall-ratio" => {
+                thresholds.max_wall_ratio = parse_f64(iter.next(), "--max-wall-ratio");
+            }
+            "--max-promoted-ratio" => {
+                thresholds.max_promoted_ratio = parse_f64(iter.next(), "--max-promoted-ratio");
+            }
+            "--min-wall-ms" => {
+                thresholds.min_wall_ns = parse_f64(iter.next(), "--min-wall-ms") * 1e6;
+            }
+            "--min-promoted-kb" => {
+                thresholds.min_promoted_bytes =
+                    (parse_f64(iter.next(), "--min-promoted-kb") * 1024.0) as u64;
+            }
+            other => panic!(
+                "unknown argument `{other}` (expected --baseline/--current <path> and optional \
+                 --max-wall-ratio/--max-promoted-ratio/--min-wall-ms/--min-promoted-kb <n>)"
+            ),
+        }
+    }
+    let baseline_path = baseline_path.expect("--baseline <path> is required");
+    let current_path = current_path.expect("--current <path> is required");
+
+    let read = |path: &str| -> String {
+        std::fs::read_to_string(path).unwrap_or_else(|err| panic!("could not read {path}: {err}"))
+    };
+    let baseline = parse_run_records(&read(&baseline_path))
+        .unwrap_or_else(|err| panic!("{baseline_path}: {err}"));
+    let current = parse_run_records(&read(&current_path))
+        .unwrap_or_else(|err| panic!("{current_path}: {err}"));
+
+    let cmp = compare(&baseline, &current, thresholds);
+    println!("{}", markdown(&cmp, thresholds));
+
+    let regressions = cmp.regressions();
+    if regressions.is_empty() {
+        eprintln!(
+            "perfdiff: {} points compared against {baseline_path}, no regression",
+            cmp.rows.len()
+        );
+    } else {
+        eprintln!(
+            "perfdiff: {} of {} points regressed beyond the thresholds",
+            regressions.len(),
+            cmp.rows.len()
+        );
+        std::process::exit(1);
+    }
+}

@@ -15,8 +15,16 @@
 //! * `--churn-workers N` / `--churn-objects N` / `--churn-survive N` /
 //!   `--churn-words N` — override the corresponding `ChurnParams` field
 //!   (each implies `--churn`), so allocation volume, object size, survival
-//!   rate, and parallelism are all reachable from the command line.
+//!   rate, and parallelism are all reachable from the command line;
+//! * `--placement <node-local|interleave|first-touch>` — the promotion-chunk
+//!   NUMA placement the baseline runs under (recorded per point in the
+//!   JSON);
+//! * `--figure8` — instead of the baseline, run the placement comparison:
+//!   all six programs on the threaded backend under `node-local` **and**
+//!   `interleave`, writing `results/figure8.csv` with the local/remote
+//!   promoted-byte and same-/cross-node steal splits.
 
+use mgc_numa::PlacementPolicy;
 use mgc_workloads::churn::ChurnParams;
 
 /// Parses the value of a `--churn-*` flag as a positive integer.
@@ -32,6 +40,8 @@ fn positive(value: Option<&String>, flag: &str) -> usize {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut backend = mgc_runtime::Backend::Simulated;
+    let mut placement = PlacementPolicy::default();
+    let mut figure8 = false;
     let mut churn_requested = false;
     let mut churn_params = ChurnParams::at_scale(mgc_bench::scale_from_env());
     let mut iter = args.iter();
@@ -44,6 +54,14 @@ fn main() {
                 backend = value.parse().unwrap_or_else(|err: String| panic!("{err}"));
             }
             "--baseline" => backend = mgc_runtime::Backend::Threaded,
+            "--placement" => {
+                let value = iter
+                    .next()
+                    .expect("--placement requires a value (node-local|interleave|first-touch)");
+                placement = value.parse().unwrap_or_else(|err: String| panic!("{err}"));
+                backend = mgc_runtime::Backend::Threaded;
+            }
+            "--figure8" => figure8 = true,
             "--churn" => churn_requested = true,
             "--churn-workers" => {
                 churn_params.workers = positive(iter.next(), "--churn-workers");
@@ -62,15 +80,21 @@ fn main() {
                 churn_requested = true;
             }
             other => panic!(
-                "unknown argument `{other}` (expected --backend <simulated|threaded>, --churn, \
+                "unknown argument `{other}` (expected --backend <simulated|threaded>, \
+                 --placement <node-local|interleave|first-touch>, --figure8, --churn, \
                  or --churn-{{workers,objects,survive,words}} <n>)"
             ),
         }
     }
     let churn = churn_requested.then_some(churn_params);
 
+    if figure8 {
+        mgc_bench::run_figure8_and_report();
+        return;
+    }
+
     match backend {
-        mgc_runtime::Backend::Threaded => mgc_bench::run_baseline_and_report(churn),
+        mgc_runtime::Backend::Threaded => mgc_bench::run_baseline_and_report(churn, placement),
         mgc_runtime::Backend::Simulated => {
             assert!(
                 churn.is_none(),

@@ -18,7 +18,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use mgc_numa::{AllocPolicy, Topology};
+use mgc_heap::HeapConfig;
+use mgc_numa::{AllocPolicy, PlacementPolicy, Topology};
 use mgc_runtime::{run_records_json, Backend, Experiment, Program, RunRecord};
 use mgc_workloads::churn::{Churn, ChurnParams};
 use mgc_workloads::{speedup_series, Scale, SpeedupPoint, Workload};
@@ -219,12 +220,18 @@ pub const BASELINE_VPROCS: [usize; 3] = [1, 2, 4];
 /// whole program, so the sweep verifies it only at the first vproc count
 /// of each (program, backend) pair instead of recomputing it six times —
 /// checksum stability across vproc counts is the equivalence suite's job.
-fn baseline_point(program: Box<dyn Program>, backend: Backend, vprocs: usize) -> RunRecord {
+fn baseline_point(
+    program: Box<dyn Program>,
+    backend: Backend,
+    vprocs: usize,
+    placement: PlacementPolicy,
+) -> RunRecord {
     Experiment::new(program)
         .backend(backend)
         .topology(Topology::dual_node_test())
         .vprocs(vprocs)
         .policy(AllocPolicy::Local)
+        .placement(placement)
         .verify_checksum(vprocs == BASELINE_VPROCS[0])
         .run()
         .expect("baseline vproc counts fit the dual-node test topology")
@@ -234,12 +241,21 @@ fn baseline_point(program: Box<dyn Program>, backend: Backend, vprocs: usize) ->
 /// churn benchmark with those parameters — at 1/2/4 vprocs under **both**
 /// backends on the small test topology, so wall-clock and simulated time
 /// can be read side by side. Every point is a full [`RunRecord`].
-pub fn run_baseline(scale: Scale, churn: Option<ChurnParams>) -> Vec<RunRecord> {
+pub fn run_baseline(
+    scale: Scale,
+    churn: Option<ChurnParams>,
+    placement: PlacementPolicy,
+) -> Vec<RunRecord> {
     let mut points = Vec::new();
     for workload in Workload::FIGURES {
         for &vprocs in &BASELINE_VPROCS {
             for backend in Backend::ALL {
-                points.push(baseline_point(workload.program(scale), backend, vprocs));
+                points.push(baseline_point(
+                    workload.program(scale),
+                    backend,
+                    vprocs,
+                    placement,
+                ));
             }
         }
     }
@@ -250,6 +266,7 @@ pub fn run_baseline(scale: Scale, churn: Option<ChurnParams>) -> Vec<RunRecord> 
                     Box::new(Churn::new(params)),
                     backend,
                     vprocs,
+                    placement,
                 ));
             }
         }
@@ -353,9 +370,9 @@ pub fn promoted_bytes_summary(points: &[RunRecord]) -> String {
 /// Runs the baseline sweep, prints the side-by-side table, and writes
 /// `results/BENCH_threaded.json` — an array of [`RunRecord`] JSON objects,
 /// the CI `bench-baseline` artifact.
-pub fn run_baseline_and_report(churn: Option<ChurnParams>) {
+pub fn run_baseline_and_report(churn: Option<ChurnParams>, placement: PlacementPolicy) {
     let scale = scale_from_env();
-    let points = run_baseline(scale, churn);
+    let points = run_baseline(scale, churn, placement);
     println!("{}", format_baseline(&points));
     println!("{}", promoted_bytes_summary(&points));
     let dir = std::path::Path::new("results");
@@ -369,6 +386,130 @@ pub fn run_baseline_and_report(churn: Option<ChurnParams>) {
         Err(err) => eprintln!("warning: could not write {}: {err}", path.display()),
     }
 }
+
+// ----------------------------------------------------------------------
+// Figure 8: NodeLocal vs Interleave promotion-chunk placement on the
+// threaded backend — the new scenario axis this PR opens. One row per
+// (program, placement), with the local/remote promoted-byte split and the
+// same-node/cross-node steal split that make the locality win visible.
+// ----------------------------------------------------------------------
+
+/// Vproc count of the figure-8 sweep (4 OS threads on the dual-node test
+/// topology: two workers per node, so both steal locality classes occur).
+pub const FIGURE8_VPROCS: usize = 4;
+
+/// Runs one figure-8 point: `workload` on the threaded backend under
+/// `placement`, with the small test heap so a run performs many chunk
+/// leases (which is what makes placement observable at tiny scale).
+fn figure8_point(workload: Workload, scale: Scale, placement: PlacementPolicy) -> RunRecord {
+    workload
+        .experiment(scale)
+        .backend(Backend::Threaded)
+        .topology(Topology::dual_node_test())
+        .vprocs(FIGURE8_VPROCS)
+        .policy(AllocPolicy::Local)
+        .placement(placement)
+        .heap(HeapConfig::small_for_tests())
+        // Figure 8 reads locality counters and timings only; correctness
+        // under every placement is pinned by the workloads placement suite.
+        .verify_checksum(false)
+        .run()
+        .expect("the figure-8 configuration is valid")
+}
+
+/// Runs all six programs under `NodeLocal` and `Interleave` placement.
+pub fn run_figure8(scale: Scale) -> Vec<RunRecord> {
+    let mut points = Vec::new();
+    for placement in [PlacementPolicy::NodeLocal, PlacementPolicy::Interleave] {
+        for workload in Workload::ALL {
+            points.push(figure8_point(workload, scale, placement));
+        }
+    }
+    points
+}
+
+/// Formats the figure-8 records as CSV
+/// (`program,placement,vprocs,wall_clock_ns,promoted_bytes,...`).
+pub fn figure8_csv(points: &[RunRecord]) -> String {
+    let mut out = String::from(
+        "program,placement,vprocs,wall_clock_ns,promoted_bytes,promoted_bytes_local,\
+         promoted_bytes_remote,steals,steals_same_node,steals_cross_node\n",
+    );
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{},{},{},{:.0},{},{},{},{},{},{}",
+            p.program,
+            p.config.placement,
+            p.config.num_vprocs,
+            p.wall_clock_ns().unwrap_or(0.0),
+            p.report.total_promoted_bytes(),
+            p.report.promoted_bytes_local(),
+            p.report.promoted_bytes_remote(),
+            p.report.total_steals(),
+            p.report.steals_same_node(),
+            p.report.steals_cross_node(),
+        );
+    }
+    out
+}
+
+/// Formats the figure-8 records as an aligned table for the console.
+pub fn format_figure8(points: &[RunRecord]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# Figure 8 — promotion-chunk placement: node-local vs interleave \
+         (threaded, {FIGURE8_VPROCS} vprocs)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<24} {:>12} {:>12} {:>12} {:>12} {:>8} {:>10} {:>10}",
+        "benchmark",
+        "placement",
+        "wall-ms",
+        "local-B",
+        "remote-B",
+        "steals",
+        "same-node",
+        "cross-node"
+    );
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:<24} {:>12} {:>12.3} {:>12} {:>12} {:>8} {:>10} {:>10}",
+            p.program,
+            p.config.placement.label(),
+            p.wall_clock_ns().unwrap_or(0.0) / 1e6,
+            p.report.promoted_bytes_local(),
+            p.report.promoted_bytes_remote(),
+            p.report.total_steals(),
+            p.report.steals_same_node(),
+            p.report.steals_cross_node(),
+        );
+    }
+    out
+}
+
+/// Runs figure 8 end-to-end, printing the table and writing
+/// `results/figure8.csv` (the CI `figure-smoke` artifact).
+pub fn run_figure8_and_report() {
+    let scale = scale_from_env();
+    let points = run_figure8(scale);
+    println!("{}", format_figure8(&points));
+    let dir = std::path::Path::new("results");
+    if let Err(err) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: could not create {}: {err}", dir.display());
+        return;
+    }
+    let path = dir.join("figure8.csv");
+    match std::fs::write(&path, figure8_csv(&points)) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(err) => eprintln!("warning: could not write {}: {err}", path.display()),
+    }
+}
+
+pub mod perfdiff;
 
 /// Reads the workload scale from the `MGC_SCALE` environment variable
 /// (`paper`, `small`, or `tiny`; default `tiny` so the harness finishes
@@ -432,7 +573,14 @@ mod tests {
     fn baseline_records_are_well_formed_and_cover_both_backends() {
         let points: Vec<RunRecord> = Backend::ALL
             .iter()
-            .map(|&backend| baseline_point(Workload::Dmm.program(Scale::tiny()), backend, 1))
+            .map(|&backend| {
+                baseline_point(
+                    Workload::Dmm.program(Scale::tiny()),
+                    backend,
+                    1,
+                    PlacementPolicy::NodeLocal,
+                )
+            })
             .collect();
         let json = run_records_json(&points);
         assert!(json.starts_with("[\n"));
@@ -467,7 +615,12 @@ mod tests {
             survive_every: 16,
             workers: 2,
         };
-        let point = baseline_point(Box::new(Churn::new(params)), Backend::Simulated, 1);
+        let point = baseline_point(
+            Box::new(Churn::new(params)),
+            Backend::Simulated,
+            1,
+            PlacementPolicy::NodeLocal,
+        );
         assert_eq!(point.program, "Synthetic-Churn");
         assert_eq!(point.checksum_ok, Some(true));
         let json = point.to_json();

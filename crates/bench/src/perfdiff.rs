@@ -1,0 +1,425 @@
+//! The CI perf gate: compares a fresh baseline sweep against the checked-in
+//! reference (`results/baseline/BENCH_threaded.json`) and fails on real
+//! regressions while tolerating runner noise.
+//!
+//! Both files are arrays of `RunRecord` JSON objects (one per line, as
+//! written by [`mgc_runtime::run_records_json`]). Records are matched by
+//! `(program, backend, vprocs, placement)`; for each matched pair two
+//! quantities are gated:
+//!
+//! * **wall-clock time** (threaded records only) — fails when the current
+//!   time exceeds `max_wall_ratio ×` the baseline. Runner noise is handled
+//!   by an absolute floor: a point is only gated once both sides are padded
+//!   to `min_wall_ns` (sub-floor points are pure scheduler jitter at tiny
+//!   scale);
+//! * **promoted bytes** — fails beyond `max_promoted_ratio ×` the baseline,
+//!   with the analogous `min_promoted_bytes` floor (steal timing makes tiny
+//!   promotion volumes nondeterministic on real threads).
+//!
+//! The comparison renders as a Markdown table so the CI job can write it
+//! straight into `$GITHUB_STEP_SUMMARY`.
+
+use std::fmt::Write as _;
+
+/// One record's perf-relevant fields, extracted from its JSON line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfPoint {
+    /// Program name.
+    pub program: String,
+    /// Backend label (`simulated`/`threaded`).
+    pub backend: String,
+    /// Vproc count.
+    pub vprocs: u64,
+    /// Placement-policy label.
+    pub placement: String,
+    /// Wall-clock nanoseconds (`None` for simulated records).
+    pub wall_clock_ns: Option<f64>,
+    /// Total promoted bytes.
+    pub promoted_bytes: u64,
+}
+
+impl PerfPoint {
+    fn key(&self) -> (String, String, u64, String) {
+        (
+            self.program.clone(),
+            self.backend.clone(),
+            self.vprocs,
+            self.placement.clone(),
+        )
+    }
+}
+
+/// Extracts the raw text of field `key` from one JSON object line (the
+/// records are machine-written, one per line, `"key": value` separated by
+/// `, ` — not a general JSON parser).
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\": ");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let end = if let Some(quoted) = rest.strip_prefix('"') {
+        // A quoted string: scan to the closing quote (our field values never
+        // contain escaped quotes — program names and labels are plain).
+        quoted.find('"').map(|i| i + 2)?
+    } else {
+        rest.find([',', '}']).unwrap_or(rest.len())
+    };
+    Some(rest[..end].trim())
+}
+
+fn unquote(raw: &str) -> String {
+    raw.trim_matches('"').to_string()
+}
+
+/// Parses the `RunRecord` JSON array text into perf points. Lines that do
+/// not contain a record (the `[` / `]` array brackets) are skipped; a line
+/// that looks like a record but lacks a required field is an error.
+pub fn parse_run_records(json: &str) -> Result<Vec<PerfPoint>, String> {
+    let mut points = Vec::new();
+    for line in json.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if !line.starts_with('{') {
+            continue;
+        }
+        let require = |key: &str| {
+            field(line, key).ok_or_else(|| format!("record is missing \"{key}\": {line}"))
+        };
+        let wall = require("wall_clock_ns")?;
+        points.push(PerfPoint {
+            program: unquote(require("program")?),
+            backend: unquote(require("backend")?),
+            vprocs: require("vprocs")?
+                .parse()
+                .map_err(|e| format!("bad vprocs: {e}"))?,
+            // Older baselines predate the placement field; default it so the
+            // gate still matches their points.
+            placement: field(line, "placement")
+                .map(unquote)
+                .unwrap_or_else(|| "node-local".to_string()),
+            wall_clock_ns: if wall == "null" {
+                None
+            } else {
+                Some(
+                    wall.parse()
+                        .map_err(|e| format!("bad wall_clock_ns: {e}"))?,
+                )
+            },
+            promoted_bytes: require("promoted_bytes")?
+                .parse()
+                .map_err(|e| format!("bad promoted_bytes: {e}"))?,
+        });
+    }
+    Ok(points)
+}
+
+/// Regression thresholds; the defaults are the CI gate's contract.
+#[derive(Debug, Clone, Copy)]
+pub struct Thresholds {
+    /// Maximum tolerated `current / baseline` wall-clock ratio.
+    pub max_wall_ratio: f64,
+    /// Maximum tolerated `current / baseline` promoted-bytes ratio.
+    pub max_promoted_ratio: f64,
+    /// Noise floor: both sides of a wall-clock comparison are padded up to
+    /// this many nanoseconds before the ratio is taken.
+    pub min_wall_ns: f64,
+    /// Noise floor for the promoted-bytes comparison, in bytes.
+    pub min_promoted_bytes: u64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds {
+            max_wall_ratio: 2.5,
+            max_promoted_ratio: 1.5,
+            min_wall_ns: 5e6,
+            min_promoted_bytes: 64 * 1024,
+        }
+    }
+}
+
+/// Verdict for one compared point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within thresholds.
+    Ok,
+    /// Wall-clock regression beyond the ratio.
+    WallRegression,
+    /// Promoted-bytes regression beyond the ratio.
+    PromotedRegression,
+    /// Present in the baseline but missing from the current sweep.
+    Missing,
+}
+
+/// One row of the comparison table.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// The matched baseline point.
+    pub baseline: PerfPoint,
+    /// The current point, when present.
+    pub current: Option<PerfPoint>,
+    /// Padded wall-clock ratio, when both sides report wall time.
+    pub wall_ratio: Option<f64>,
+    /// Padded promoted-bytes ratio.
+    pub promoted_ratio: f64,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+/// The whole comparison.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// One row per baseline point, in baseline order.
+    pub rows: Vec<Row>,
+    /// Current points with no baseline counterpart (new programs/axes —
+    /// informational, never a failure).
+    pub new_points: Vec<PerfPoint>,
+}
+
+impl Comparison {
+    /// The rows that failed the gate.
+    pub fn regressions(&self) -> Vec<&Row> {
+        self.rows
+            .iter()
+            .filter(|r| r.verdict != Verdict::Ok)
+            .collect()
+    }
+}
+
+/// Compares a current sweep against the baseline.
+pub fn compare(baseline: &[PerfPoint], current: &[PerfPoint], t: Thresholds) -> Comparison {
+    let rows = baseline
+        .iter()
+        .map(|base| {
+            let matched = current.iter().find(|c| c.key() == base.key()).cloned();
+            let Some(cur) = &matched else {
+                return Row {
+                    baseline: base.clone(),
+                    current: None,
+                    wall_ratio: None,
+                    promoted_ratio: 0.0,
+                    verdict: Verdict::Missing,
+                };
+            };
+            let wall_ratio = match (base.wall_clock_ns, cur.wall_clock_ns) {
+                (Some(b), Some(c)) => Some(c.max(t.min_wall_ns) / b.max(t.min_wall_ns)),
+                _ => None,
+            };
+            let floor = t.min_promoted_bytes as f64;
+            let promoted_ratio =
+                (cur.promoted_bytes as f64).max(floor) / (base.promoted_bytes as f64).max(floor);
+            let verdict = if wall_ratio.is_some_and(|r| r > t.max_wall_ratio) {
+                Verdict::WallRegression
+            } else if promoted_ratio > t.max_promoted_ratio {
+                Verdict::PromotedRegression
+            } else {
+                Verdict::Ok
+            };
+            Row {
+                baseline: base.clone(),
+                current: matched,
+                wall_ratio,
+                promoted_ratio,
+                verdict,
+            }
+        })
+        .collect();
+    let new_points = current
+        .iter()
+        .filter(|c| baseline.iter().all(|b| b.key() != c.key()))
+        .cloned()
+        .collect();
+    Comparison { rows, new_points }
+}
+
+/// Renders the comparison as a Markdown table (for `$GITHUB_STEP_SUMMARY`).
+pub fn markdown(cmp: &Comparison, t: Thresholds) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "### Perf gate — wall-clock ≤ {:.1}×, promoted bytes ≤ {:.1}× \
+         (noise floors: {:.0} ms / {} KiB)\n",
+        t.max_wall_ratio,
+        t.max_promoted_ratio,
+        t.min_wall_ns / 1e6,
+        t.min_promoted_bytes / 1024,
+    );
+    let _ = writeln!(
+        out,
+        "| program | backend | vprocs | placement | wall base (ms) | wall now (ms) | ratio | \
+         promoted base | promoted now | ratio | verdict |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|---|---|");
+    for row in &cmp.rows {
+        let b = &row.baseline;
+        let ms = |ns: Option<f64>| ns.map_or("—".to_string(), |v| format!("{:.2}", v / 1e6));
+        let (wall_now, promoted_now) = row
+            .current
+            .as_ref()
+            .map_or(("—".to_string(), "—".to_string()), |c| {
+                (ms(c.wall_clock_ns), c.promoted_bytes.to_string())
+            });
+        let verdict = match row.verdict {
+            Verdict::Ok => "ok",
+            Verdict::WallRegression => "**WALL REGRESSION**",
+            Verdict::PromotedRegression => "**PROMOTED-BYTES REGRESSION**",
+            Verdict::Missing => "**MISSING POINT**",
+        };
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {:.2} | {} |",
+            b.program,
+            b.backend,
+            b.vprocs,
+            b.placement,
+            ms(b.wall_clock_ns),
+            wall_now,
+            row.wall_ratio
+                .map_or("—".to_string(), |r| format!("{r:.2}")),
+            b.promoted_bytes,
+            promoted_now,
+            row.promoted_ratio,
+            verdict,
+        );
+    }
+    if !cmp.new_points.is_empty() {
+        let _ = writeln!(out, "\nNew points (no baseline, informational):");
+        for p in &cmp.new_points {
+            let _ = writeln!(
+                out,
+                "- {} / {} / {} vprocs / {}",
+                p.program, p.backend, p.vprocs, p.placement
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record_line(program: &str, backend: &str, vprocs: u64, wall: &str, promoted: u64) -> String {
+        format!(
+            "  {{\"program\": \"{program}\", \"params\": {{}}, \"backend\": \"{backend}\", \
+             \"vprocs\": {vprocs}, \"topology\": \"test-dual-node\", \"policy\": \"local\", \
+             \"placement\": \"node-local\", \"wall_clock_ns\": {wall}, \
+             \"promoted_bytes\": {promoted}, \"steals\": 0}},"
+        )
+    }
+
+    fn json(lines: &[String]) -> String {
+        format!("[\n{}\n]\n", lines.join("\n"))
+    }
+
+    #[test]
+    fn parses_machine_written_records() {
+        let text = json(&[
+            record_line("Barnes-Hut", "threaded", 4, "280000000", 257072),
+            record_line("Barnes-Hut", "simulated", 4, "null", 300000),
+        ]);
+        let points = parse_run_records(&text).expect("the records parse");
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].program, "Barnes-Hut");
+        assert_eq!(points[0].backend, "threaded");
+        assert_eq!(points[0].vprocs, 4);
+        assert_eq!(points[0].placement, "node-local");
+        assert_eq!(points[0].wall_clock_ns, Some(280000000.0));
+        assert_eq!(points[0].promoted_bytes, 257072);
+        assert_eq!(points[1].wall_clock_ns, None);
+    }
+
+    #[test]
+    fn parses_real_run_record_json() {
+        use mgc_runtime::{Backend, Experiment};
+        use mgc_workloads::{Scale, Workload};
+        let record = Experiment::new(Workload::Dmm.program(Scale::tiny()))
+            .env_overrides(mgc_runtime::EnvOverrides::default())
+            .backend(Backend::Threaded)
+            .run()
+            .expect("a one-vproc DMM run is valid");
+        let text = mgc_runtime::run_records_json(std::slice::from_ref(&record));
+        let points = parse_run_records(&text).expect("real records parse");
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].program, "Dense-Matrix-Multiply");
+        assert!(points[0].wall_clock_ns.is_some());
+    }
+
+    #[test]
+    fn identical_sweeps_pass_the_gate() {
+        let text = json(&[record_line("Quicksort", "threaded", 2, "20000000", 500000)]);
+        let points = parse_run_records(&text).unwrap();
+        let cmp = compare(&points, &points, Thresholds::default());
+        assert!(cmp.regressions().is_empty());
+        assert!(markdown(&cmp, Thresholds::default()).contains("| ok |"));
+    }
+
+    /// The acceptance demonstration: an injected 3× wall-clock regression
+    /// (beyond the 2.5× gate) must turn the comparison red.
+    #[test]
+    fn injected_3x_wall_regression_fails_the_gate() {
+        let baseline = parse_run_records(&json(&[record_line(
+            "Barnes-Hut",
+            "threaded",
+            4,
+            "100000000",
+            257072,
+        )]))
+        .unwrap();
+        let slowed = parse_run_records(&json(&[record_line(
+            "Barnes-Hut",
+            "threaded",
+            4,
+            "300000000",
+            257072,
+        )]))
+        .unwrap();
+        let cmp = compare(&baseline, &slowed, Thresholds::default());
+        let regressions = cmp.regressions();
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].verdict, Verdict::WallRegression);
+        assert!(markdown(&cmp, Thresholds::default()).contains("WALL REGRESSION"));
+    }
+
+    #[test]
+    fn promoted_bytes_regression_fails_and_noise_floor_tolerates_tiny_points() {
+        let baseline = parse_run_records(&json(&[record_line(
+            "Churn", "threaded", 2, "50000000", 200000,
+        )]))
+        .unwrap();
+        let bloated = parse_run_records(&json(&[record_line(
+            "Churn", "threaded", 2, "50000000", 400000,
+        )]))
+        .unwrap();
+        let cmp = compare(&baseline, &bloated, Thresholds::default());
+        assert_eq!(cmp.regressions()[0].verdict, Verdict::PromotedRegression);
+
+        // Sub-floor points never regress: 0.1 ms → 2 ms is 20× but both are
+        // noise next to the 5 ms floor; 1 KiB → 60 KiB promoted likewise.
+        let tiny_base =
+            parse_run_records(&json(&[record_line("Dmm", "threaded", 1, "100000", 1024)])).unwrap();
+        let tiny_now = parse_run_records(&json(&[record_line(
+            "Dmm", "threaded", 1, "2000000", 61440,
+        )]))
+        .unwrap();
+        let cmp = compare(&tiny_base, &tiny_now, Thresholds::default());
+        assert!(cmp.regressions().is_empty(), "noise must not fail the gate");
+    }
+
+    #[test]
+    fn missing_points_are_flagged_and_new_points_reported() {
+        let baseline = parse_run_records(&json(&[
+            record_line("Quicksort", "threaded", 2, "20000000", 500000),
+            record_line("SMVM", "threaded", 2, "20000000", 500000),
+        ]))
+        .unwrap();
+        let current = parse_run_records(&json(&[
+            record_line("Quicksort", "threaded", 2, "20000000", 500000),
+            record_line("Raytracer", "threaded", 2, "20000000", 500000),
+        ]))
+        .unwrap();
+        let cmp = compare(&baseline, &current, Thresholds::default());
+        assert_eq!(cmp.regressions().len(), 1);
+        assert_eq!(cmp.regressions()[0].verdict, Verdict::Missing);
+        assert_eq!(cmp.new_points.len(), 1);
+        assert_eq!(cmp.new_points[0].program, "Raytracer");
+    }
+}

@@ -28,11 +28,55 @@ pub struct GcOutcome {
     pub copied_bytes: u64,
     /// Bytes promoted to the global heap.
     pub promoted_bytes: u64,
+    /// Bytes promoted to the global heap, by the NUMA node the receiving
+    /// chunk lives on (empty for collections that promote nothing, e.g.
+    /// minors). The runtime splits this into local vs remote against the
+    /// consumer's node.
+    pub promoted_bytes_by_node: Vec<u64>,
     /// Whether a major collection was (or should be) triggered.
     pub triggered_major: bool,
     /// Whether the global-heap threshold has been exceeded and a global
     /// collection should be scheduled.
     pub needs_global: bool,
+}
+
+impl GcOutcome {
+    /// Splits the promoted bytes into `(local, remote)` with respect to a
+    /// consumer on `node`. A collection that recorded no per-node breakdown
+    /// reports everything as local (nothing was promoted).
+    pub fn promoted_split(&self, node: mgc_numa::NodeId) -> (u64, u64) {
+        let local = self
+            .promoted_bytes_by_node
+            .get(node.index())
+            .copied()
+            .unwrap_or(0);
+        (local, self.promoted_bytes.saturating_sub(local))
+    }
+}
+
+/// Running per-node tally of one collection's promoted bytes.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PromotionTally {
+    /// Total promoted bytes.
+    pub total: u64,
+    /// Promoted bytes per destination node.
+    pub by_node: Vec<u64>,
+}
+
+impl PromotionTally {
+    pub(crate) fn new(num_nodes: usize) -> Self {
+        PromotionTally {
+            total: 0,
+            by_node: vec![0; num_nodes],
+        }
+    }
+
+    pub(crate) fn add(&mut self, node: mgc_numa::NodeId, bytes: u64) {
+        self.total += bytes;
+        if let Some(slot) = self.by_node.get_mut(node.index()) {
+            *slot += bytes;
+        }
+    }
 }
 
 /// The NUMA-aware generational collector.
@@ -128,6 +172,17 @@ impl Collector {
             let major = self.major(heap, vproc, roots);
             outcome.cost.merge(&major.cost);
             outcome.promoted_bytes += major.promoted_bytes;
+            if outcome.promoted_bytes_by_node.is_empty() {
+                outcome.promoted_bytes_by_node = major.promoted_bytes_by_node;
+            } else {
+                for (slot, bytes) in outcome
+                    .promoted_bytes_by_node
+                    .iter_mut()
+                    .zip(major.promoted_bytes_by_node)
+                {
+                    *slot += bytes;
+                }
+            }
             outcome.needs_global = major.needs_global;
             outcome.triggered_major = true;
         }
@@ -211,6 +266,7 @@ impl Collector {
             cost,
             copied_bytes,
             promoted_bytes: 0,
+            promoted_bytes_by_node: Vec::new(),
             triggered_major,
             needs_global,
         };
@@ -265,7 +321,7 @@ impl Collector {
         ptr: Addr,
         include_young: bool,
         worklist: &mut Vec<Addr>,
-        promoted_bytes: &mut u64,
+        tally: &mut PromotionTally,
         cost: &mut GcCost,
     ) -> Addr {
         let promote = match heap.space_of(ptr) {
@@ -293,7 +349,7 @@ impl Collector {
         }
         let dst_node = heap.node_of(new);
         cost.charge_copy(src_node, dst_node, bytes);
-        *promoted_bytes += bytes as u64;
+        tally.add(dst_node, bytes as u64);
         worklist.push(new);
         new
     }

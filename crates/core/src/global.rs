@@ -647,7 +647,7 @@ mod tests {
         use std::sync::Arc;
 
         let config = HeapConfig::small_for_tests();
-        let layout = ThreadedLayout::new(&config, 2);
+        let layout = ThreadedLayout::new(&config, 2, 2);
         let global = Arc::new(SharedGlobalHeap::new(layout.chunk_words(), 2));
         let descriptors = Arc::new(DescriptorTable::new());
         let mut workers: Vec<WorkerHeap> = (0..2)
@@ -655,7 +655,6 @@ mod tests {
                 WorkerHeap::new(
                     v,
                     layout,
-                    NodeId::new(v as u16),
                     NodeId::new(v as u16),
                     global.clone(),
                     descriptors.clone(),

@@ -13,7 +13,7 @@
 //! CML message passing requires this because of the no-cross-heap-pointer
 //! invariants).
 
-use crate::collector::{Collector, GcOutcome};
+use crate::collector::{Collector, GcOutcome, PromotionTally};
 use crate::cost::{GcCost, COLLECTION_FIXED_NS};
 use crate::stats::CollectionKind;
 use mgc_heap::{word_as_pointer, Addr, GcHeap, WORD_BYTES};
@@ -43,7 +43,7 @@ impl Collector {
         cost.charge_cpu(COLLECTION_FIXED_NS);
         let local_node = heap.local(vproc).node();
         let include_young = self.config().promote_young_in_major;
-        let mut promoted_bytes = 0u64;
+        let mut tally = PromotionTally::new(self.num_nodes());
         let mut worklist: Vec<Addr> = Vec::new();
 
         // --- Phase 1: evacuate old data reachable from the roots. ---------
@@ -57,7 +57,7 @@ impl Collector {
                 *root,
                 include_young,
                 &mut worklist,
-                &mut promoted_bytes,
+                &mut tally,
                 &mut cost,
             );
         }
@@ -86,7 +86,7 @@ impl Collector {
                         ptr,
                         include_young,
                         &mut worklist,
-                        &mut promoted_bytes,
+                        &mut tally,
                         &mut cost,
                     );
                     if new != ptr {
@@ -102,7 +102,7 @@ impl Collector {
             vproc,
             include_young,
             &mut worklist,
-            &mut promoted_bytes,
+            &mut tally,
             &mut cost,
         );
 
@@ -113,14 +113,15 @@ impl Collector {
 
         let stats = self.vproc_stats_mut(vproc);
         stats.major_collections += 1;
-        stats.major_promoted_bytes += promoted_bytes;
+        stats.major_promoted_bytes += tally.total;
 
         let needs_global = self.needs_global(heap);
         let outcome = GcOutcome {
             kind: CollectionKind::Major,
             cost,
             copied_bytes: young_bytes,
-            promoted_bytes,
+            promoted_bytes: tally.total,
+            promoted_bytes_by_node: tally.by_node,
             triggered_major: false,
             needs_global,
         };
@@ -142,40 +143,26 @@ impl Collector {
         obj: Addr,
     ) -> (Addr, GcOutcome) {
         let mut cost = GcCost::new(self.num_nodes());
-        let mut promoted_bytes = 0u64;
+        let mut tally = PromotionTally::new(self.num_nodes());
         let mut worklist: Vec<Addr> = Vec::new();
 
         let new = if obj.is_null() {
             obj
         } else {
-            self.forward_to_global(
-                heap,
-                vproc,
-                obj,
-                true,
-                &mut worklist,
-                &mut promoted_bytes,
-                &mut cost,
-            )
+            self.forward_to_global(heap, vproc, obj, true, &mut worklist, &mut tally, &mut cost)
         };
-        self.drain_to_global(
-            heap,
-            vproc,
-            true,
-            &mut worklist,
-            &mut promoted_bytes,
-            &mut cost,
-        );
+        self.drain_to_global(heap, vproc, true, &mut worklist, &mut tally, &mut cost);
 
         let stats = self.vproc_stats_mut(vproc);
         stats.promotions += 1;
-        stats.promotion_bytes += promoted_bytes;
+        stats.promotion_bytes += tally.total;
 
         let outcome = GcOutcome {
             kind: CollectionKind::Promotion,
             cost,
             copied_bytes: 0,
-            promoted_bytes,
+            promoted_bytes: tally.total,
+            promoted_bytes_by_node: tally.by_node,
             triggered_major: false,
             needs_global: self.needs_global(heap),
         };
@@ -191,7 +178,7 @@ impl Collector {
         vproc: usize,
         include_young: bool,
         worklist: &mut Vec<Addr>,
-        promoted_bytes: &mut u64,
+        tally: &mut PromotionTally,
         cost: &mut GcCost,
     ) {
         while let Some(obj) = worklist.pop() {
@@ -205,15 +192,8 @@ impl Collector {
                 let Some(ptr) = word_as_pointer(value) else {
                     continue;
                 };
-                let new = self.forward_to_global(
-                    heap,
-                    vproc,
-                    ptr,
-                    include_young,
-                    worklist,
-                    promoted_bytes,
-                    cost,
-                );
+                let new =
+                    self.forward_to_global(heap, vproc, ptr, include_young, worklist, tally, cost);
                 if new != ptr {
                     heap.write_field(obj, index, new.raw());
                 }

@@ -293,6 +293,11 @@ impl SharedChunkPool {
         self.node_affinity.store(enabled, Ordering::Release);
     }
 
+    /// Whether node-affine chunk reuse is enabled.
+    pub fn node_affinity(&self) -> bool {
+        self.node_affinity.load(Ordering::Acquire)
+    }
+
     /// Pops the top chunk of `node`'s Treiber stack.
     fn pop_from(&self, node: usize) -> Option<ChunkId> {
         let head = &self.heads[node];

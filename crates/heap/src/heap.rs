@@ -15,7 +15,7 @@ use crate::global::GlobalHeap;
 use crate::header::{Header, HeaderSlot, ObjectKind};
 use crate::local::{LocalHeap, LocalRegion};
 use crate::space::{AddressSpace, RegionOwner};
-use mgc_numa::{AllocPolicy, NodeId, PageMap, PagePlacer};
+use mgc_numa::{AllocPolicy, NodeId, PageMap, PagePlacer, PlacementPolicy};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the heap geometry.
@@ -157,6 +157,16 @@ pub struct Heap {
     locals: Vec<LocalHeap>,
     global: GlobalHeap,
     current_chunk: Vec<Option<ChunkId>>,
+    /// Which node's free list promotion chunks are preferred from (the
+    /// threaded backend's [`PlacementPolicy`], mirrored here so the
+    /// simulated backend covers the same scenario axis).
+    placement: PlacementPolicy,
+    /// Round-robin cursor for [`PlacementPolicy::Interleave`].
+    interleave_cursor: usize,
+    /// Per-vproc promotion target: the node the consumer of the vproc's
+    /// next promotion lives on. Defaults to the vproc's home node; the
+    /// runtime retargets it at the thief's node around a steal handoff.
+    promotion_target: Vec<NodeId>,
     stats: HeapStats,
 }
 
@@ -207,8 +217,38 @@ impl Heap {
             locals,
             global,
             current_chunk: vec![None; vproc_nodes.len()],
+            placement: PlacementPolicy::NodeLocal,
+            interleave_cursor: 0,
+            promotion_target: vproc_nodes.to_vec(),
             stats: HeapStats::default(),
         }
+    }
+
+    /// Sets the promotion-chunk placement policy (see [`PlacementPolicy`]).
+    pub fn set_placement(&mut self, placement: PlacementPolicy) {
+        self.placement = placement;
+    }
+
+    /// The promotion-chunk placement policy.
+    pub fn placement(&self) -> PlacementPolicy {
+        self.placement
+    }
+
+    /// Points `vproc`'s subsequent promotions at `node` (used around a steal
+    /// handoff so the stolen graph lands on the thief's node under
+    /// [`PlacementPolicy::NodeLocal`]).
+    pub fn set_promotion_target(&mut self, vproc: usize, node: NodeId) {
+        self.promotion_target[vproc] = node;
+    }
+
+    /// Restores `vproc`'s promotion target to its home node.
+    pub fn reset_promotion_target(&mut self, vproc: usize) {
+        self.promotion_target[vproc] = self.vproc_nodes[vproc];
+    }
+
+    /// The node `vproc`'s next promotion targets.
+    pub fn promotion_target(&self, vproc: usize) -> NodeId {
+        self.promotion_target[vproc]
     }
 
     /// The heap configuration.
@@ -508,7 +548,20 @@ impl Heap {
         if let Some(old) = self.current_chunk[vproc] {
             self.global.chunk_mut(old).set_state(ChunkState::Filled);
         }
-        let preferred = self.placer.place(self.vproc_nodes[vproc]);
+        // The placement policy picks the target node (consumer node under
+        // `NodeLocal`, home node under `FirstTouch`, round-robin under
+        // `Interleave`); the page placer then resolves it exactly as it does
+        // for any other region.
+        let target = match self.placement {
+            PlacementPolicy::NodeLocal => self.promotion_target[vproc],
+            PlacementPolicy::FirstTouch => self.vproc_nodes[vproc],
+            PlacementPolicy::Interleave => {
+                let node = NodeId::new((self.interleave_cursor % self.num_nodes) as u16);
+                self.interleave_cursor += 1;
+                node
+            }
+        };
+        let preferred = self.placer.place(target);
         let id = self.global.acquire_chunk(preferred, &mut self.space);
         let base = self.global.chunk_base(id);
         let bytes = self.global.chunk_size_bytes();
@@ -522,10 +575,39 @@ impl Heap {
         id
     }
 
-    /// Ensures `vproc` has a current chunk, acquiring one if necessary.
+    /// The node the next chunk acquisition is *bound* to, when the
+    /// combination of placement policy and page policy pins one
+    /// deterministically (`None` under `Interleave` placement, an
+    /// interleaved page policy, or the affinity-off ablation — retiring
+    /// chunks would only churn there).
+    fn bound_chunk_node(&self, vproc: usize) -> Option<NodeId> {
+        if !self.global.node_affinity() {
+            return None;
+        }
+        let target = match self.placement {
+            PlacementPolicy::NodeLocal => self.promotion_target[vproc],
+            PlacementPolicy::FirstTouch => self.vproc_nodes[vproc],
+            PlacementPolicy::Interleave => return None,
+        };
+        match self.placer.policy() {
+            AllocPolicy::Local | AllocPolicy::FirstTouch => Some(target),
+            AllocPolicy::SocketZero => Some(NodeId::new(0)),
+            AllocPolicy::Interleaved => None,
+        }
+    }
+
+    /// Ensures `vproc` has a current chunk on the node the placement policy
+    /// binds it to, acquiring (or replacing a wrong-node chunk with) a fresh
+    /// one if necessary — the same retarget-on-mismatch rule the threaded
+    /// `WorkerHeap` applies, so the backends' placement behaviour agrees.
     pub fn ensure_current_chunk(&mut self, vproc: usize) -> ChunkId {
         match self.current_chunk[vproc] {
-            Some(id) => id,
+            Some(id) => match self.bound_chunk_node(vproc) {
+                Some(want) if self.global.chunk(id).node() != want => {
+                    self.fresh_current_chunk(vproc)
+                }
+                _ => id,
+            },
             None => self.fresh_current_chunk(vproc),
         }
     }

@@ -67,8 +67,8 @@ pub use heap::{EvacTarget, Heap, HeapConfig, HeapStats, Space};
 pub use local::{LocalHeap, LocalHeapStats, LocalObjects, LocalRegion};
 pub use object::{f64_to_word, i64_to_word, word_to_f64, word_to_i64};
 pub use shared::{
-    SharedChunk, SharedChunkState, SharedGlobalHeap, ThreadedLayout, ThreadedOwner, WorkerHeap,
-    GLOBAL_BASE, LOCAL_BASE,
+    global_node_of, SharedChunk, SharedChunkState, SharedGlobalHeap, ThreadedLayout, ThreadedOwner,
+    WorkerHeap, GLOBAL_BASE, LOCAL_BASE, NODE_SPAN_BYTES, NODE_SPAN_SHIFT,
 };
 pub use space::{AddressSpace, RegionOwner};
 pub use verify::{verify_global_heap, verify_heap, verify_local_heap, InvariantViolation};

@@ -19,9 +19,12 @@
 //!
 //! Address arithmetic replaces the simulation's
 //! [`AddressSpace`](crate::AddressSpace): worker `w`'s local heap lives at
-//! `LOCAL_BASE + w * local_span`, and chunk `i` lives at
-//! `GLOBAL_BASE + i * chunk_span`, so classifying an address never needs
-//! shared state.
+//! `LOCAL_BASE + w * local_span`, and the global heap is **partitioned by
+//! NUMA node** — node `n`'s chunks live in the address band
+//! `GLOBAL_BASE + n * NODE_SPAN_BYTES ..`, chunk `i` of that node at
+//! `band_base + i * chunk_span`. Classifying an address *and finding the
+//! node that backs it* are therefore pure arithmetic; no shared state, no
+//! chunk-directory lookup.
 
 use crate::addr::{Addr, Word, WORD_BYTES};
 use crate::chunk::ChunkId;
@@ -32,15 +35,34 @@ use crate::global::SharedChunkPool;
 use crate::header::{Header, HeaderSlot, ObjectKind};
 use crate::heap::{EvacTarget, HeapConfig, HeapStats, Space};
 use crate::local::{LocalHeap, LocalRegion};
-use mgc_numa::NodeId;
+use mgc_numa::{NodeId, PlacementPolicy};
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicU16, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// Base address of the first worker's local heap.
 pub const LOCAL_BASE: u64 = 1 << 20;
 /// Base address of the shared global heap (far above any local heap).
 pub const GLOBAL_BASE: u64 = 1 << 44;
+/// log2 of the per-node global-heap address band.
+pub const NODE_SPAN_SHIFT: u32 = 38;
+/// Bytes of global-heap address space reserved per NUMA node (256 GiB of
+/// *virtual* span — chunks are only mapped as they are acquired). Because
+/// every node owns one contiguous band, `addr → node` is a shift.
+pub const NODE_SPAN_BYTES: u64 = 1 << NODE_SPAN_SHIFT;
+
+/// The NUMA node whose address band contains the global-heap address
+/// `addr`, by pure arithmetic. `None` for non-global addresses and for
+/// addresses whose band index does not fit a [`NodeId`] (garbage pointers
+/// far past any real machine's node count).
+pub fn global_node_of(addr: Addr) -> Option<NodeId> {
+    let raw = addr.raw();
+    if raw < GLOBAL_BASE {
+        return None;
+    }
+    let band = (raw - GLOBAL_BASE) >> NODE_SPAN_SHIFT;
+    (band <= u64::from(u16::MAX)).then(|| NodeId::new(band as u16))
+}
 
 /// Lifecycle state of a shared chunk (the payload-free counterpart of
 /// [`ChunkState`](crate::ChunkState); the owning vproc of a current chunk is
@@ -81,10 +103,12 @@ impl SharedChunkState {
 pub struct SharedChunk {
     id: ChunkId,
     base: Addr,
-    /// The chunk's (nominal) NUMA node. Atomic because disabling node
-    /// affinity (the ablation mode) re-places a chunk on the acquiring
-    /// worker's node, exactly as [`GlobalHeap`](crate::GlobalHeap) does.
-    node: AtomicU16,
+    /// The chunk's NUMA node. Immutable: the node is baked into the chunk's
+    /// address band, so a chunk can never migrate — when the affinity
+    /// ablation hands a node-1 chunk to a node-0 worker, the memory stays
+    /// on node 1 and the promotion is accounted as remote, exactly as real
+    /// pages would behave.
+    node: NodeId,
     state: AtomicU8,
     /// Bump pointer: next free word offset. Published with `Release` after
     /// the object's words are written, so an `Acquire` reader never sees a
@@ -100,7 +124,7 @@ impl SharedChunk {
         SharedChunk {
             id,
             base,
-            node: AtomicU16::new(node.index() as u16),
+            node,
             state: AtomicU8::new(SharedChunkState::Free as u8),
             top: AtomicUsize::new(0),
             scan: AtomicUsize::new(0),
@@ -118,15 +142,11 @@ impl SharedChunk {
         self.base
     }
 
-    /// The NUMA node this chunk is (nominally) placed on.
+    /// The NUMA node whose address band (and, physically, whose DRAM) backs
+    /// this chunk. Always equal to [`global_node_of`] of any address inside
+    /// the chunk.
     pub fn node(&self) -> NodeId {
-        NodeId::new(self.node.load(Ordering::Acquire))
-    }
-
-    /// Re-places the chunk on a different node (cross-node reuse when
-    /// affinity is disabled, mirroring [`Chunk::set_node`](crate::Chunk)).
-    pub fn set_node(&self, node: NodeId) {
-        self.node.store(node.index() as u16, Ordering::Release);
+        self.node
     }
 
     /// The chunk's lifecycle state.
@@ -266,33 +286,76 @@ impl SharedChunk {
     }
 }
 
-/// The shared global heap of the real-threads backend: an append-only chunk
-/// directory plus the mutex-guarded free pool.
+/// The shared global heap of the real-threads backend, **partitioned by
+/// NUMA node**: each node owns a contiguous address band (so `addr → node`
+/// is arithmetic, see [`global_node_of`]), its own append-only chunk
+/// directory, and its own lock-free Treiber free stack inside the
+/// [`SharedChunkPool`]. A flat directory linearises every chunk for the
+/// parallel collection's work index.
 #[derive(Debug)]
 pub struct SharedGlobalHeap {
     chunk_size_words: usize,
     num_nodes: usize,
+    /// Which node's pool promotion chunks are leased from (see
+    /// [`PlacementPolicy`]); fixed at construction.
+    placement: PlacementPolicy,
+    /// Flat, append-only directory in [`ChunkId`] order (the parallel GC's
+    /// work index iterates it).
     chunks: RwLock<Vec<Arc<SharedChunk>>>,
+    /// Per-node directories in address order: `by_node[n][i]` is the chunk
+    /// at `GLOBAL_BASE + n * NODE_SPAN_BYTES + i * chunk_size_bytes`.
+    by_node: Vec<RwLock<Vec<Arc<SharedChunk>>>>,
     pool: SharedChunkPool,
     chunks_in_use: AtomicUsize,
     chunks_created: AtomicU64,
+    /// Round-robin cursor for [`PlacementPolicy::Interleave`].
+    interleave_cursor: AtomicUsize,
 }
 
 impl SharedGlobalHeap {
-    /// Creates an empty shared global heap.
+    /// Creates an empty shared global heap with the default
+    /// ([`PlacementPolicy::NodeLocal`]) placement.
     ///
     /// # Panics
     ///
     /// Panics if `chunk_size_words` or `num_nodes` is zero.
     pub fn new(chunk_size_words: usize, num_nodes: usize) -> Self {
         assert!(chunk_size_words > 0, "chunks must be non-empty");
+        assert!(num_nodes > 0, "a machine must have at least one node");
         SharedGlobalHeap {
             chunk_size_words,
             num_nodes,
+            placement: PlacementPolicy::NodeLocal,
             chunks: RwLock::new(Vec::new()),
+            by_node: (0..num_nodes).map(|_| RwLock::new(Vec::new())).collect(),
             pool: SharedChunkPool::new(num_nodes),
             chunks_in_use: AtomicUsize::new(0),
             chunks_created: AtomicU64::new(0),
+            interleave_cursor: AtomicUsize::new(0),
+        }
+    }
+
+    /// Sets the chunk-lease placement policy (builder-style; call before the
+    /// heap is shared between threads).
+    pub fn with_placement(mut self, placement: PlacementPolicy) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// The chunk-lease placement policy.
+    pub fn placement(&self) -> PlacementPolicy {
+        self.placement
+    }
+
+    /// Resolves the node a new chunk lease should come from, given the
+    /// requesting worker's preferred (consumer) node.
+    pub fn place_node(&self, preferred: NodeId) -> NodeId {
+        match self.placement {
+            PlacementPolicy::NodeLocal | PlacementPolicy::FirstTouch => preferred,
+            PlacementPolicy::Interleave => {
+                let next = self.interleave_cursor.fetch_add(1, Ordering::Relaxed);
+                NodeId::new((next % self.num_nodes) as u16)
+            }
         }
     }
 
@@ -354,29 +417,42 @@ impl SharedGlobalHeap {
         self.chunks.read().expect("chunk directory poisoned")[index].clone()
     }
 
-    /// Acquires a chunk for a worker whose preferred node is `node`,
-    /// reusing a pooled chunk when affinity allows, otherwise mapping a
-    /// fresh one. The returned chunk is in [`SharedChunkState::Current`].
-    pub fn acquire(&self, node: NodeId) -> Arc<SharedChunk> {
-        if let Some((id, crossed)) = self.pool.pop(node) {
+    /// Acquires a chunk for a worker whose preferred (consumer) node is
+    /// `preferred`, first resolving the actual node through the placement
+    /// policy, then reusing a pooled chunk when affinity allows, otherwise
+    /// mapping a fresh one in the node's address band. The returned chunk is
+    /// in [`SharedChunkState::Current`].
+    ///
+    /// With node affinity disabled (the ablation) the pool may hand back a
+    /// chunk from *another* node; it keeps its true node — memory does not
+    /// migrate — so subsequent promotions into it are accounted as remote.
+    pub fn acquire(&self, preferred: NodeId) -> Arc<SharedChunk> {
+        let node = self.place_node(preferred);
+        if let Some((id, _crossed)) = self.pool.pop(node) {
             let chunk = self.chunk_at(id.index());
             debug_assert_eq!(chunk.state(), SharedChunkState::Free);
-            if crossed {
-                // Affinity disabled: the chunk is treated as if it now lived
-                // on the acquiring worker's node (modelling a migration, as
-                // the ablation does on the simulated backend).
-                chunk.set_node(node);
-            }
             chunk.set_state(SharedChunkState::Current);
             self.chunks_in_use.fetch_add(1, Ordering::AcqRel);
             return chunk;
         }
+        // Map a fresh chunk in `node`'s address band. Lock order (flat
+        // directory, then the node directory) is the same everywhere.
         let mut chunks = self.chunks.write().expect("chunk directory poisoned");
+        let mut on_node = self.by_node[node.index()]
+            .write()
+            .expect("node directory poisoned");
         let id = ChunkId(chunks.len() as u32);
-        let base = Addr::new(GLOBAL_BASE + (id.index() * self.chunk_size_bytes()) as u64);
+        let index_on_node = on_node.len();
+        let offset = (index_on_node * self.chunk_size_bytes()) as u64;
+        assert!(
+            offset + self.chunk_size_bytes() as u64 <= NODE_SPAN_BYTES,
+            "node {node} exhausted its {NODE_SPAN_BYTES}-byte global-heap address band"
+        );
+        let base = Addr::new(GLOBAL_BASE + (node.index() as u64) * NODE_SPAN_BYTES + offset);
         let chunk = Arc::new(SharedChunk::new(id, base, node, self.chunk_size_words));
         chunk.set_state(SharedChunkState::Current);
         chunks.push(chunk.clone());
+        on_node.push(chunk.clone());
         self.chunks_created.fetch_add(1, Ordering::Relaxed);
         self.chunks_in_use.fetch_add(1, Ordering::AcqRel);
         chunk
@@ -398,14 +474,16 @@ impl SharedGlobalHeap {
         self.chunks_in_use.fetch_sub(1, Ordering::AcqRel);
     }
 
-    /// Directory index of the chunk containing `addr`, if `addr` is a
-    /// global-heap address below the current directory end.
-    pub fn chunk_index_of(&self, addr: Addr) -> Option<usize> {
-        if addr.raw() < GLOBAL_BASE {
-            return None;
-        }
-        let index = ((addr.raw() - GLOBAL_BASE) as usize) / self.chunk_size_bytes();
-        (index < self.num_chunks()).then_some(index)
+    /// A snapshot of one node's directory (address order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn snapshot_node(&self, node: NodeId) -> Vec<Arc<SharedChunk>> {
+        self.by_node[node.index()]
+            .read()
+            .expect("node directory poisoned")
+            .clone()
     }
 }
 
@@ -415,6 +493,7 @@ impl SharedGlobalHeap {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ThreadedLayout {
     num_vprocs: usize,
+    num_nodes: usize,
     /// Words per local heap (also the per-worker address stride).
     local_words: usize,
     /// Words per global chunk.
@@ -426,21 +505,29 @@ pub struct ThreadedLayout {
 pub enum ThreadedOwner {
     /// Inside vproc `0`'s..`n`'s local heap.
     Local(usize),
-    /// Inside global chunk `index` (the index may exceed the number of
-    /// chunks actually mapped; callers bound-check against the directory).
-    Global(usize),
+    /// Inside the global heap: chunk `index` of `node`'s address band (the
+    /// index may exceed the number of chunks actually mapped; callers
+    /// bound-check against the node directory).
+    Global {
+        /// The NUMA node whose band contains the address.
+        node: usize,
+        /// The chunk index within that node's band.
+        index: usize,
+    },
     /// Outside every region.
     Unmapped,
 }
 
 impl ThreadedLayout {
-    /// Builds the layout for `num_vprocs` workers under `config`.
+    /// Builds the layout for `num_vprocs` workers on a machine with
+    /// `num_nodes` NUMA nodes under `config`.
     ///
     /// # Panics
     ///
-    /// Panics if `num_vprocs` is zero.
-    pub fn new(config: &HeapConfig, num_vprocs: usize) -> Self {
+    /// Panics if `num_vprocs` or `num_nodes` is zero.
+    pub fn new(config: &HeapConfig, num_vprocs: usize, num_nodes: usize) -> Self {
         assert!(num_vprocs > 0, "at least one vproc is required");
+        assert!(num_nodes > 0, "a machine must have at least one node");
         let chunk_words = (config.chunk_size_bytes / WORD_BYTES).max(64);
         let local_words = (config.local_heap_bytes / WORD_BYTES).max(64);
         let span = (num_vprocs as u64) * (local_words * WORD_BYTES) as u64;
@@ -450,6 +537,7 @@ impl ThreadedLayout {
         );
         ThreadedLayout {
             num_vprocs,
+            num_nodes,
             local_words,
             chunk_words,
         }
@@ -458,6 +546,11 @@ impl ThreadedLayout {
     /// Number of vprocs in the layout.
     pub fn num_vprocs(&self) -> usize {
         self.num_vprocs
+    }
+
+    /// Number of NUMA nodes partitioning the global heap.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
     }
 
     /// Words per local heap.
@@ -479,8 +572,13 @@ impl ThreadedLayout {
     pub fn owner_of(&self, addr: Addr) -> ThreadedOwner {
         let raw = addr.raw();
         if raw >= GLOBAL_BASE {
-            let index = ((raw - GLOBAL_BASE) as usize) / (self.chunk_words * WORD_BYTES);
-            ThreadedOwner::Global(index)
+            let node = ((raw - GLOBAL_BASE) >> NODE_SPAN_SHIFT) as usize;
+            if node >= self.num_nodes {
+                return ThreadedOwner::Unmapped;
+            }
+            let offset = (raw - GLOBAL_BASE) & (NODE_SPAN_BYTES - 1);
+            let index = (offset as usize) / (self.chunk_words * WORD_BYTES);
+            ThreadedOwner::Global { node, index }
         } else if raw >= LOCAL_BASE {
             let vproc = ((raw - LOCAL_BASE) as usize) / (self.local_words * WORD_BYTES);
             if vproc < self.num_vprocs {
@@ -505,13 +603,18 @@ pub struct WorkerHeap {
     local: LocalHeap,
     global: Arc<SharedGlobalHeap>,
     descriptors: Arc<DescriptorTable>,
-    /// Preferred node for chunk placement (home node already resolved
-    /// through the placement policy).
-    chunk_node: NodeId,
+    /// The worker's home node (where its local heap was placed).
+    home_node: NodeId,
+    /// The node the *consumer* of the next promotion lives on. Defaults to
+    /// the home node; the runtime points it at the thief's node for the
+    /// duration of a steal handoff (under `NodeLocal` placement), so
+    /// promoted graphs land where they are about to be traversed.
+    promotion_target: NodeId,
     current: Option<Arc<SharedChunk>>,
-    /// Thread-local shadow of the chunk directory; refreshed from the
-    /// `RwLock`-guarded directory only when an address points past its end.
-    cache: RefCell<Vec<Arc<SharedChunk>>>,
+    /// Thread-local shadow of the per-node chunk directories; a node's
+    /// snapshot is refreshed from the `RwLock`-guarded directory only when
+    /// an address points past its end.
+    cache: RefCell<Vec<Vec<Arc<SharedChunk>>>>,
     stats: HeapStats,
 }
 
@@ -520,6 +623,7 @@ impl std::fmt::Debug for WorkerHeap {
         f.debug_struct("WorkerHeap")
             .field("vproc", &self.vproc)
             .field("node", &self.local.node())
+            .field("promotion_target", &self.promotion_target)
             .field("current_chunk", &self.current.as_ref().map(|c| c.id()))
             .finish()
     }
@@ -527,26 +631,29 @@ impl std::fmt::Debug for WorkerHeap {
 
 impl WorkerHeap {
     /// Creates the heap view for worker `vproc`, whose local heap is placed
-    /// on `node` (already resolved through the placement policy) and whose
-    /// global chunks prefer `chunk_node`.
+    /// on `node` (already resolved through the page-placement policy).
+    /// Promotion chunks initially target the same node; the runtime may
+    /// retarget them per steal handoff via
+    /// [`WorkerHeap::set_promotion_target`].
     pub fn new(
         vproc: usize,
         layout: ThreadedLayout,
         node: NodeId,
-        chunk_node: NodeId,
         global: Arc<SharedGlobalHeap>,
         descriptors: Arc<DescriptorTable>,
     ) -> Self {
         let base = layout.local_base(vproc);
+        let num_nodes = layout.num_nodes();
         WorkerHeap {
             vproc,
             layout,
             local: LocalHeap::new(vproc, node, base, layout.local_words()),
             global,
             descriptors,
-            chunk_node,
+            home_node: node,
+            promotion_target: node,
             current: None,
-            cache: RefCell::new(Vec::new()),
+            cache: RefCell::new(vec![Vec::new(); num_nodes]),
             stats: HeapStats::default(),
         }
     }
@@ -554,6 +661,25 @@ impl WorkerHeap {
     /// The owning vproc.
     pub fn vproc(&self) -> usize {
         self.vproc
+    }
+
+    /// The worker's home NUMA node.
+    pub fn home_node(&self) -> NodeId {
+        self.home_node
+    }
+
+    /// The node the next promotion's consumer lives on (see
+    /// [`WorkerHeap::set_promotion_target`]).
+    pub fn promotion_target(&self) -> NodeId {
+        self.promotion_target
+    }
+
+    /// Points subsequent promotions at `node`'s chunk pool (honoured by
+    /// node-binding placement policies; `Interleave` ignores it). The
+    /// runtime sets this to the thief's node around a steal handoff and
+    /// restores it to the home node afterwards.
+    pub fn set_promotion_target(&mut self, node: NodeId) {
+        self.promotion_target = node;
     }
 
     /// The shared global heap.
@@ -640,14 +766,27 @@ impl WorkerHeap {
 
     fn fresh_current_chunk(&mut self) -> Arc<SharedChunk> {
         self.retire_current_chunk();
-        let chunk = self.global.acquire(self.chunk_node);
+        let chunk = self.global.acquire(self.promotion_target);
         self.stats.chunk_acquisitions += 1;
         self.current = Some(chunk.clone());
         chunk
     }
 
+    /// True when the current chunk satisfies the promotion target under the
+    /// active placement policy. `Interleave` never binds; and when the
+    /// affinity ablation is on, the pool may legitimately hand back
+    /// wrong-node chunks, so retiring them would only churn.
+    fn current_chunk_matches_target(&self, chunk: &SharedChunk) -> bool {
+        if !self.global.placement().binds_node() || !self.global.pool().node_affinity() {
+            return true;
+        }
+        chunk.node() == self.promotion_target
+    }
+
     /// Allocates an object into the worker's current global chunk, acquiring
-    /// a fresh chunk transparently when the current one fills up.
+    /// a fresh chunk transparently when the current one fills up — or when
+    /// the current chunk's node no longer matches the promotion target under
+    /// a node-binding placement policy.
     ///
     /// # Errors
     ///
@@ -662,8 +801,8 @@ impl WorkerHeap {
             });
         }
         let chunk = match &self.current {
-            Some(chunk) => chunk.clone(),
-            None => self.fresh_current_chunk(),
+            Some(chunk) if self.current_chunk_matches_target(chunk) => chunk.clone(),
+            _ => self.fresh_current_chunk(),
         };
         match chunk.alloc(header, payload) {
             Ok(addr) => Ok(addr),
@@ -678,23 +817,23 @@ impl WorkerHeap {
     ///
     /// Panics if `addr` is not a mapped global address.
     pub fn chunk_of(&self, addr: Addr) -> Arc<SharedChunk> {
-        let ThreadedOwner::Global(index) = self.layout.owner_of(addr) else {
+        let ThreadedOwner::Global { node, index } = self.layout.owner_of(addr) else {
             panic!("{addr:?} is not a global-heap address");
         };
         {
             let cache = self.cache.borrow();
-            if let Some(chunk) = cache.get(index) {
+            if let Some(chunk) = cache[node].get(index) {
                 return chunk.clone();
             }
         }
-        // Cache miss: the directory grew since we last looked. Refresh.
-        let snapshot = self.global.snapshot();
+        // Cache miss: the node's directory grew since we last looked.
+        let snapshot = self.global.snapshot_node(NodeId::new(node as u16));
         assert!(
             index < snapshot.len(),
-            "{addr:?} points past the end of the global heap"
+            "{addr:?} points past the end of node {node}'s global-heap band"
         );
         let chunk = snapshot[index].clone();
-        *self.cache.borrow_mut() = snapshot;
+        self.cache.borrow_mut()[node] = snapshot;
         chunk
     }
 
@@ -709,7 +848,7 @@ impl WorkerHeap {
                 );
                 self.local.read(self.local.offset_of(addr))
             }
-            ThreadedOwner::Global(_) => {
+            ThreadedOwner::Global { .. } => {
                 let chunk = self.chunk_of(addr);
                 let offset = chunk.offset_of(addr);
                 chunk.read(offset)
@@ -730,7 +869,7 @@ impl WorkerHeap {
                 let offset = self.local.offset_of(addr);
                 self.local.write(offset, value);
             }
-            ThreadedOwner::Global(_) => {
+            ThreadedOwner::Global { .. } => {
                 let chunk = self.chunk_of(addr);
                 let offset = chunk.offset_of(addr);
                 chunk.write(offset, value);
@@ -781,8 +920,11 @@ impl GcHeap for WorkerHeap {
     fn space_of(&self, addr: Addr) -> Space {
         match self.layout.owner_of(addr) {
             ThreadedOwner::Unmapped => Space::Unmapped,
-            ThreadedOwner::Global(index) => Space::Global {
-                chunk: ChunkId(index as u32),
+            // The flat ChunkId requires a directory lookup; the hot-path
+            // classifications (`is_local`/`is_global`/`node_of`) stay pure
+            // arithmetic via the overrides below.
+            ThreadedOwner::Global { .. } => Space::Global {
+                chunk: self.chunk_of(addr).id(),
             },
             ThreadedOwner::Local(v) if v == self.vproc => match self.local.region_of(addr) {
                 LocalRegion::Old => Space::LocalOld { vproc: v },
@@ -797,11 +939,20 @@ impl GcHeap for WorkerHeap {
         }
     }
 
+    fn is_local(&self, addr: Addr) -> bool {
+        matches!(self.layout.owner_of(addr), ThreadedOwner::Local(_))
+    }
+
+    fn is_global(&self, addr: Addr) -> bool {
+        matches!(self.layout.owner_of(addr), ThreadedOwner::Global { .. })
+    }
+
     fn node_of(&self, addr: Addr) -> NodeId {
         match self.layout.owner_of(addr) {
             ThreadedOwner::Local(v) if v == self.vproc => self.local.node(),
-            ThreadedOwner::Local(_) => self.chunk_node,
-            ThreadedOwner::Global(_) => self.chunk_of(addr).node(),
+            ThreadedOwner::Local(_) => self.home_node,
+            // Arithmetic: the node is baked into the address band.
+            ThreadedOwner::Global { node, .. } => NodeId::new(node as u16),
             ThreadedOwner::Unmapped => panic!("{addr:?} is not mapped to any heap region"),
         }
     }
@@ -884,7 +1035,7 @@ mod tests {
 
     fn setup() -> (ThreadedLayout, Arc<SharedGlobalHeap>, Arc<DescriptorTable>) {
         let config = HeapConfig::small_for_tests();
-        let layout = ThreadedLayout::new(&config, 2);
+        let layout = ThreadedLayout::new(&config, 2, 2);
         let global = Arc::new(SharedGlobalHeap::new(layout.chunk_words(), 2));
         (layout, global, Arc::new(DescriptorTable::new()))
     }
@@ -898,7 +1049,6 @@ mod tests {
         WorkerHeap::new(
             vproc,
             layout,
-            NodeId::new(vproc as u16 % 2),
             NodeId::new(vproc as u16 % 2),
             global.clone(),
             descriptors.clone(),
@@ -915,10 +1065,25 @@ mod tests {
         assert_eq!(layout.owner_of(Addr::new(8)), ThreadedOwner::Unmapped);
         assert_eq!(
             layout.owner_of(Addr::new(GLOBAL_BASE)),
-            ThreadedOwner::Global(0)
+            ThreadedOwner::Global { node: 0, index: 0 }
         );
         let second_chunk = Addr::new(GLOBAL_BASE + (layout.chunk_words() * WORD_BYTES) as u64);
-        assert_eq!(layout.owner_of(second_chunk), ThreadedOwner::Global(1));
+        assert_eq!(
+            layout.owner_of(second_chunk),
+            ThreadedOwner::Global { node: 0, index: 1 }
+        );
+        // Node 1's band starts one NODE_SPAN above the base.
+        let node1 = Addr::new(GLOBAL_BASE + NODE_SPAN_BYTES);
+        assert_eq!(
+            layout.owner_of(node1),
+            ThreadedOwner::Global { node: 1, index: 0 }
+        );
+        assert_eq!(global_node_of(node1), Some(NodeId::new(1)));
+        assert_eq!(global_node_of(Addr::new(GLOBAL_BASE)), Some(NodeId::new(0)));
+        assert_eq!(global_node_of(local0), None);
+        // A band past the machine's node count is unmapped.
+        let beyond = Addr::new(GLOBAL_BASE + 2 * NODE_SPAN_BYTES);
+        assert_eq!(layout.owner_of(beyond), ThreadedOwner::Unmapped);
     }
 
     #[test]
@@ -982,18 +1147,54 @@ mod tests {
     }
 
     #[test]
-    fn affinity_disabled_migrates_reused_chunks() {
+    fn affinity_disabled_reuses_remote_chunks_without_migrating_them() {
         let (_, global, _) = setup();
         global.pool().set_node_affinity(false);
         let chunk = global.acquire(NodeId::new(1));
         assert_eq!(chunk.node(), NodeId::new(1));
         global.release(&chunk);
-        // Cross-node reuse re-places the chunk on the acquiring node, as
-        // the simulated backend's ablation does.
+        // Cross-node reuse hands the chunk over, but the memory stays where
+        // it is: the chunk keeps its true node (its address band), so
+        // promotions into it are accounted as remote.
         let again = global.acquire(NodeId::new(0));
         assert_eq!(again.id(), chunk.id());
-        assert_eq!(again.node(), NodeId::new(0));
+        assert_eq!(again.node(), NodeId::new(1));
+        assert_eq!(global_node_of(again.base()), Some(NodeId::new(1)));
         assert_eq!(global.pool().reused_remote(), 1);
+    }
+
+    #[test]
+    fn interleave_placement_round_robins_chunk_nodes() {
+        let config = HeapConfig::small_for_tests();
+        let layout = ThreadedLayout::new(&config, 1, 2);
+        let global = Arc::new(
+            SharedGlobalHeap::new(layout.chunk_words(), 2)
+                .with_placement(PlacementPolicy::Interleave),
+        );
+        // All requests prefer node 0, but the leases alternate nodes.
+        let nodes: Vec<u16> = (0..4)
+            .map(|_| global.acquire(NodeId::new(0)).node().raw())
+            .collect();
+        assert_eq!(nodes, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn node_binding_placement_retargets_the_current_chunk() {
+        let (layout, global, descriptors) = setup();
+        let mut w = worker(0, layout, &global, &descriptors);
+        let header = Header::new(ObjectKind::Raw, 1).encode();
+        let home = w.alloc_in_global(header, &[1]).unwrap();
+        assert_eq!(global_node_of(home), Some(NodeId::new(0)));
+        // Retarget promotions at node 1 (as a steal handoff to a node-1
+        // thief does): the current node-0 chunk is set aside and the next
+        // allocation lands in node 1's band.
+        w.set_promotion_target(NodeId::new(1));
+        let away = w.alloc_in_global(header, &[2]).unwrap();
+        assert_eq!(global_node_of(away), Some(NodeId::new(1)));
+        // Back home: allocations return to node 0.
+        w.set_promotion_target(NodeId::new(0));
+        let back = w.alloc_in_global(header, &[3]).unwrap();
+        assert_eq!(global_node_of(back), Some(NodeId::new(0)));
     }
 
     #[test]

@@ -1,12 +1,24 @@
-//! NUMA topology, page-placement policies, and a memory cost model.
+//! NUMA topology, placement policies, thread-node binding, and a memory
+//! cost model.
 //!
 //! This crate is the hardware substrate for the reproduction of
 //! *Garbage Collection for Multicore NUMA Machines* (Auhagen, Bergstrom,
 //! Fluet, Reppy; 2011). The paper evaluates the Manticore garbage collector
 //! on two machines — a 48-core AMD Opteron 6172 ("Magny Cours") and a
 //! 32-core Intel Xeon X7560 — whose memory hierarchies are described in the
-//! paper's Appendix A (Figures 8 and 9, Table 1). Since this reproduction
-//! does not have access to those machines, this crate models them:
+//! paper's Appendix A (Figures 8 and 9, Table 1). This crate models them,
+//! and **both** execution backends consume the model:
+//!
+//! * the **simulated** backend uses the [`MemoryModel`] to turn traffic into
+//!   virtual time, reproducing the paper's figures without the hardware;
+//! * the **threaded** backend (real OS threads in `mgc-runtime`) derives its
+//!   worker→node assignment from [`Topology::spread_cores`] +
+//!   [`bind_current_thread`], partitions the shared global heap's chunk pool
+//!   by [`NodeId`], leases promotion chunks per the [`PlacementPolicy`], and
+//!   orders its steal-victim probing same-node-first. The topology is no
+//!   longer consumed only by the simulation.
+//!
+//! The pieces:
 //!
 //! * [`Topology`] describes packages, nodes (dies with their own memory
 //!   controller), cores, per-node DRAM bandwidth, and the inter-node link
@@ -17,6 +29,14 @@
 //!   allocation strategies compared in §4.3 of the paper: *local*
 //!   (Manticore's default), *interleaved* (GHC-style round robin), and
 //!   *socket zero* (everything on node 0).
+//! * [`PlacementPolicy`] is the promotion-chunk placement knob of the
+//!   threaded backend: whether a steal victim promotes the stolen graph into
+//!   a chunk on the thief's node (`NodeLocal`), its own node (`FirstTouch`),
+//!   or round-robin across all nodes (`Interleave`). Runtime front doors
+//!   expose it as `Experiment::placement(..)` and `MGC_PLACEMENT`.
+//! * [`bind_current_thread`] binds a worker thread to its node —
+//!   [`NodeBinding::Tagged`] (deterministic bookkeeping) in this build,
+//!   [`NodeBinding::Pinned`] where a platform backend can do real affinity.
 //! * [`PageMap`] tracks which node every page of the simulated address space
 //!   lives on, so the heap can ask "where is this object physically?".
 //! * [`MemoryModel`] converts the work a set of virtual processors performed
@@ -44,6 +64,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod affinity;
 mod error;
 mod ids;
 mod memory;
@@ -52,10 +73,11 @@ mod policy;
 mod stats;
 mod topology;
 
+pub use affinity::{bind_current_thread, host_numa_nodes, NodeBinding};
 pub use error::TopologyError;
 pub use ids::{CoreId, NodeId, PackageId};
 pub use memory::{Bottleneck, MemoryModel, RoundBreakdown, Traffic, VprocRoundCost};
 pub use pagemap::{PageMap, PAGE_SIZE};
-pub use policy::{AllocPolicy, PagePlacer};
+pub use policy::{AllocPolicy, PagePlacer, PlacementPolicy};
 pub use stats::{AccessClass, TrafficStats};
 pub use topology::{CacheSpec, CoreSpec, NodeSpec, Topology, TopologyBuilder};

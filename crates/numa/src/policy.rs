@@ -75,6 +75,86 @@ impl std::str::FromStr for AllocPolicy {
     }
 }
 
+/// Where the *global-heap chunks* that receive promoted objects are placed,
+/// node-wise (the threaded backend's promotion-at-steal placement knob).
+///
+/// [`AllocPolicy`] governs where *pages* land when a region is first
+/// allocated; `PlacementPolicy` governs which node's chunk pool a worker
+/// leases promotion chunks from — in particular whether the victim of a
+/// steal promotes the stolen task's graph into a chunk on **its own** node
+/// or on the **thief's** node:
+///
+/// * [`PlacementPolicy::NodeLocal`] — lease from the *consumer's* node: at a
+///   steal handoff the stolen graph lands on the thief's node (where it is
+///   about to be traversed); publication-driven promotions stay on the
+///   promoting worker's node. This is the paper-faithful locality-first
+///   choice and the default.
+/// * [`PlacementPolicy::Interleave`] — round-robin chunk leases across all
+///   nodes (the GHC-style strategy, the locality-blind baseline the figure-8
+///   sweep compares against).
+/// * [`PlacementPolicy::FirstTouch`] — lease from the node of the worker
+///   performing the promotion (the "first toucher"): at a steal handoff the
+///   stolen graph lands on the *victim's* node, mirroring what a first-touch
+///   operating-system policy would do to pages the victim writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// Lease chunks from the consuming worker's node (thief-node at steal).
+    #[default]
+    NodeLocal,
+    /// Round-robin chunk leases across all nodes.
+    Interleave,
+    /// Lease chunks from the promoting worker's node (victim-node at steal).
+    FirstTouch,
+}
+
+impl PlacementPolicy {
+    /// Every policy, in comparison order (`NodeLocal` vs `Interleave` is the
+    /// figure-8 axis).
+    pub const ALL: [PlacementPolicy; 3] = [
+        PlacementPolicy::NodeLocal,
+        PlacementPolicy::Interleave,
+        PlacementPolicy::FirstTouch,
+    ];
+
+    /// A short lowercase label, used by `--placement` flags and CSV output.
+    pub fn label(self) -> &'static str {
+        match self {
+            PlacementPolicy::NodeLocal => "node-local",
+            PlacementPolicy::Interleave => "interleave",
+            PlacementPolicy::FirstTouch => "first-touch",
+        }
+    }
+
+    /// True when the policy binds a chunk lease to one specific node (so a
+    /// current chunk on the wrong node must be retired before promoting);
+    /// `Interleave` deliberately does not.
+    pub fn binds_node(self) -> bool {
+        !matches!(self, PlacementPolicy::Interleave)
+    }
+}
+
+impl std::fmt::Display for PlacementPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for PlacementPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "node-local" | "node_local" | "nodelocal" => Ok(PlacementPolicy::NodeLocal),
+            "interleave" | "interleaved" => Ok(PlacementPolicy::Interleave),
+            "first-touch" | "first_touch" | "firsttouch" => Ok(PlacementPolicy::FirstTouch),
+            other => Err(format!(
+                "unknown placement policy `{other}` (expected `node-local`, `interleave`, or \
+                 `first-touch`)"
+            )),
+        }
+    }
+}
+
 /// Stateful placer that applies an [`AllocPolicy`].
 ///
 /// The only policy that needs state is `Interleaved`, which keeps a
@@ -211,5 +291,30 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn zero_node_machine_rejected() {
         let _ = PagePlacer::new(AllocPolicy::Local, 0);
+    }
+
+    #[test]
+    fn placement_policy_labels_round_trip() {
+        for p in PlacementPolicy::ALL {
+            assert_eq!(p.label().parse::<PlacementPolicy>().unwrap(), p);
+            assert_eq!(p.to_string(), p.label());
+        }
+        assert_eq!(PlacementPolicy::default(), PlacementPolicy::NodeLocal);
+        assert_eq!(
+            "interleaved".parse::<PlacementPolicy>().unwrap(),
+            PlacementPolicy::Interleave
+        );
+        assert_eq!(
+            "NODE-LOCAL".parse::<PlacementPolicy>().unwrap(),
+            PlacementPolicy::NodeLocal
+        );
+        assert!("bogus".parse::<PlacementPolicy>().is_err());
+    }
+
+    #[test]
+    fn placement_policy_node_binding() {
+        assert!(PlacementPolicy::NodeLocal.binds_node());
+        assert!(PlacementPolicy::FirstTouch.binds_node());
+        assert!(!PlacementPolicy::Interleave.binds_node());
     }
 }

@@ -8,16 +8,18 @@
 //! |----------|---------|-----------------|
 //! | `MGC_BACKEND` | Execution backend | `simulated`/`sim`, `threaded`/`threads` |
 //! | `MGC_VPROCS` | Number of vprocs (threads) | a positive integer |
+//! | `MGC_PLACEMENT` | Promotion-chunk NUMA placement | `node-local`, `interleave`, `first-touch` |
 //! | `MGC_MAX_ROUNDS` | Simulated scheduler's runaway-program round cap | a positive integer |
 //!
-//! [`Experiment`](crate::Experiment) applies `MGC_BACKEND` and `MGC_VPROCS`
-//! as *defaults* — an explicit [`Experiment::backend`](crate::Experiment::backend)
+//! [`Experiment`](crate::Experiment) applies `MGC_BACKEND`, `MGC_VPROCS`,
+//! and `MGC_PLACEMENT` as *defaults* — an explicit [`Experiment::backend`](crate::Experiment::backend)
 //! or [`Experiment::vprocs`](crate::Experiment::vprocs) call always wins —
 //! and the simulated [`Machine`](crate::Machine) reads `MGC_MAX_ROUNDS` when
 //! it is built. Invalid values never abort a run: they print a warning
 //! naming the knob and fall back to the caller's default.
 
 use crate::executor::Backend;
+use mgc_numa::PlacementPolicy;
 
 /// The captured `MGC_*` environment overrides. Each field is `None` when the
 /// variable is unset *or* unparseable (after a warning on stderr).
@@ -27,6 +29,8 @@ pub struct EnvOverrides {
     pub backend: Option<Backend>,
     /// `MGC_VPROCS`: how many vprocs (threads) to use.
     pub vprocs: Option<usize>,
+    /// `MGC_PLACEMENT`: which node's pool promotion chunks are leased from.
+    pub placement: Option<PlacementPolicy>,
     /// `MGC_MAX_ROUNDS`: the simulated scheduler's round cap.
     pub max_rounds: Option<u64>,
 }
@@ -45,7 +49,23 @@ impl EnvOverrides {
         EnvOverrides {
             backend: parse_backend(lookup("MGC_BACKEND")),
             vprocs: parse_positive("MGC_VPROCS", lookup("MGC_VPROCS")),
+            placement: parse_placement(lookup("MGC_PLACEMENT")),
             max_rounds: parse_positive("MGC_MAX_ROUNDS", lookup("MGC_MAX_ROUNDS")),
+        }
+    }
+}
+
+/// Parses an `MGC_PLACEMENT` value, warning (once per call) on garbage.
+fn parse_placement(value: Option<String>) -> Option<PlacementPolicy> {
+    let value = value?;
+    match value.parse::<PlacementPolicy>() {
+        Ok(placement) => Some(placement),
+        Err(err) => {
+            eprintln!(
+                "warning: MGC_PLACEMENT=`{value}` is invalid ({err}); set \
+                 MGC_PLACEMENT=node-local, interleave, or first-touch — using the default"
+            );
+            None
         }
     }
 }
@@ -100,6 +120,7 @@ mod tests {
         assert_eq!(env, EnvOverrides::default());
         assert_eq!(env.backend, None);
         assert_eq!(env.vprocs, None);
+        assert_eq!(env.placement, None);
         assert_eq!(env.max_rounds, None);
     }
 
@@ -108,10 +129,12 @@ mod tests {
         let env = EnvOverrides::from_lookup(lookup(&[
             ("MGC_BACKEND", "threaded"),
             ("MGC_VPROCS", "4"),
+            ("MGC_PLACEMENT", "interleave"),
             ("MGC_MAX_ROUNDS", "1000"),
         ]));
         assert_eq!(env.backend, Some(Backend::Threaded));
         assert_eq!(env.vprocs, Some(4));
+        assert_eq!(env.placement, Some(PlacementPolicy::Interleave));
         assert_eq!(env.max_rounds, Some(1000));
     }
 
@@ -128,6 +151,7 @@ mod tests {
         let env = EnvOverrides::from_lookup(lookup(&[
             ("MGC_BACKEND", "gpu"),
             ("MGC_VPROCS", "zero"),
+            ("MGC_PLACEMENT", "everywhere"),
             ("MGC_MAX_ROUNDS", "-3"),
         ]));
         assert_eq!(env, EnvOverrides::default());

@@ -13,10 +13,12 @@
 //! # Environment overrides
 //!
 //! This is the **one place** the `MGC_*` variables are applied (they are
-//! *parsed* in [`crate::env`]): `MGC_BACKEND` supplies the backend and
-//! `MGC_VPROCS` the vproc count **when the builder left them unset** — an
-//! explicit [`Experiment::backend`] or [`Experiment::vprocs`] call always
-//! wins, so programmatic sweeps are immune to ambient configuration.
+//! *parsed* in [`crate::env`]): `MGC_BACKEND` supplies the backend,
+//! `MGC_VPROCS` the vproc count, and `MGC_PLACEMENT` the promotion-chunk
+//! placement **when the builder left them unset** — an explicit
+//! [`Experiment::backend`], [`Experiment::vprocs`], or
+//! [`Experiment::placement`] call always wins, so programmatic sweeps are
+//! immune to ambient configuration.
 //! (`MGC_MAX_ROUNDS` is read by the simulated [`Machine`] itself when it is
 //! built, since it also applies to machines constructed without an
 //! experiment.)
@@ -59,7 +61,7 @@ use crate::stats::RunReport;
 use crate::threaded::ThreadedMachine;
 use mgc_core::GcConfig;
 use mgc_heap::{HeapConfig, Word};
-use mgc_numa::{AllocPolicy, Topology};
+use mgc_numa::{AllocPolicy, PlacementPolicy, Topology};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
@@ -158,6 +160,7 @@ pub struct Experiment<P: Program> {
     topology: Option<Topology>,
     vprocs: Option<usize>,
     policy: Option<AllocPolicy>,
+    placement: Option<PlacementPolicy>,
     backend: Option<Backend>,
     heap: Option<HeapConfig>,
     gc: Option<GcConfig>,
@@ -174,6 +177,7 @@ impl<P: Program> std::fmt::Debug for Experiment<P> {
             .field("topology", &self.topology.as_ref().map(Topology::name))
             .field("vprocs", &self.vprocs)
             .field("policy", &self.policy)
+            .field("placement", &self.placement)
             .field("backend", &self.backend)
             .field("quantum_ns", &self.quantum_ns)
             .finish_non_exhaustive()
@@ -192,6 +196,7 @@ impl<P: Program> Experiment<P> {
             topology: None,
             vprocs: None,
             policy: None,
+            placement: None,
             backend: None,
             heap: None,
             gc: None,
@@ -219,6 +224,16 @@ impl<P: Program> Experiment<P> {
     /// configuration.
     pub fn policy(mut self, policy: AllocPolicy) -> Self {
         self.policy = Some(policy);
+        self
+    }
+
+    /// Sets the promotion-chunk NUMA placement policy: which node's pool
+    /// the chunks receiving promoted objects are leased from (`NodeLocal`
+    /// targets the consumer — the thief's node at a steal handoff;
+    /// `Interleave` round-robins; `FirstTouch` targets the promoting
+    /// worker). Overrides `MGC_PLACEMENT`.
+    pub fn placement(mut self, placement: PlacementPolicy) -> Self {
+        self.placement = Some(placement);
         self
     }
 
@@ -276,6 +291,7 @@ impl<P: Program> Experiment<P> {
         let env = self.env.unwrap_or_else(EnvOverrides::capture);
         let backend = self.backend.or(env.backend).unwrap_or(Backend::Simulated);
         let vprocs = self.vprocs.or(env.vprocs).unwrap_or(1);
+        let placement = self.placement.or(env.placement).unwrap_or_default();
         let topology = self
             .topology
             .clone()
@@ -317,6 +333,7 @@ impl<P: Program> Experiment<P> {
                 topology,
                 num_vprocs: vprocs,
                 heap,
+                placement,
                 gc: self.gc.unwrap_or_default(),
                 mutator_costs: self.mutator_costs.unwrap_or_default(),
                 quantum_ns,
@@ -413,7 +430,8 @@ impl RunRecord {
         let _ = write!(
             out,
             "\"program\": \"{}\", \"params\": {}, \"backend\": \"{}\", \"vprocs\": {}, \
-             \"topology\": \"{}\", \"policy\": \"{}\", \"chunk_size_bytes\": {}, \
+             \"topology\": \"{}\", \"policy\": \"{}\", \"placement\": \"{}\", \
+             \"chunk_size_bytes\": {}, \
              \"local_heap_bytes\": {}, \"quantum_ns\": {:.0}, \"eager_publication\": {}, \
              \"wall_clock_ns\": {}, \"simulated_ns\": {}, \"checksum\": {}, \
              \"checksum_ok\": {}, ",
@@ -423,6 +441,7 @@ impl RunRecord {
             self.config.num_vprocs,
             escape_json(self.config.topology.name()),
             self.config.heap.policy,
+            self.config.placement,
             self.config.heap.chunk_size_bytes,
             self.config.heap.local_heap_bytes,
             self.config.quantum_ns,
@@ -436,7 +455,9 @@ impl RunRecord {
             out,
             "\"tasks\": {}, \"allocated_objects\": {}, \"minor_collections\": {}, \
              \"major_collections\": {}, \"global_collections\": {}, \"promotions\": {}, \
-             \"steals\": {}, \"promoted_bytes\": {}, \"promotions_at_steal\": {}, \
+             \"steals\": {}, \"steals_same_node\": {}, \"steals_cross_node\": {}, \
+             \"promoted_bytes\": {}, \"promoted_bytes_local\": {}, \
+             \"promoted_bytes_remote\": {}, \"promotions_at_steal\": {}, \
              \"promotions_at_publish\": {}, \"channel_sends\": {}, \"channel_receives\": {}",
             self.report.total_tasks(),
             self.report.allocated_objects,
@@ -445,7 +466,11 @@ impl RunRecord {
             self.report.gc.global_collections,
             self.report.gc.promotions,
             self.report.total_steals(),
+            self.report.steals_same_node(),
+            self.report.steals_cross_node(),
             self.report.total_promoted_bytes(),
+            self.report.promoted_bytes_local(),
+            self.report.promoted_bytes_remote(),
             self.report.promotions_at_steal(),
             self.report.promotions_at_publish(),
             self.channels.sends,
@@ -597,6 +622,7 @@ mod tests {
         assert_eq!(config.machine.num_vprocs, 1);
         assert_eq!(config.machine.topology.name(), "test-dual-node");
         assert_eq!(config.machine.heap.policy, AllocPolicy::Local);
+        assert_eq!(config.machine.placement, PlacementPolicy::NodeLocal);
         assert_eq!(config.machine.quantum_ns, DEFAULT_QUANTUM_NS);
     }
 
@@ -605,6 +631,7 @@ mod tests {
         let env = EnvOverrides {
             backend: Some(Backend::Threaded),
             vprocs: Some(3),
+            placement: Some(PlacementPolicy::Interleave),
             max_rounds: None,
         };
         let config = Experiment::new(Constant(1))
@@ -613,16 +640,19 @@ mod tests {
             .expect("env values are valid");
         assert_eq!(config.backend, Backend::Threaded);
         assert_eq!(config.machine.num_vprocs, 3);
+        assert_eq!(config.machine.placement, PlacementPolicy::Interleave);
 
         // Explicit builder calls always beat the environment.
         let config = Experiment::new(Constant(1))
             .env_overrides(env)
             .backend(Backend::Simulated)
             .vprocs(2)
+            .placement(PlacementPolicy::FirstTouch)
             .validate()
             .expect("explicit values are valid");
         assert_eq!(config.backend, Backend::Simulated);
         assert_eq!(config.machine.num_vprocs, 2);
+        assert_eq!(config.machine.placement, PlacementPolicy::FirstTouch);
     }
 
     #[test]
@@ -715,12 +745,17 @@ mod tests {
             "\"vprocs\": 1",
             "\"topology\": \"test-dual-node\"",
             "\"policy\": \"local\"",
+            "\"placement\": \"node-local\"",
             "\"quantum_ns\": 25000",
             "\"wall_clock_ns\": null",
             "\"simulated_ns\": ",
             "\"checksum_ok\": true",
             "\"tasks\": 1",
             "\"promoted_bytes\": ",
+            "\"promoted_bytes_local\": ",
+            "\"promoted_bytes_remote\": ",
+            "\"steals_same_node\": ",
+            "\"steals_cross_node\": ",
             "\"promotions_at_steal\": ",
             "\"promotions_at_publish\": ",
         ] {

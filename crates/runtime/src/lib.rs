@@ -97,6 +97,9 @@ pub use machine::{Machine, MachineConfig, MutatorCostModel};
 // Re-exported so backend users can tune the collector (e.g. the
 // `eager_publication` ablation) without depending on `mgc-core` directly.
 pub use mgc_core::GcConfig;
+// Re-exported so experiment callers can pick the promotion-chunk placement
+// without depending on `mgc-numa` directly.
+pub use mgc_numa::PlacementPolicy;
 pub use program::{Checksum, Program};
 pub use stats::{RunReport, VprocRunStats};
 pub use task::{Handle, TaskResult, TaskSpec};

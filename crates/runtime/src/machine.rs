@@ -27,7 +27,9 @@ use crate::threaded::PromoteWhy;
 use crate::vproc::VProc;
 use mgc_core::{Collector, GcConfig};
 use mgc_heap::{Addr, Descriptor, DescriptorId, Heap, HeapConfig, HeapError, Word};
-use mgc_numa::{AllocPolicy, MemoryModel, Topology, Traffic, TrafficStats, VprocRoundCost};
+use mgc_numa::{
+    AllocPolicy, MemoryModel, PlacementPolicy, Topology, Traffic, TrafficStats, VprocRoundCost,
+};
 use serde::{Deserialize, Serialize};
 
 /// Fixed scheduling overhead charged per executed task, in nanoseconds.
@@ -90,6 +92,11 @@ pub struct MachineConfig {
     pub num_vprocs: usize,
     /// Heap geometry.
     pub heap: HeapConfig,
+    /// Promotion-chunk NUMA placement: which node's pool the chunks that
+    /// receive promoted objects are leased from (`NodeLocal` targets the
+    /// consumer — the thief at a steal handoff; `Interleave` round-robins;
+    /// `FirstTouch` targets the promoting vproc).
+    pub placement: PlacementPolicy,
     /// Collector configuration.
     pub gc: GcConfig,
     /// Mutator cache model.
@@ -111,10 +118,17 @@ impl MachineConfig {
             topology,
             num_vprocs,
             heap: HeapConfig::default(),
+            placement: PlacementPolicy::default(),
             gc: GcConfig::default(),
             mutator_costs: MutatorCostModel::default(),
             quantum_ns: 200_000.0,
         }
+    }
+
+    /// Sets the promotion-chunk placement policy.
+    pub fn with_placement(mut self, placement: PlacementPolicy) -> Self {
+        self.placement = placement;
+        self
     }
 
     /// Sets the physical page/chunk placement policy (§4.3 of the paper).
@@ -142,6 +156,7 @@ impl MachineConfig {
             topology: Topology::dual_node_test(),
             num_vprocs,
             heap: HeapConfig::small_for_tests(),
+            placement: PlacementPolicy::default(),
             gc: GcConfig::small_for_tests(),
             mutator_costs: MutatorCostModel::default(),
             quantum_ns: 50_000.0,
@@ -341,6 +356,12 @@ impl RuntimeState {
             .collect_local(&mut self.heap, vproc, &mut roots);
         self.scatter_roots(vproc, extra, &roots);
         self.charge_gc_cost(vproc, &outcome.cost);
+        // A local collection's major phase promotes for the collecting
+        // vproc's own benefit: the consumer is the vproc itself.
+        let (local, remote) = outcome.promoted_split(self.heap.promotion_target(vproc));
+        let stats = &mut self.vprocs[vproc].stats;
+        stats.promoted_bytes_local += local;
+        stats.promoted_bytes_remote += remote;
         let pause = outcome.cost.cpu_ns;
         let stats = self.collector.vproc_stats_mut(vproc);
         stats.minor_pause_ns += pause;
@@ -422,10 +443,19 @@ impl RuntimeState {
         if owner == target_vproc {
             return addr;
         }
+        // The promoted graph is about to be consumed by `target_vproc`:
+        // point the owner's promotion chunks at the consumer's node for the
+        // duration (honoured under `NodeLocal` placement).
+        let consumer = self.vprocs[target_vproc].node;
+        self.heap.set_promotion_target(owner, consumer);
         let (new, outcome) = self.collector.promote(&mut self.heap, owner, addr);
+        self.heap.reset_promotion_target(owner);
         self.charge_gc_cost(owner, &outcome.cost);
+        let (local, remote) = outcome.promoted_split(consumer);
         let stats = &mut self.vprocs[owner].stats;
         stats.lazy_promotions += 1;
+        stats.promoted_bytes_local += local;
+        stats.promoted_bytes_remote += remote;
         match why {
             PromoteWhy::Steal => {
                 stats.promotions_at_steal += 1;
@@ -564,20 +594,32 @@ impl RuntimeState {
         }
     }
 
-    /// Attempts to steal a task for `thief` from the vproc with the fullest
-    /// deque, promoting the stolen task's roots (lazy promotion on steal).
+    /// Attempts to steal a task for `thief`, promoting the stolen task's
+    /// roots (lazy promotion on steal). Victim selection is locality-first:
+    /// the fullest deque **on the thief's own node** wins; only when every
+    /// same-node victim is empty does the thief reach across nodes for the
+    /// fullest remote deque.
     pub(crate) fn try_steal(&mut self, thief: usize) -> Option<Task> {
-        let victim = (0..self.vprocs.len())
-            .filter(|&v| v != thief)
-            .max_by_key(|&v| self.vprocs[v].deque.len())?;
-        if self.vprocs[victim].deque.is_empty() {
-            return None;
-        }
+        let thief_node = self.vprocs[thief].node;
+        let fullest = |state: &RuntimeState, same_node: bool| {
+            (0..state.vprocs.len())
+                .filter(|&v| v != thief)
+                .filter(|&v| (state.vprocs[v].node == thief_node) == same_node)
+                .filter(|&v| !state.vprocs[v].deque.is_empty())
+                .max_by_key(|&v| state.vprocs[v].deque.len())
+        };
+        let victim = fullest(self, true).or_else(|| fullest(self, false))?;
         let mut task = self.vprocs[victim].steal_from()?;
         for root in task.roots.iter_mut() {
             *root = self.promote_for(thief, *root, PromoteWhy::Steal);
         }
-        self.vprocs[thief].stats.steals += 1;
+        let stats = &mut self.vprocs[thief].stats;
+        stats.steals += 1;
+        if self.vprocs[victim].node == thief_node {
+            self.vprocs[thief].stats.steals_same_node += 1;
+        } else {
+            self.vprocs[thief].stats.steals_cross_node += 1;
+        }
         self.vprocs[thief].round_cost.add_cpu_ns(STEAL_OVERHEAD_NS);
         Some(task)
     }
@@ -593,10 +635,13 @@ impl RuntimeState {
             let owner = self.heap.space_of(message).vproc().unwrap_or(vproc);
             let (new, outcome) = self.collector.promote(&mut self.heap, owner, message);
             self.charge_gc_cost(owner, &outcome.cost);
+            let (local, remote) = outcome.promoted_split(self.vprocs[owner].node);
             let stats = &mut self.vprocs[owner].stats;
             stats.lazy_promotions += 1;
             stats.promotions_at_publish += 1;
             stats.promoted_bytes_at_publish += outcome.promoted_bytes;
+            stats.promoted_bytes_local += local;
+            stats.promoted_bytes_remote += remote;
             new
         } else {
             message
@@ -661,7 +706,8 @@ impl Machine {
         let topology = config.topology.clone();
         let cores = topology.spread_cores(config.num_vprocs);
         let nodes: Vec<_> = cores.iter().map(|&c| topology.node_of_core(c)).collect();
-        let heap = Heap::new(config.heap, &nodes, topology.num_nodes());
+        let mut heap = Heap::new(config.heap, &nodes, topology.num_nodes());
+        heap.set_placement(config.placement);
         let mut collector = Collector::new(config.gc, config.num_vprocs, topology.num_nodes());
         if !config.gc.chunk_node_affinity {
             // propagated to the heap lazily by the global collection; nothing

@@ -11,6 +11,11 @@ pub struct VprocRunStats {
     pub tasks_run: u64,
     /// Tasks this vproc stole from other vprocs.
     pub steals: u64,
+    /// Steals whose victim lived on this vproc's NUMA node.
+    pub steals_same_node: u64,
+    /// Steals whose victim lived on another NUMA node (only reached after
+    /// same-node victims came up empty, or via the starvation escape hatch).
+    pub steals_cross_node: u64,
     /// Objects promoted because work or results crossed vprocs.
     pub lazy_promotions: u64,
     /// Steal requests this vproc serviced as a victim by handing a task
@@ -30,6 +35,13 @@ pub struct VprocRunStats {
     pub promoted_bytes_at_steal: u64,
     /// Bytes promoted by publication-driven promotions.
     pub promoted_bytes_at_publish: u64,
+    /// Bytes this vproc promoted into chunks on the consumer's node (the
+    /// thief's node for steal promotions, the promoting vproc's own node
+    /// for publications and major-collection promotions).
+    pub promoted_bytes_local: u64,
+    /// Bytes this vproc promoted into chunks on some other node — the
+    /// cross-node traffic the `NodeLocal` placement minimises.
+    pub promoted_bytes_remote: u64,
     /// Virtual nanoseconds this vproc spent busy (compute + memory + GC).
     pub busy_ns: f64,
 }
@@ -77,6 +89,27 @@ impl RunReport {
     /// Total steals across all vprocs.
     pub fn total_steals(&self) -> u64 {
         self.per_vproc.iter().map(|v| v.steals).sum()
+    }
+
+    /// Total steals whose victim was on the thief's node.
+    pub fn steals_same_node(&self) -> u64 {
+        self.per_vproc.iter().map(|v| v.steals_same_node).sum()
+    }
+
+    /// Total steals that crossed NUMA nodes.
+    pub fn steals_cross_node(&self) -> u64 {
+        self.per_vproc.iter().map(|v| v.steals_cross_node).sum()
+    }
+
+    /// Total bytes promoted into chunks on the consumer's node.
+    pub fn promoted_bytes_local(&self) -> u64 {
+        self.per_vproc.iter().map(|v| v.promoted_bytes_local).sum()
+    }
+
+    /// Total bytes promoted into chunks on a node other than the
+    /// consumer's — the cross-node traffic `NodeLocal` placement minimises.
+    pub fn promoted_bytes_remote(&self) -> u64 {
+        self.per_vproc.iter().map(|v| v.promoted_bytes_remote).sum()
     }
 
     /// Total bytes promoted to the global heap by major collections and

@@ -39,6 +39,20 @@
 //! collection; their fields are scanned as an extra root set
 //! ([`mgc_core::scan_young_fields`]).
 //!
+//! The backend is **NUMA-aware end to end**: each worker is bound to the
+//! node of the core [`Topology::spread_cores`](mgc_numa::Topology) assigns
+//! it (real affinity where the platform allows it, deterministic node
+//! tagging otherwise — [`mgc_numa::bind_current_thread`]); the shared global
+//! heap is partitioned into per-node address bands with per-node chunk
+//! pools, so `addr → node` is arithmetic; promotion chunks are leased per
+//! the configured [`PlacementPolicy`] — under the default `NodeLocal` a
+//! steal victim promotes the stolen graph into a chunk on the *thief's*
+//! node, where it is about to be traversed; and thieves probe same-node
+//! victims before remote ones, with a starvation escape hatch that falls
+//! back to plain rotation after repeated failures. Every promotion is
+//! attributed local vs remote and every steal same-node vs cross-node in
+//! [`VprocRunStats`].
+//!
 //! A thief blocked on a steal request never hangs: the wait is sliced, and
 //! every slice re-checks machine poison (a worker panicked), the
 //! pending-collection flag, and program termination.
@@ -62,7 +76,7 @@ use mgc_heap::{
     Addr, Descriptor, DescriptorId, DescriptorTable, GcHeap, LocalHeapStats, SharedGlobalHeap,
     ThreadedLayout, Word, WorkerHeap,
 };
-use mgc_numa::TrafficStats;
+use mgc_numa::{NodeId, PlacementPolicy, TrafficStats};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -173,6 +187,12 @@ struct GcControl {
 /// State shared by every worker thread.
 pub(crate) struct Shared {
     num_vprocs: usize,
+    /// The NUMA node each vproc is bound to (tagged from the topology's
+    /// sparse core assignment). Victims use the thief's entry to place
+    /// stolen graphs; thieves use it to order victims locality-first.
+    vproc_nodes: Vec<NodeId>,
+    /// The promotion-chunk placement policy of this run.
+    placement: PlacementPolicy,
     /// Per-vproc steal mailboxes: the published end of each worker's split
     /// deque (the private end lives inside [`WorkerState`]).
     pub(crate) mailboxes: Vec<StealMailbox>,
@@ -251,10 +271,30 @@ pub(crate) struct WorkerState {
     /// local heap until the task is stolen (or run here). Thieves never see
     /// this queue; they go through the steal mailbox.
     private: VecDeque<Task>,
-    /// Last victim probed, so steal attempts rotate instead of re-probing
-    /// every mailbox from the same start each time.
+    /// This worker's NUMA node (== its heap's home node).
+    node: NodeId,
+    /// The node of the *consumer* of the next promotion: the thief's node
+    /// while servicing a steal handoff, this worker's own node otherwise.
+    /// Distinct from the heap's `promotion_target` (where the chunk is
+    /// leased from, a placement-policy decision): the local/remote split is
+    /// always judged against the consumer, whatever the policy chose.
+    promotion_consumer: NodeId,
+    /// Victims on this worker's node, then victims on other nodes — the
+    /// locality-first probe order.
+    same_node_victims: Vec<usize>,
+    remote_victims: Vec<usize>,
+    /// Rotation offset so repeated steal attempts spread over victims
+    /// instead of re-probing from the same start each time.
     steal_cursor: usize,
+    /// Consecutive `try_steal` calls that came home empty; past
+    /// [`STEAL_LOCALITY_PATIENCE`] the thief ignores locality ordering (the
+    /// starvation escape hatch).
+    failed_steal_attempts: u32,
 }
+
+/// Consecutive empty-handed steal attempts before a thief abandons
+/// locality-first victim ordering and probes everyone in plain rotation.
+const STEAL_LOCALITY_PATIENCE: u32 = 4;
 
 impl std::fmt::Debug for WorkerState {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -321,9 +361,18 @@ impl WorkerState {
     fn local_gc(&mut self, roots: &mut [Addr]) {
         let start = Instant::now();
         let mut needs_global = false;
+        let consumer = self.promotion_consumer;
+        let mut split = (0u64, 0u64);
         self.with_local_roots(roots, |collector, heap, vproc, all_roots| {
-            needs_global = collector.collect_local(heap, vproc, all_roots).needs_global;
+            let outcome = collector.collect_local(heap, vproc, all_roots);
+            needs_global = outcome.needs_global;
+            split = outcome.promoted_split(consumer);
         });
+        // A local collection's major phase promotes old data for this
+        // worker's own benefit; its bytes are part of the local/remote
+        // ledger like any other promotion.
+        self.stats.promoted_bytes_local += split.0;
+        self.stats.promoted_bytes_remote += split.1;
         let pause = start.elapsed().as_nanos() as f64;
         let stats = self.collector.vproc_stats_mut(self.vproc);
         stats.minor_pause_ns += pause;
@@ -366,6 +415,14 @@ impl WorkerState {
             return addr;
         }
         let (new, outcome) = self.collector.promote(&mut self.heap, self.vproc, addr);
+        // Local-vs-remote is judged against the *consumer's* node — the
+        // thief's node for steal promotions, this worker's own node
+        // otherwise — independent of where the placement policy leased the
+        // chunk (under `FirstTouch`/`Interleave` the two legitimately
+        // differ, and that difference is exactly the remote traffic).
+        let (local, remote) = outcome.promoted_split(self.promotion_consumer);
+        self.stats.promoted_bytes_local += local;
+        self.stats.promoted_bytes_remote += remote;
         self.stats.lazy_promotions += 1;
         match why {
             PromoteWhy::Steal => {
@@ -473,24 +530,56 @@ impl WorkerState {
     // The steal-request protocol
     // ------------------------------------------------------------------
 
-    /// Thief side: rotates over the other vprocs' mailboxes, posting a steal
-    /// request to the first victim whose work hint is non-zero and waiting
-    /// (bounded) for the handoff.
+    /// Thief side: probes victims' mailboxes **locality-first** — every
+    /// victim on this worker's own node (rotated) before any remote victim —
+    /// posting a steal request to the first victim whose work hint is
+    /// non-zero and waiting (bounded) for the handoff. After
+    /// [`STEAL_LOCALITY_PATIENCE`] consecutive empty-handed attempts the
+    /// ordering is abandoned for plain rotation over everyone (the
+    /// starvation escape hatch: a thief must never keep re-probing a
+    /// depleted node while work idles elsewhere, nor settle into an order
+    /// that systematically skips a victim).
     fn try_steal(&mut self) -> Option<Task> {
-        let n = self.shared.num_vprocs;
-        for _ in 0..n {
-            self.steal_cursor = (self.steal_cursor + 1) % n;
-            if self.steal_cursor == self.vproc {
+        self.steal_cursor = self.steal_cursor.wrapping_add(1);
+        let same = self.same_node_victims.len();
+        let remote = self.remote_victims.len();
+        let total = same + remote;
+        let cursor = self.steal_cursor;
+        let flat = self.failed_steal_attempts >= STEAL_LOCALITY_PATIENCE;
+        // Probe order without allocating: locality-first rotates within each
+        // group (same-node victims first); the starvation escape hatch is
+        // one flat rotation over everyone.
+        let victim_at = |state: &Self, i: usize| -> usize {
+            if flat {
+                let j = (cursor + i) % total;
+                if j < same {
+                    state.same_node_victims[j]
+                } else {
+                    state.remote_victims[j - same]
+                }
+            } else if i < same {
+                state.same_node_victims[(cursor + i) % same]
+            } else {
+                state.remote_victims[(cursor + i - same) % remote]
+            }
+        };
+        for i in 0..total {
+            let victim = victim_at(self, i);
+            if self.shared.mailboxes[victim].work_hint() == 0 {
                 continue;
             }
-            if self.shared.mailboxes[self.steal_cursor].work_hint() == 0 {
-                continue;
-            }
-            if let Some(task) = self.request_steal(self.steal_cursor) {
+            if let Some(task) = self.request_steal(victim) {
                 self.stats.steals += 1;
+                if self.shared.vproc_nodes[victim] == self.node {
+                    self.stats.steals_same_node += 1;
+                } else {
+                    self.stats.steals_cross_node += 1;
+                }
+                self.failed_steal_attempts = 0;
                 return Some(task);
             }
         }
+        self.failed_steal_attempts = self.failed_steal_attempts.saturating_add(1);
         None
     }
 
@@ -499,7 +588,7 @@ impl WorkerState {
     /// global collection becomes pending, the program finished, or the
     /// victim takes too long — so a thief can never hang here.
     fn request_steal(&mut self, victim: usize) -> Option<Task> {
-        let request = StealRequest::new();
+        let request = StealRequest::new(self.vproc);
         self.shared.mailboxes[victim].post(Arc::clone(&request));
         // The victim may be asleep in the idle wait; it services its mailbox
         // at the top of its scheduler loop once woken.
@@ -538,9 +627,23 @@ impl WorkerState {
                 .pop_front()
                 .expect("non-empty checked just above; only the owner pops");
             self.publish_work_hint();
+            // Where does the stolen graph go? Under `NodeLocal` placement it
+            // is leased from the *thief's* node pool — the thief is about to
+            // traverse it — and under `FirstTouch` from this (the victim's)
+            // node, as an OS first-touch policy would back the pages the
+            // victim writes. `Interleave` ignores the target.
+            let thief_node = self.shared.vproc_nodes[request.thief()];
+            let target = match self.shared.placement {
+                PlacementPolicy::NodeLocal => thief_node,
+                PlacementPolicy::Interleave | PlacementPolicy::FirstTouch => self.node,
+            };
+            self.heap.set_promotion_target(target);
+            self.promotion_consumer = thief_node;
             let mut roots = std::mem::take(&mut task.roots);
             self.publish_roots(&mut roots, PromoteWhy::Steal);
             task.roots = roots;
+            self.heap.set_promotion_target(self.node);
+            self.promotion_consumer = self.node;
             match request.try_fill(task) {
                 Ok(()) => self.stats.steal_requests_served += 1,
                 Err(task) => {
@@ -760,10 +863,15 @@ impl WorkerState {
         // collections are rooted at those tasks; their survivors end up in
         // the young area (minor) with the old data promoted (major).
         let mut no_extra: Vec<Addr> = Vec::new();
+        let consumer = self.promotion_consumer;
+        let mut split = (0u64, 0u64);
         self.with_local_roots(&mut no_extra, |collector, heap, vproc, roots| {
             collector.minor(heap, vproc, roots);
-            collector.major(heap, vproc, roots);
+            let major = collector.major(heap, vproc, roots);
+            split = major.promoted_split(consumer);
         });
+        self.stats.promoted_bytes_local += split.0;
+        self.stats.promoted_bytes_remote += split.1;
         self.heap.retire_current_chunk();
 
         // --- Acknowledge and wait for the flip: the leader (last arrival)
@@ -957,11 +1065,11 @@ impl ThreadedMachine {
         let topology = self.config.topology.clone();
         let cores = topology.spread_cores(num_vprocs);
         let placer = mgc_numa::PagePlacer::new(self.config.heap.policy, topology.num_nodes());
-        let layout = ThreadedLayout::new(&self.config.heap, num_vprocs);
-        let global = Arc::new(SharedGlobalHeap::new(
-            layout.chunk_words(),
-            topology.num_nodes(),
-        ));
+        let layout = ThreadedLayout::new(&self.config.heap, num_vprocs, topology.num_nodes());
+        let global = Arc::new(
+            SharedGlobalHeap::new(layout.chunk_words(), topology.num_nodes())
+                .with_placement(self.config.placement),
+        );
         global
             .pool()
             .set_node_affinity(self.config.gc.chunk_node_affinity);
@@ -970,8 +1078,17 @@ impl ThreadedMachine {
             DescriptorTable::new(),
         ));
 
+        // Each vproc's node derives from the topology's sparse core
+        // assignment (§2.2), filtered through the page-placement policy —
+        // the same assignment the worker threads bind themselves to.
+        let vproc_nodes: Vec<NodeId> = (0..num_vprocs)
+            .map(|vproc| placer.place(topology.node_of_core(cores[vproc])))
+            .collect();
+
         let shared = Arc::new(Shared {
             num_vprocs,
+            vproc_nodes: vproc_nodes.clone(),
+            placement: self.config.placement,
             mailboxes: (0..num_vprocs).map(|_| StealMailbox::new()).collect(),
             eager_publication: self.config.gc.eager_publication,
             pending_tasks: AtomicUsize::new(1),
@@ -1002,8 +1119,11 @@ impl ThreadedMachine {
         let mut root = Some(root);
         let workers: Vec<WorkerState> = (0..num_vprocs)
             .map(|vproc| {
-                let home = topology.node_of_core(cores[vproc]);
-                let node = placer.place(home);
+                let node = vproc_nodes[vproc];
+                // Locality-first steal order: same-node victims first.
+                let (same_node_victims, remote_victims): (Vec<usize>, Vec<usize>) = (0..num_vprocs)
+                    .filter(|&v| v != vproc)
+                    .partition(|&v| vproc_nodes[v] == node);
                 // The root task starts on worker 0's private deque; its
                 // roots are empty (nothing is allocated before the run), so
                 // seeding it before the thread starts needs no promotion.
@@ -1015,19 +1135,17 @@ impl ThreadedMachine {
                 shared.mailboxes[vproc].publish_work_hint(private.len());
                 WorkerState {
                     vproc,
-                    heap: WorkerHeap::new(
-                        vproc,
-                        layout,
-                        node,
-                        node,
-                        global.clone(),
-                        descriptors.clone(),
-                    ),
+                    heap: WorkerHeap::new(vproc, layout, node, global.clone(), descriptors.clone()),
                     collector: Collector::new(self.config.gc, num_vprocs, topology.num_nodes()),
                     shared: shared.clone(),
                     stats: VprocRunStats::default(),
                     private,
+                    node,
+                    promotion_consumer: node,
+                    same_node_victims,
+                    remote_victims,
                     steal_cursor: vproc,
+                    failed_steal_attempts: 0,
                 }
             })
             .collect();
@@ -1039,7 +1157,13 @@ impl ThreadedMachine {
                 .map(|worker| {
                     std::thread::Builder::new()
                         .name(format!("mgc-vproc-{}", worker.vproc))
-                        .spawn_scoped(scope, move || worker.worker_main())
+                        .spawn_scoped(scope, move || {
+                            // Bind the thread to its vproc's node: real
+                            // affinity where the platform provides it,
+                            // deterministic node tagging otherwise.
+                            let _binding = mgc_numa::bind_current_thread(worker.node);
+                            worker.worker_main()
+                        })
                         .expect("spawning a worker thread failed")
                 })
                 .collect();

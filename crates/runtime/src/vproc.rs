@@ -111,13 +111,25 @@ pub(crate) enum StealResponse {
 /// the thief concurrently cancels (`Pending → Cancelled`).
 #[derive(Debug, Default)]
 pub(crate) struct StealRequest {
+    /// The requesting thief's vproc id, so the victim can place the stolen
+    /// task's promoted roots on the thief's node (`NodeLocal` placement)
+    /// and attribute the steal's locality.
+    thief: usize,
     state: Mutex<StealResponse>,
     cv: Condvar,
 }
 
 impl StealRequest {
-    pub(crate) fn new() -> Arc<Self> {
-        Arc::new(StealRequest::default())
+    pub(crate) fn new(thief: usize) -> Arc<Self> {
+        Arc::new(StealRequest {
+            thief,
+            ..StealRequest::default()
+        })
+    }
+
+    /// The requesting thief's vproc id.
+    pub(crate) fn thief(&self) -> usize {
+        self.thief
     }
 
     /// Victim side: atomically claims the request if it is still pending.
@@ -367,7 +379,7 @@ mod tests {
     #[test]
     fn steal_request_fill_decline_and_cancel_transitions() {
         // Fill wins over a later decline attempt (decline is then a no-op).
-        let request = StealRequest::new();
+        let request = StealRequest::new(0);
         assert!(request.is_pending());
         request.try_fill(tagged_task(7)).unwrap();
         assert!(!request.is_pending());
@@ -375,12 +387,12 @@ mod tests {
         assert_eq!(task.values, vec![7]);
 
         // Decline resolves the wait with `None`.
-        let request = StealRequest::new();
+        let request = StealRequest::new(0);
         request.decline();
         assert!(request.wait(|| false).is_none());
 
         // A cancelled request rejects a late fill, handing the task back.
-        let request = StealRequest::new();
+        let request = StealRequest::new(0);
         assert!(request.wait(|| true).is_none(), "abort cancels immediately");
         let rejected = request.try_fill(tagged_task(9)).unwrap_err();
         assert_eq!(rejected.values, vec![9]);
@@ -391,7 +403,7 @@ mod tests {
     fn steal_wait_times_out_when_the_victim_never_answers() {
         // The victim "panicked": nobody will ever resolve the request. The
         // thief must return within its bounded patience instead of hanging.
-        let request = StealRequest::new();
+        let request = StealRequest::new(0);
         let start = std::time::Instant::now();
         assert!(request.wait(|| false).is_none());
         assert!(
@@ -459,7 +471,7 @@ mod tests {
                             std::thread::yield_now();
                             continue;
                         }
-                        let request = StealRequest::new();
+                        let request = StealRequest::new(0);
                         mailbox.post(Arc::clone(&request));
                         if let Some(task) = request.wait(|| done.load(Ordering::Acquire)) {
                             stolen.push(task.values[0]);

@@ -75,11 +75,8 @@ pub mod smvm;
 pub use rope::{build_f64_rope, build_i64_rope, read_f64_rope, read_i64_rope, rope_len, LEAF_SIZE};
 pub use scale::Scale;
 
-use mgc_heap::Word;
 use mgc_numa::{AllocPolicy, Topology};
-use mgc_runtime::{
-    Backend, Executor, Experiment, Machine, MachineConfig, Program, RunReport, ThreadedMachine,
-};
+use mgc_runtime::{Executor, Experiment, Program};
 use serde::{Deserialize, Serialize};
 
 /// The benchmarks of the paper's evaluation.
@@ -165,95 +162,6 @@ impl std::fmt::Display for Workload {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.label())
     }
-}
-
-/// The machine configuration the deprecated free-function entry points run
-/// under (the [`Experiment`] defaults express the same configuration).
-fn workload_config(topology: &Topology, vprocs: usize, policy: AllocPolicy) -> MachineConfig {
-    let mut config = MachineConfig::new(topology.clone(), vprocs).with_policy(policy);
-    config.quantum_ns = mgc_runtime::DEFAULT_QUANTUM_NS;
-    config
-}
-
-/// Builds a simulated machine for `topology` with `vprocs` vprocs and the
-/// given page placement policy, using the default (scaled-down) heap
-/// geometry.
-#[deprecated(
-    note = "validate an `mgc_runtime::Experiment` and build from its `ExperimentConfig` instead"
-)]
-pub fn machine_for(topology: &Topology, vprocs: usize, policy: AllocPolicy) -> Machine {
-    Machine::new(workload_config(topology, vprocs, policy))
-}
-
-/// Builds an executor of the requested backend with the same configuration
-/// as [`machine_for`].
-#[deprecated(
-    note = "validate an `mgc_runtime::Experiment` and call `ExperimentConfig::build_executor` \
-            instead"
-)]
-pub fn executor_for(
-    backend: Backend,
-    topology: &Topology,
-    vprocs: usize,
-    policy: AllocPolicy,
-) -> Box<dyn Executor> {
-    let config = workload_config(topology, vprocs, policy);
-    match backend {
-        Backend::Simulated => Box::new(Machine::new(config)),
-        Backend::Threaded => Box::new(ThreadedMachine::new(config)),
-    }
-}
-
-/// Runs one workload to completion and returns its report. The backend
-/// defaults to the simulated one; the `MGC_BACKEND` environment variable
-/// (`simulated`/`threaded`) overrides it.
-#[deprecated(note = "use `Workload::experiment(scale).topology(..).vprocs(..).policy(..).run()`")]
-pub fn run_workload(
-    topology: &Topology,
-    vprocs: usize,
-    policy: AllocPolicy,
-    workload: Workload,
-    scale: Scale,
-) -> RunReport {
-    workload
-        .experiment(scale)
-        .topology(topology.clone())
-        .vprocs(vprocs)
-        .policy(policy)
-        // The legacy entry point never computed reference checksums.
-        .verify_checksum(false)
-        .run()
-        .expect("legacy run_workload configurations are valid")
-        .report
-}
-
-/// Runs one workload on the chosen backend, returning the run report and
-/// the root task's result (the workload checksum, for cross-backend
-/// equivalence checks).
-#[deprecated(
-    note = "use `Workload::experiment(scale).backend(..)...run()` and read \
-            `RunRecord::{report, result}`"
-)]
-pub fn run_workload_on(
-    backend: Backend,
-    topology: &Topology,
-    vprocs: usize,
-    policy: AllocPolicy,
-    workload: Workload,
-    scale: Scale,
-) -> (RunReport, Option<(Word, bool)>) {
-    let record = workload
-        .experiment(scale)
-        .backend(backend)
-        .topology(topology.clone())
-        .vprocs(vprocs)
-        .policy(policy)
-        // The legacy entry point returned the raw result for the caller to
-        // check; it never computed reference checksums itself.
-        .verify_checksum(false)
-        .run()
-        .expect("legacy run_workload_on configurations are valid");
-    (record.report, record.result)
 }
 
 /// One point of a speedup curve.

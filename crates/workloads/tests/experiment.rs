@@ -5,16 +5,12 @@
 //!   checksum — validation is the only gate between a builder chain and a
 //!   successful run;
 //! * rejected configurations fail with the matching typed [`ConfigError`],
-//!   never a panic;
-//! * the deprecated free-function shims (`run_workload`,
-//!   `run_workload_on`) still work and agree with the `Experiment` they
-//!   delegate to (the one compat test keeping them honest for their final
-//!   PR cycle).
+//!   never a panic.
 
 use mgc_heap::HeapConfig;
 use mgc_numa::{AllocPolicy, Topology};
 use mgc_runtime::{Backend, ConfigError, EnvOverrides};
-use mgc_workloads::{churn, Scale, Workload};
+use mgc_workloads::{Scale, Workload};
 use proptest::prelude::*;
 
 /// The cheap programs the property test cycles through (tiny scale keeps
@@ -136,54 +132,4 @@ fn every_config_error_is_reachable_from_the_builder() {
             .unwrap_err(),
         ConfigError::NonPositiveQuantum { quantum_ns: -1.0 }
     );
-}
-
-/// The one compat test exercising the deprecated shims for their final PR
-/// cycle: they must still run and agree with the `Experiment` they now
-/// delegate to.
-#[test]
-#[allow(deprecated)]
-fn deprecated_shims_agree_with_the_experiment_front_door() {
-    let topology = Topology::dual_node_test();
-    let scale = Scale::tiny();
-
-    let record = Workload::Dmm
-        .experiment(scale)
-        .backend(Backend::Simulated)
-        .topology(topology.clone())
-        .vprocs(2)
-        .policy(AllocPolicy::Local)
-        .run()
-        .expect("the compat configuration is valid");
-
-    let report =
-        mgc_workloads::run_workload(&topology, 2, AllocPolicy::Local, Workload::Dmm, scale);
-    assert_eq!(report.total_tasks(), record.report.total_tasks());
-    assert_eq!(report.allocated_objects, record.report.allocated_objects);
-
-    let (report_on, result_on) = mgc_workloads::run_workload_on(
-        Backend::Simulated,
-        &topology,
-        2,
-        AllocPolicy::Local,
-        Workload::Dmm,
-        scale,
-    );
-    assert_eq!(report_on.total_tasks(), record.report.total_tasks());
-    assert_eq!(report_on.elapsed_ns, record.report.elapsed_ns);
-    assert_eq!(result_on, record.result);
-
-    let mut machine = mgc_workloads::machine_for(&topology, 2, AllocPolicy::Local);
-    churn::spawn(&mut machine, churn::ChurnParams::small());
-    machine.run();
-    assert_eq!(
-        churn::take_survivors(&mut machine),
-        Some(churn::expected_survivors(churn::ChurnParams::small()))
-    );
-
-    let mut executor =
-        mgc_workloads::executor_for(Backend::Threaded, &topology, 2, AllocPolicy::Local);
-    Workload::Raytracer.spawn(&mut *executor, scale);
-    let report = executor.run();
-    assert!(report.wall_clock_ns.is_some());
 }
