@@ -1,0 +1,44 @@
+//! Dev probe: wall-clock per workload at a given scale (threaded backend).
+
+use mgc_numa::{AllocPolicy, PlacementPolicy, Topology};
+use mgc_runtime::{Backend, Experiment};
+use mgc_workloads::{Scale, Workload};
+
+fn main() {
+    let scale = Scale(
+        std::env::args()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0.25),
+    );
+    let backend = match std::env::args().nth(2).as_deref() {
+        Some("sim") => Backend::Simulated,
+        _ => Backend::Threaded,
+    };
+    for workload in Workload::ALL {
+        for vprocs in [1usize, 4] {
+            let start = std::time::Instant::now();
+            let record = Experiment::new(workload.program(scale))
+                .backend(backend)
+                .topology(Topology::dual_node_test())
+                .vprocs(vprocs)
+                .policy(AllocPolicy::Local)
+                .placement(PlacementPolicy::NodeLocal)
+                .verify_checksum(false)
+                .run()
+                .expect("valid");
+            println!(
+                "{:<24} {}v wall {:>10.2} ms (outer {:>10.2} ms) tasks {:>5} globals {:>4} \
+                 minors {:>6} promoted-kb {:>8}",
+                workload.label(),
+                vprocs,
+                record.wall_clock_ns().unwrap_or(0.0) / 1e6,
+                start.elapsed().as_secs_f64() * 1e3,
+                record.report.total_tasks(),
+                record.report.gc.global_collections,
+                record.report.gc.minor_collections,
+                (record.report.gc.promotion_bytes + record.report.gc.global_copied_bytes) / 1024,
+            );
+        }
+    }
+}

@@ -4,14 +4,24 @@
 //! ```text
 //! perfdiff --baseline results/baseline/BENCH_threaded.json \
 //!          --current  results/BENCH_threaded.json \
+//!          [--speedup-thresholds results/baseline/speedup-thresholds.json] \
 //!          [--max-wall-ratio 2.5] [--max-promoted-ratio 1.5] \
 //!          [--min-wall-ms 5] [--min-promoted-kb 64]
 //! ```
 //!
+//! With `--speedup-thresholds`, the per-program parallel-speedup gate also
+//! runs: for every pinned program, the current sweep's 1-vproc wall-clock
+//! divided by its highest-vproc wall-clock must not fall below the pin.
+//! (Speedup uses the current sweep only; it is not a baseline comparison,
+//! so a baseline recorded on a small machine cannot mask a scaling loss.)
+//!
 //! The Markdown comparison table goes to stdout (the CI job tees it into
 //! `$GITHUB_STEP_SUMMARY`); the exit code is the gate.
 
-use mgc_bench::perfdiff::{compare, markdown, parse_run_records, Thresholds};
+use mgc_bench::perfdiff::{
+    compare, markdown, missing_pinned_programs, parse_run_records, parse_speedup_thresholds,
+    speedup_markdown, speedup_rows, Thresholds,
+};
 
 fn parse_f64(value: Option<&String>, flag: &str) -> f64 {
     value
@@ -26,12 +36,14 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut baseline_path = None;
     let mut current_path = None;
+    let mut speedup_path = None;
     let mut thresholds = Thresholds::default();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--baseline" => baseline_path = iter.next().cloned(),
             "--current" => current_path = iter.next().cloned(),
+            "--speedup-thresholds" => speedup_path = iter.next().cloned(),
             "--max-wall-ratio" => {
                 thresholds.max_wall_ratio = parse_f64(iter.next(), "--max-wall-ratio");
             }
@@ -47,6 +59,7 @@ fn main() {
             }
             other => panic!(
                 "unknown argument `{other}` (expected --baseline/--current <path> and optional \
+                 --speedup-thresholds <path> \
                  --max-wall-ratio/--max-promoted-ratio/--min-wall-ms/--min-promoted-kb <n>)"
             ),
         }
@@ -65,6 +78,7 @@ fn main() {
     let cmp = compare(&baseline, &current, thresholds);
     println!("{}", markdown(&cmp, thresholds));
 
+    let mut failed = false;
     let regressions = cmp.regressions();
     if regressions.is_empty() {
         eprintln!(
@@ -77,6 +91,31 @@ fn main() {
             regressions.len(),
             cmp.rows.len()
         );
+        failed = true;
+    }
+
+    if let Some(speedup_path) = speedup_path {
+        let pins = parse_speedup_thresholds(&read(&speedup_path))
+            .unwrap_or_else(|err| panic!("{speedup_path}: {err}"));
+        let rows = speedup_rows(&current, &pins);
+        let missing = missing_pinned_programs(&rows, &pins);
+        println!("{}", speedup_markdown(&rows, &missing));
+        let slow = rows.iter().filter(|r| r.failed()).count();
+        if slow == 0 && missing.is_empty() {
+            eprintln!(
+                "perfdiff: speedup gate passed for {} pinned programs",
+                pins.len()
+            );
+        } else {
+            eprintln!(
+                "perfdiff: speedup gate failed ({slow} below their pin, {} missing)",
+                missing.len()
+            );
+            failed = true;
+        }
+    }
+
+    if failed {
         std::process::exit(1);
     }
 }

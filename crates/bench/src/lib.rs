@@ -215,26 +215,56 @@ pub fn table1() -> String {
 /// and the first perf question is simply "does adding threads help").
 pub const BASELINE_VPROCS: [usize; 3] = [1, 2, 4];
 
+/// Wall-clock repetitions per threaded baseline point; the sweep keeps the
+/// median so a single noisy run on a loaded CI machine cannot flap the
+/// perf gates.
+pub const BASELINE_REPS: usize = 3;
+
 /// Runs one baseline point through the [`Experiment`] front door. The
 /// expected checksum usually means running a sequential reference of the
 /// whole program, so the sweep verifies it only at the first vproc count
 /// of each (program, backend) pair instead of recomputing it six times —
 /// checksum stability across vproc counts is the equivalence suite's job.
+///
+/// Threaded points run [`BASELINE_REPS`] times and report the median
+/// wall-clock record (the simulated backend's virtual clock is
+/// deterministic, so one run suffices there).
 fn baseline_point(
-    program: Box<dyn Program>,
+    make_program: &dyn Fn() -> Box<dyn Program>,
     backend: Backend,
     vprocs: usize,
     placement: PlacementPolicy,
 ) -> RunRecord {
-    Experiment::new(program)
-        .backend(backend)
-        .topology(Topology::dual_node_test())
-        .vprocs(vprocs)
-        .policy(AllocPolicy::Local)
-        .placement(placement)
-        .verify_checksum(vprocs == BASELINE_VPROCS[0])
-        .run()
-        .expect("baseline vproc counts fit the dual-node test topology")
+    let run_once = |verify: bool| {
+        Experiment::new(make_program())
+            .backend(backend)
+            .topology(Topology::dual_node_test())
+            .vprocs(vprocs)
+            .policy(AllocPolicy::Local)
+            .placement(placement)
+            .verify_checksum(verify)
+            .run()
+            .expect("baseline vproc counts fit the dual-node test topology")
+    };
+    let first = run_once(vprocs == BASELINE_VPROCS[0]);
+    if backend != Backend::Threaded {
+        return first;
+    }
+    // Only the first repetition pays for checksum verification; its verdict
+    // is carried over to whichever repetition ends up the median.
+    let checksum_ok = first.checksum_ok;
+    let mut records = vec![first];
+    for _ in 1..BASELINE_REPS {
+        records.push(run_once(false));
+    }
+    records.sort_by(|a, b| {
+        a.wall_clock_ns()
+            .partial_cmp(&b.wall_clock_ns())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut median = records.swap_remove(BASELINE_REPS / 2);
+    median.checksum_ok = checksum_ok;
+    median
 }
 
 /// Runs every figure workload — plus, when `churn` is given, the synthetic
@@ -251,7 +281,7 @@ pub fn run_baseline(
         for &vprocs in &BASELINE_VPROCS {
             for backend in Backend::ALL {
                 points.push(baseline_point(
-                    workload.program(scale),
+                    &|| workload.program(scale),
                     backend,
                     vprocs,
                     placement,
@@ -263,7 +293,7 @@ pub fn run_baseline(
         for &vprocs in &BASELINE_VPROCS {
             for backend in Backend::ALL {
                 points.push(baseline_point(
-                    Box::new(Churn::new(params)),
+                    &|| Box::new(Churn::new(params)),
                     backend,
                     vprocs,
                     placement,
@@ -512,12 +542,15 @@ pub fn run_figure8_and_report() {
 pub mod perfdiff;
 
 /// Reads the workload scale from the `MGC_SCALE` environment variable
-/// (`paper`, `small`, or `tiny`; default `tiny` so the harness finishes
-/// quickly on a laptop).
+/// (`paper`, `small`, `bench`, or `tiny`; default `tiny` so the harness
+/// finishes quickly on a laptop). `bench` is the CI perf-gate scale: real
+/// compute dominates synchronisation there, so speedup curves mean
+/// something.
 pub fn scale_from_env() -> Scale {
     match std::env::var("MGC_SCALE").as_deref() {
         Ok("paper") => Scale::paper(),
         Ok("small") => Scale::small(),
+        Ok("bench") => Scale::bench(),
         Ok("tiny") | Err(_) => Scale::tiny(),
         Ok(other) => {
             eprintln!("unknown MGC_SCALE `{other}`, using tiny");
@@ -575,7 +608,7 @@ mod tests {
             .iter()
             .map(|&backend| {
                 baseline_point(
-                    Workload::Dmm.program(Scale::tiny()),
+                    &|| Workload::Dmm.program(Scale::tiny()),
                     backend,
                     1,
                     PlacementPolicy::NodeLocal,
@@ -616,7 +649,7 @@ mod tests {
             workers: 2,
         };
         let point = baseline_point(
-            Box::new(Churn::new(params)),
+            &|| Box::new(Churn::new(params)),
             Backend::Simulated,
             1,
             PlacementPolicy::NodeLocal,

@@ -16,6 +16,13 @@
 //!   with the analogous `min_promoted_bytes` floor (steal timing makes tiny
 //!   promotion volumes nondeterministic on real threads).
 //!
+//! A third, independent gate pins **parallel speedup**: per program, the
+//! ratio of the current sweep's 1-vproc wall-clock to its highest-vproc
+//! wall-clock on the threaded backend must stay above a checked-in
+//! threshold (`results/baseline/speedup-thresholds.json`). Speedup is
+//! computed from the *current* sweep only — a baseline recorded on a
+//! machine with a different core count says nothing about scaling here.
+//!
 //! The comparison renders as a Markdown table so the CI job can write it
 //! straight into `$GITHUB_STEP_SUMMARY`.
 
@@ -293,6 +300,174 @@ pub fn markdown(cmp: &Comparison, t: Thresholds) -> String {
     out
 }
 
+// ----------------------------------------------------------------------
+// The speedup gate
+// ----------------------------------------------------------------------
+
+/// A pinned program: its threaded speedup (1-vproc wall / highest-vproc
+/// wall) must not fall below `min_speedup`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedupThreshold {
+    /// Program name, as it appears in the run records.
+    pub program: String,
+    /// Minimum tolerated speedup.
+    pub min_speedup: f64,
+}
+
+/// Parses the checked-in thresholds file: a JSON object with one
+/// `"program": min_speedup` pair per line (same machine-written line
+/// discipline as the run records).
+pub fn parse_speedup_thresholds(json: &str) -> Result<Vec<SpeedupThreshold>, String> {
+    let mut thresholds = Vec::new();
+    for line in json.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix('"') else {
+            continue;
+        };
+        let (program, value) = rest
+            .split_once("\": ")
+            .ok_or_else(|| format!("bad threshold line: {line}"))?;
+        thresholds.push(SpeedupThreshold {
+            program: program.to_string(),
+            min_speedup: value
+                .trim()
+                .parse()
+                .map_err(|e| format!("bad speedup for {program}: {e}"))?,
+        });
+    }
+    Ok(thresholds)
+}
+
+/// One program's scaling behaviour in the current sweep.
+#[derive(Debug, Clone)]
+pub struct SpeedupRow {
+    /// Program name.
+    pub program: String,
+    /// Placement-policy label.
+    pub placement: String,
+    /// `(vprocs, wall_clock_ns)` for every threaded point, ascending.
+    pub walls: Vec<(u64, f64)>,
+    /// 1-vproc wall / highest-vproc wall, when both ends exist.
+    pub speedup: Option<f64>,
+    /// The pinned minimum, when this program is gated.
+    pub min_speedup: Option<f64>,
+}
+
+impl SpeedupRow {
+    /// Whether this row fails the gate: it is pinned and either scales
+    /// worse than the pin or lacks the points to measure.
+    pub fn failed(&self) -> bool {
+        match (self.speedup, self.min_speedup) {
+            (Some(s), Some(min)) => s < min,
+            (None, Some(_)) => true,
+            _ => false,
+        }
+    }
+}
+
+/// Computes per-program speedup rows from the current sweep's threaded
+/// points and attaches the pinned thresholds.
+pub fn speedup_rows(current: &[PerfPoint], thresholds: &[SpeedupThreshold]) -> Vec<SpeedupRow> {
+    let mut rows: Vec<SpeedupRow> = Vec::new();
+    for p in current.iter().filter(|p| p.backend == "threaded") {
+        let Some(wall) = p.wall_clock_ns else {
+            continue;
+        };
+        let row = match rows
+            .iter_mut()
+            .find(|r| r.program == p.program && r.placement == p.placement)
+        {
+            Some(row) => row,
+            None => {
+                rows.push(SpeedupRow {
+                    program: p.program.clone(),
+                    placement: p.placement.clone(),
+                    walls: Vec::new(),
+                    speedup: None,
+                    min_speedup: None,
+                });
+                rows.last_mut().expect("just pushed")
+            }
+        };
+        row.walls.push((p.vprocs, wall));
+    }
+    for row in &mut rows {
+        row.walls.sort_by_key(|&(v, _)| v);
+        let one = row.walls.iter().find(|&&(v, _)| v == 1).map(|&(_, w)| w);
+        let top = row.walls.last().filter(|&&(v, _)| v > 1).map(|&(_, w)| w);
+        row.speedup = match (one, top) {
+            (Some(one), Some(top)) if top > 0.0 => Some(one / top),
+            _ => None,
+        };
+        row.min_speedup = thresholds
+            .iter()
+            .find(|t| t.program == row.program)
+            .map(|t| t.min_speedup);
+    }
+    rows
+}
+
+/// Pinned programs that do not appear in the sweep at all — deleting a
+/// gated benchmark must not silently pass the gate.
+pub fn missing_pinned_programs<'a>(
+    rows: &[SpeedupRow],
+    thresholds: &'a [SpeedupThreshold],
+) -> Vec<&'a str> {
+    thresholds
+        .iter()
+        .filter(|t| rows.iter().all(|r| r.program != t.program))
+        .map(|t| t.program.as_str())
+        .collect()
+}
+
+/// Renders the speedup table as Markdown (for `$GITHUB_STEP_SUMMARY`).
+pub fn speedup_markdown(rows: &[SpeedupRow], missing: &[&str]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "### Speedup gate — threaded wall-clock, highest vprocs vs 1 (current sweep)\n"
+    );
+    let _ = writeln!(
+        out,
+        "| program | placement | wall per vprocs (ms) | speedup | pinned min | verdict |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|");
+    for row in rows {
+        let walls = row
+            .walls
+            .iter()
+            .map(|&(v, w)| format!("{v}v: {:.2}", w / 1e6))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let verdict = if row.failed() {
+            "**SPEEDUP REGRESSION**"
+        } else if row.min_speedup.is_some() {
+            "ok"
+        } else {
+            "not pinned"
+        };
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} |",
+            row.program,
+            row.placement,
+            walls,
+            row.speedup.map_or("—".to_string(), |s| format!("{s:.2}×")),
+            row.min_speedup
+                .map_or("—".to_string(), |m| format!("{m:.2}×")),
+            verdict,
+        );
+    }
+    for program in missing {
+        let _ = writeln!(
+            out,
+            "\n**MISSING PINNED PROGRAM**: `{program}` has a speedup threshold but no \
+             threaded points in the sweep."
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -402,6 +577,94 @@ mod tests {
         .unwrap();
         let cmp = compare(&tiny_base, &tiny_now, Thresholds::default());
         assert!(cmp.regressions().is_empty(), "noise must not fail the gate");
+    }
+
+    #[test]
+    fn speedup_thresholds_file_round_trips() {
+        let text = "{\n  \"Dense-Matrix-Multiply\": 2.0,\n  \"Raytracer\": 1.8\n}\n";
+        let thresholds = parse_speedup_thresholds(text).expect("thresholds parse");
+        assert_eq!(thresholds.len(), 2);
+        assert_eq!(thresholds[0].program, "Dense-Matrix-Multiply");
+        assert_eq!(thresholds[0].min_speedup, 2.0);
+        assert_eq!(thresholds[1].min_speedup, 1.8);
+    }
+
+    #[test]
+    fn healthy_scaling_passes_the_speedup_gate() {
+        let sweep = parse_run_records(&json(&[
+            record_line("Dmm", "threaded", 1, "100000000", 0),
+            record_line("Dmm", "threaded", 2, "55000000", 0),
+            record_line("Dmm", "threaded", 4, "30000000", 0),
+            record_line("Dmm", "simulated", 4, "null", 0),
+        ]))
+        .unwrap();
+        let thresholds = vec![SpeedupThreshold {
+            program: "Dmm".to_string(),
+            min_speedup: 2.0,
+        }];
+        let rows = speedup_rows(&sweep, &thresholds);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].walls.len(), 3, "simulated points are excluded");
+        let speedup = rows[0].speedup.expect("both ends present");
+        assert!((speedup - 100.0 / 30.0).abs() < 1e-9);
+        assert!(!rows[0].failed());
+        assert!(missing_pinned_programs(&rows, &thresholds).is_empty());
+        assert!(speedup_markdown(&rows, &[]).contains("| ok |"));
+    }
+
+    /// The acceptance demonstration for the speedup gate: a sweep whose
+    /// 4-vproc time barely improves on 1 vproc (an injected scaling
+    /// regression) must fail a 2× pin.
+    #[test]
+    fn injected_scaling_regression_fails_the_speedup_gate() {
+        let sweep = parse_run_records(&json(&[
+            record_line("Dmm", "threaded", 1, "100000000", 0),
+            record_line("Dmm", "threaded", 4, "90000000", 0),
+        ]))
+        .unwrap();
+        let thresholds = vec![SpeedupThreshold {
+            program: "Dmm".to_string(),
+            min_speedup: 2.0,
+        }];
+        let rows = speedup_rows(&sweep, &thresholds);
+        assert!(rows[0].failed(), "1.11× must fail a 2× pin");
+        assert!(speedup_markdown(&rows, &[]).contains("SPEEDUP REGRESSION"));
+    }
+
+    #[test]
+    fn unpinned_programs_and_missing_pins_are_handled() {
+        let sweep = parse_run_records(&json(&[
+            record_line("Quicksort", "threaded", 1, "100000000", 0),
+            record_line("Quicksort", "threaded", 4, "95000000", 0),
+        ]))
+        .unwrap();
+        let thresholds = vec![SpeedupThreshold {
+            program: "Dmm".to_string(),
+            min_speedup: 2.0,
+        }];
+        let rows = speedup_rows(&sweep, &thresholds);
+        // Quicksort scales poorly but is not pinned: no failure.
+        assert!(!rows[0].failed());
+        // Dmm is pinned but absent from the sweep: that must be loud.
+        let missing = missing_pinned_programs(&rows, &thresholds);
+        assert_eq!(missing, vec!["Dmm"]);
+        assert!(speedup_markdown(&rows, &missing).contains("MISSING PINNED PROGRAM"));
+    }
+
+    #[test]
+    fn single_vproc_only_sweep_cannot_satisfy_a_pin() {
+        let sweep =
+            parse_run_records(&json(&[record_line("Dmm", "threaded", 1, "100000000", 0)])).unwrap();
+        let thresholds = vec![SpeedupThreshold {
+            program: "Dmm".to_string(),
+            min_speedup: 2.0,
+        }];
+        let rows = speedup_rows(&sweep, &thresholds);
+        assert_eq!(rows[0].speedup, None);
+        assert!(
+            rows[0].failed(),
+            "a pinned program without a multi-vproc point must fail"
+        );
     }
 
     #[test]

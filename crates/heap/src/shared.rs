@@ -826,7 +826,11 @@ impl WorkerHeap {
                 return chunk.clone();
             }
         }
-        // Cache miss: the node's directory grew since we last looked.
+        self.refresh_cached_chunk(addr, node, index)
+    }
+
+    /// Cache miss: the node's directory grew since we last looked.
+    fn refresh_cached_chunk(&self, addr: Addr, node: usize, index: usize) -> Arc<SharedChunk> {
         let snapshot = self.global.snapshot_node(NodeId::new(node as u16));
         assert!(
             index < snapshot.len(),
@@ -835,6 +839,25 @@ impl WorkerHeap {
         let chunk = snapshot[index].clone();
         self.cache.borrow_mut()[node] = snapshot;
         chunk
+    }
+
+    /// Runs `f` against the shared chunk containing `addr` *without*
+    /// cloning the `Arc` on the cache-hit path. Every global-heap field
+    /// access lands here, and an `Arc` clone per word is two atomic RMWs on
+    /// a refcount that every worker reading the chunk shares — under real
+    /// parallelism that cache line ping-pongs between cores and serialises
+    /// exactly the reads the global heap exists to make shareable.
+    fn with_chunk<R>(&self, addr: Addr, f: impl FnOnce(&SharedChunk) -> R) -> R {
+        let ThreadedOwner::Global { node, index } = self.layout.owner_of(addr) else {
+            panic!("{addr:?} is not a global-heap address");
+        };
+        {
+            let cache = self.cache.borrow();
+            if let Some(chunk) = cache[node].get(index) {
+                return f(chunk);
+            }
+        }
+        f(&self.refresh_cached_chunk(addr, node, index))
     }
 
     fn read_word(&self, addr: Addr) -> Word {
@@ -849,9 +872,7 @@ impl WorkerHeap {
                 self.local.read(self.local.offset_of(addr))
             }
             ThreadedOwner::Global { .. } => {
-                let chunk = self.chunk_of(addr);
-                let offset = chunk.offset_of(addr);
-                chunk.read(offset)
+                self.with_chunk(addr, |chunk| chunk.read(chunk.offset_of(addr)))
             }
             ThreadedOwner::Unmapped => panic!("read from unmapped address {addr:?}"),
         }
@@ -870,9 +891,7 @@ impl WorkerHeap {
                 self.local.write(offset, value);
             }
             ThreadedOwner::Global { .. } => {
-                let chunk = self.chunk_of(addr);
-                let offset = chunk.offset_of(addr);
-                chunk.write(offset, value);
+                self.with_chunk(addr, |chunk| chunk.write(chunk.offset_of(addr), value));
             }
             ThreadedOwner::Unmapped => panic!("write to unmapped address {addr:?}"),
         }
@@ -967,6 +986,36 @@ impl GcHeap for WorkerHeap {
 
     fn write_field(&mut self, obj: Addr, index: usize, value: Word) {
         self.write_word(obj.add_words(index), value);
+    }
+
+    // Bulk payload reads resolve the containing region once and stream the
+    // words out, instead of paying the owner classification (and, for
+    // global objects, the chunk lookup) on every word. Rope leaves are read
+    // this way on the workloads' hot paths.
+    fn payload(&self, obj: Addr) -> Vec<Word> {
+        match self.layout.owner_of(obj) {
+            ThreadedOwner::Local(v) => {
+                assert_eq!(
+                    v, self.vproc,
+                    "worker {} read from vproc {v}'s local heap — the no-cross-heap-pointer \
+                     invariant was violated",
+                    self.vproc
+                );
+                let base = self.local.offset_of(obj);
+                let header = HeaderSlot::decode(self.local.read(base - 1)).expect_header();
+                (0..header.len_words as usize)
+                    .map(|i| self.local.read(base + i))
+                    .collect()
+            }
+            ThreadedOwner::Global { .. } => self.with_chunk(obj, |chunk| {
+                let base = chunk.offset_of(obj);
+                let header = HeaderSlot::decode(chunk.read(base - 1)).expect_header();
+                (0..header.len_words as usize)
+                    .map(|i| chunk.read(base + i))
+                    .collect()
+            }),
+            ThreadedOwner::Unmapped => panic!("read from unmapped address {obj:?}"),
+        }
     }
 
     fn pointer_field_indices(&self, header: Header) -> Result<Vec<usize>, HeapError> {

@@ -366,8 +366,16 @@ impl<'a> TaskCtx<'a> {
 
     /// Drops every root registered after `mark`. Handles issued after the
     /// mark become invalid.
+    ///
+    /// On the threaded backend this is also a safe point: loops that shed
+    /// intermediate roots here (rather than at allocations) would otherwise
+    /// never answer steal requests or a pending stop-the-world, and a long
+    /// task would serialise the whole machine.
     pub fn truncate_roots(&mut self, mark: usize) {
         self.roots.truncate(mark);
+        if let CtxState::Threaded(worker) = &mut self.state {
+            worker.safe_point(self.roots);
+        }
     }
 
     /// Re-registers the object behind `handle` so it survives a

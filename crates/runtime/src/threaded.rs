@@ -204,6 +204,13 @@ pub(crate) struct Shared {
     pending_tasks: AtomicUsize,
     idle_lock: Mutex<()>,
     work_cv: Condvar,
+    /// Number of workers currently blocked in the idle wait. The hot
+    /// notification paths (every task push) skip the idle lock entirely
+    /// while this is zero — which is the common case on a busy machine.
+    /// A worker that races past the check before registering here sleeps at
+    /// most [`IDLE_WAIT`] before re-polling, the same bound that already
+    /// covers missed wakeups.
+    idlers: AtomicUsize,
     pub(crate) joins: Mutex<Vec<Option<JoinCell>>>,
     pub(crate) channels: Mutex<Vec<ChannelState>>,
     pub(crate) channel_stats: Mutex<ChannelStats>,
@@ -223,7 +230,21 @@ impl std::fmt::Debug for Shared {
 }
 
 impl Shared {
+    /// Wakes idle workers, skipping the lock + broadcast when nobody is
+    /// asleep. This is the hot path: a busy worker pushing tasks used to
+    /// serialise every push through the global idle lock; now a push on a
+    /// saturated machine costs one atomic load.
     fn notify_workers(&self) {
+        if self.idlers.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        self.notify_workers_always();
+    }
+
+    /// Unconditional wakeup, for the rare latency-critical events (pending
+    /// global collection, shutdown, poison) where a missed [`IDLE_WAIT`] of
+    /// latency is not worth tolerating.
+    fn notify_workers_always(&self) {
         let _guard = self.idle_lock.lock().expect("idle lock poisoned");
         self.work_cv.notify_all();
     }
@@ -232,7 +253,7 @@ impl Shared {
     /// and the idle waiters so every thread winds down promptly.
     fn poison(&self) {
         self.gc.barrier.poison();
-        self.notify_workers();
+        self.notify_workers_always();
     }
 }
 
@@ -316,8 +337,9 @@ impl WorkerState {
     /// Makes sure the nursery can hold `payload_words`, running a local
     /// collection (rooted at the running task's roots **and** the private
     /// deque's tasks — their graphs live in this local heap until stolen)
-    /// if it cannot.
+    /// if it cannot. Every reservation is also a mid-task safe point.
     pub(crate) fn reserve_nursery(&mut self, roots: &mut [Addr], payload_words: usize) {
+        self.safe_point(roots);
         let needed = payload_words + 1;
         if self.heap.local(self.vproc).nursery_free_words() >= needed {
             return;
@@ -328,6 +350,27 @@ impl WorkerState {
             "an object of {payload_words} payload words does not fit in the nursery even after \
              a collection — build large arrays as rope leaves"
         );
+    }
+
+    /// A mid-task safe point: answers queued steal requests and joins a
+    /// pending global collection *now*, rooted at the running task, instead
+    /// of making the rest of the machine wait for the task boundary.
+    ///
+    /// This is the fix for the two serialisation modes that dominated the
+    /// real-compute profiles: a thief's steal request used to sit unanswered
+    /// for the victim's whole current task (ramp-up latency ∝ task length),
+    /// and a pending stop-the-world collection used to stall every *stopped*
+    /// worker until the slowest running task finished (pause ∝ the longest
+    /// task, multiplied by the number of collections). Both checks are
+    /// single atomic loads, so the fast path costs nothing measurable.
+    pub(crate) fn safe_point(&mut self, roots: &mut [Addr]) {
+        if self.shared.mailboxes[self.vproc].has_requests() {
+            self.service_steal_requests(false);
+        }
+        if self.shared.gc.pending.load(Ordering::Acquire) {
+            self.service_steal_requests(true);
+            self.participate_global_gc(roots);
+        }
     }
 
     /// Gathers this worker's full local root set — the supplied extra roots
@@ -383,7 +426,7 @@ impl WorkerState {
 
     fn request_global(&self) {
         if !self.shared.gc.pending.swap(true, Ordering::AcqRel) {
-            self.shared.notify_workers();
+            self.shared.notify_workers_always();
         }
     }
 
@@ -770,7 +813,9 @@ impl WorkerState {
         // Decrement last: the counter can only reach zero when no further
         // work can ever appear.
         if self.shared.pending_tasks.fetch_sub(1, Ordering::AcqRel) == 1 {
-            self.shared.notify_workers();
+            // Shutdown must reach even a worker that has not yet registered
+            // as an idler; take the unconditional path.
+            self.shared.notify_workers_always();
         }
     }
 
@@ -806,7 +851,7 @@ impl WorkerState {
                 // outstanding steal requests so no thief waits on a victim
                 // that is heading into the barrier.
                 self.service_steal_requests(true);
-                self.participate_global_gc();
+                self.participate_global_gc(&mut []);
                 continue;
             }
             // A task boundary is the safe point where steal requests are
@@ -838,12 +883,20 @@ impl WorkerState {
             if self.shared.mailboxes[self.vproc].has_requests() {
                 continue; // a request arrived while we were stealing: serve it
             }
+            // Register as an idler *after* taking the lock: a push that sees
+            // the count non-zero then notifies under this same lock, so the
+            // wakeup cannot slip between the registration and the wait. A
+            // push that read zero just before we got here is covered by the
+            // timeout, as before.
             let guard = self.shared.idle_lock.lock().expect("idle lock poisoned");
-            let _ = self
+            self.shared.idlers.fetch_add(1, Ordering::SeqCst);
+            let (guard, _) = self
                 .shared
                 .work_cv
                 .wait_timeout(guard, IDLE_WAIT)
                 .expect("idle lock poisoned");
+            self.shared.idlers.fetch_sub(1, Ordering::SeqCst);
+            drop(guard);
         }
     }
 
@@ -854,18 +907,23 @@ impl WorkerState {
     /// Acknowledges a pending global collection at a safe point: ramp down
     /// (finish local collections, retire the current chunk), rendezvous,
     /// and join the parallel copying phase.
-    fn participate_global_gc(&mut self) {
+    ///
+    /// `task_roots` is the running task's root set when the safe point is
+    /// mid-task (allocation points), empty at task boundaries. Those roots
+    /// join the ramp-down collections (their local referents may move) and
+    /// are evacuated after the flip (they may point into from-space).
+    fn participate_global_gc(&mut self, task_roots: &mut [Addr]) {
         let start = Instant::now();
         let shared = self.shared.clone();
 
         // --- Ramp-down (§3.4 steps 1–3). Under lazy promotion the unstolen
         // private tasks' graphs still live in this local heap, so the
-        // collections are rooted at those tasks; their survivors end up in
-        // the young area (minor) with the old data promoted (major).
-        let mut no_extra: Vec<Addr> = Vec::new();
+        // collections are rooted at those tasks (plus the running task, when
+        // stopping mid-task); their survivors end up in the young area
+        // (minor) with the old data promoted (major).
         let consumer = self.promotion_consumer;
         let mut split = (0u64, 0u64);
-        self.with_local_roots(&mut no_extra, |collector, heap, vproc, roots| {
+        self.with_local_roots(task_roots, |collector, heap, vproc, roots| {
             collector.minor(heap, vproc, roots);
             let major = collector.major(heap, vproc, roots);
             split = major.promoted_split(consumer);
@@ -886,7 +944,9 @@ impl WorkerState {
         });
 
         // --- Evacuate the roots this worker owns, then fix up the fields of
-        // the surviving young local data (it may reference from-space).
+        // the surviving young local data (it may reference from-space). The
+        // running task's roots count as owned: nobody else will forward them.
+        evacuate_roots(&mut self.heap, task_roots, &shared.gc.state);
         self.evacuate_owned_roots();
         scan_young_fields(&mut self.heap, &shared.gc.state);
         shared.gc.barrier.wait_with(|| {});
@@ -1094,6 +1154,7 @@ impl ThreadedMachine {
             pending_tasks: AtomicUsize::new(1),
             idle_lock: Mutex::new(()),
             work_cv: Condvar::new(),
+            idlers: AtomicUsize::new(0),
             joins: Mutex::new(Vec::new()),
             channels: Mutex::new(
                 (0..self.num_channels)

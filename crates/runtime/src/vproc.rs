@@ -205,6 +205,12 @@ impl StealRequest {
 #[derive(Debug, Default)]
 pub(crate) struct StealMailbox {
     requests: Mutex<VecDeque<Arc<StealRequest>>>,
+    /// Count of posted-but-not-taken requests, maintained alongside the
+    /// queue so the owner's per-allocation safe-point check is a single
+    /// atomic load instead of a mutex acquisition. Incremented *before* the
+    /// push (so it never undercounts a queued request relative to a
+    /// successful pop) and decremented only on an actual pop.
+    pending: AtomicUsize,
     /// Owner-published length of the private deque (`Release` stores by the
     /// owner, `Acquire` loads by thieves). Purely a heuristic: a stale hint
     /// costs a declined request, never correctness.
@@ -218,6 +224,7 @@ impl StealMailbox {
 
     /// Thief side: posts a request.
     pub(crate) fn post(&self, request: Arc<StealRequest>) {
+        self.pending.fetch_add(1, Ordering::Release);
         self.requests
             .lock()
             .expect("steal mailbox poisoned")
@@ -226,20 +233,26 @@ impl StealMailbox {
 
     /// Victim side: takes the oldest unanswered request, if any.
     pub(crate) fn take_request(&self) -> Option<Arc<StealRequest>> {
-        self.requests
-            .lock()
-            .expect("steal mailbox poisoned")
-            .pop_front()
-    }
-
-    /// True if a request is queued (victim-side fast check; thieves hold no
-    /// reference to the mailbox lock between post and wait).
-    pub(crate) fn has_requests(&self) -> bool {
-        !self
+        if self.pending.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let taken = self
             .requests
             .lock()
             .expect("steal mailbox poisoned")
-            .is_empty()
+            .pop_front();
+        if taken.is_some() {
+            self.pending.fetch_sub(1, Ordering::Release);
+        }
+        taken
+    }
+
+    /// True if a request is queued. A lock-free check: the owner calls this
+    /// at *every* allocation-time safe point, so it must cost one atomic
+    /// load, not a mutex round trip. A momentarily stale answer is fine —
+    /// the next safe point re-checks.
+    pub(crate) fn has_requests(&self) -> bool {
+        self.pending.load(Ordering::Acquire) > 0
     }
 
     /// Owner side: publishes the current private-deque length.

@@ -11,16 +11,30 @@
 
 use crate::scale::Scale;
 use mgc_heap::{f64_to_word, word_to_f64, Descriptor, DescriptorId};
-use mgc_runtime::{Executor, FieldInit, Handle, Program, TaskCtx, TaskResult, TaskSpec};
+use mgc_runtime::{Checksum, Executor, FieldInit, Handle, Program, TaskCtx, TaskResult, TaskSpec};
 use serde::{Deserialize, Serialize};
+
+/// Particle count at the benchmark preset. The force phase is close to
+/// quadratic at the opening angle used here, so the benchmark keeps the
+/// particle count low and adds iterations instead.
+pub const BENCH_PARTICLES: usize = 2_048;
+
+/// Iteration count at the benchmark preset.
+pub const BENCH_ITERATIONS: usize = 4;
 
 /// Number of particles at the given scale (the paper uses 400,000).
 pub fn num_particles(scale: Scale) -> usize {
+    if scale.is_bench() {
+        return BENCH_PARTICLES;
+    }
     scale.apply(400_000, 512)
 }
 
 /// Number of iterations at the given scale (the paper runs 20).
 pub fn num_iterations(scale: Scale) -> usize {
+    if scale.is_bench() {
+        return BENCH_ITERATIONS;
+    }
     scale.apply(20, 2)
 }
 
@@ -53,9 +67,11 @@ impl Default for BarnesHutParams {
 
 /// The Barnes-Hut N-body simulation as a [`Program`].
 ///
-/// No `expected_checksum` is declared: there is no cheap sequential
-/// reference for the N-body physics, so equivalence tests compare runs
-/// against each other instead (`result_is_independent_of_vproc_count`).
+/// The expected checksum comes from [`reference_checksum`], a plain-Rust
+/// sequential mirror of the same tree build, force calculation, and
+/// integration in the same floating-point operation order — so the parallel
+/// runs are checked against independently computed physics, not just
+/// against each other.
 #[derive(Debug, Clone, Copy)]
 pub struct BarnesHut {
     /// The run's parameters.
@@ -81,6 +97,10 @@ impl Program for BarnesHut {
 
     fn spawn(&self, machine: &mut dyn Executor) {
         spawn_with(machine, self.params);
+    }
+
+    fn expected_checksum(&self) -> Option<Checksum> {
+        Some(Checksum::F64(reference_checksum(self.params)))
     }
 
     fn params_json(&self) -> String {
@@ -396,6 +416,119 @@ pub fn take_checksum(machine: &mut dyn Executor) -> Option<f64> {
     machine.take_result().map(|(word, _)| word_to_f64(word))
 }
 
+// ----------------------------------------------------------------------
+// Sequential reference
+// ----------------------------------------------------------------------
+
+/// A plain-Rust quadtree node mirroring the heap node layout, used by the
+/// sequential reference computation.
+struct RefNode {
+    children: [Option<Box<RefNode>>; 4],
+    mass: f64,
+    cx: f64,
+    cy: f64,
+}
+
+/// Mirrors [`build_tree`]: same partition, same summation order.
+fn build_ref_tree(
+    particles: &[Particle],
+    cx: f64,
+    cy: f64,
+    half: f64,
+    depth: usize,
+) -> Option<Box<RefNode>> {
+    if particles.is_empty() {
+        return None;
+    }
+    let mass: f64 = particles.iter().map(|p| p.mass).sum();
+    let com_x: f64 = particles.iter().map(|p| p.mass * p.x).sum::<f64>() / mass;
+    let com_y: f64 = particles.iter().map(|p| p.mass * p.y).sum::<f64>() / mass;
+    if particles.len() == 1 || depth > 24 {
+        return Some(Box::new(RefNode {
+            children: [None, None, None, None],
+            mass,
+            cx: com_x,
+            cy: com_y,
+        }));
+    }
+    let mut quadrants: [Vec<Particle>; 4] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+    for &p in particles {
+        let index = (usize::from(p.x >= cx)) | (usize::from(p.y >= cy) << 1);
+        quadrants[index].push(p);
+    }
+    let offsets = [(-0.5, -0.5), (0.5, -0.5), (-0.5, 0.5), (0.5, 0.5)];
+    let mut children: [Option<Box<RefNode>>; 4] = [None, None, None, None];
+    for (i, quadrant) in quadrants.iter().enumerate() {
+        children[i] = build_ref_tree(
+            quadrant,
+            cx + offsets[i].0 * half,
+            cy + offsets[i].1 * half,
+            half / 2.0,
+            depth + 1,
+        );
+    }
+    Some(Box::new(RefNode {
+        children,
+        mass,
+        cx: com_x,
+        cy: com_y,
+    }))
+}
+
+/// Mirrors [`accel_from`]: same opening criterion, same accumulation order.
+fn ref_accel(node: &RefNode, px: f64, py: f64, cell_size: f64) -> (f64, f64) {
+    let dx = node.cx - px;
+    let dy = node.cy - py;
+    let dist2 = dx * dx + dy * dy + 1e-6;
+    let dist = dist2.sqrt();
+    let is_leaf = node.children.iter().all(Option::is_none);
+    if is_leaf || cell_size / dist < THETA {
+        let f = G * node.mass / (dist2 * dist);
+        return (f * dx, f * dy);
+    }
+    let mut ax = 0.0;
+    let mut ay = 0.0;
+    for child in node.children.iter().flatten() {
+        let (cax, cay) = ref_accel(child, px, py, cell_size / 2.0);
+        ax += cax;
+        ay += cay;
+    }
+    (ax, ay)
+}
+
+/// The sequential reference computation: the same physics as the parallel
+/// program, in the same floating-point operation order, over plain Rust
+/// data (per-particle updates are independent, so block partitioning in the
+/// parallel version cannot change the result).
+pub fn reference_checksum(params: BarnesHutParams) -> f64 {
+    let mut particles = plummer_particles(params.particles);
+    for _ in 0..params.iterations {
+        let half = particles
+            .iter()
+            .map(|p| p.x.abs().max(p.y.abs()))
+            .fold(1.0f64, f64::max);
+        let tree =
+            build_ref_tree(&particles, 0.0, 0.0, half, 0).expect("there is at least one particle");
+        let cell = half * 2.0;
+        particles = particles
+            .iter()
+            .map(|p| {
+                let (ax, ay) = ref_accel(&tree, p.x, p.y, cell);
+                let vx = p.vx + ax * DT;
+                let vy = p.vy + ay * DT;
+                Particle {
+                    mass: p.mass,
+                    x: p.x + vx * DT,
+                    y: p.y + vy * DT,
+                    vx,
+                    vy,
+                }
+            })
+            .collect();
+    }
+    particles.iter().map(|p| p.x.abs() + p.y.abs()).sum()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -432,5 +565,58 @@ mod tests {
             "parallel execution must not change the physics: {single} vs {dual}"
         );
         assert!(single.is_finite() && single > 0.0);
+    }
+
+    #[test]
+    fn machine_run_matches_the_sequential_reference() {
+        let params = BarnesHutParams {
+            particles: 512,
+            iterations: 2,
+        };
+        let mut machine = Machine::new(MachineConfig::small_for_tests(2));
+        spawn_with(&mut machine, params);
+        machine.run();
+        let got = take_checksum(&mut machine).expect("barnes-hut produces a checksum");
+        let expected = reference_checksum(params);
+        assert!(
+            (got - expected).abs() <= 1e-9 * expected.abs().max(1.0),
+            "machine physics diverged from the reference: {got} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn two_particle_forces_match_the_analytic_formula() {
+        // Two unit masses at (±1, 0): the tree is a root with two leaf
+        // children, total mass 2 centred at the origin.
+        let particles = [
+            Particle {
+                mass: 1.0,
+                x: -1.0,
+                y: 0.0,
+                vx: 0.0,
+                vy: 0.0,
+            },
+            Particle {
+                mass: 1.0,
+                x: 1.0,
+                y: 0.0,
+                vx: 0.0,
+                vy: 0.0,
+            },
+        ];
+        let tree = build_ref_tree(&particles, 0.0, 0.0, 1.0, 0).expect("non-empty");
+        assert_eq!(tree.mass, 2.0);
+        assert_eq!((tree.cx, tree.cy), (0.0, 0.0));
+        // The root is opened (cell/dist = 2 > θ); the self-leaf contributes
+        // zero (dx = dy = 0) and the other leaf pulls along +x with
+        // f · dx = G·m·dx / (d² + ε)^(3/2), dx = 2.
+        let (ax, ay) = ref_accel(&tree, -1.0, 0.0, 2.0);
+        let dist2: f64 = 4.0 + 1e-6;
+        let expected = 2.0 / (dist2 * dist2.sqrt());
+        assert!((ax - expected).abs() < 1e-12, "{ax} vs {expected}");
+        assert_eq!(ay, 0.0);
+        // Symmetric pull on the mirror particle.
+        let (ax2, _) = ref_accel(&tree, 1.0, 0.0, 2.0);
+        assert!((ax2 + expected).abs() < 1e-12);
     }
 }

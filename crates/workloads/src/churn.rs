@@ -44,10 +44,23 @@ impl ChurnParams {
         }
     }
 
+    /// The benchmark preset: twice the paper-default object stream (32
+    /// workers × 40,000 objects), which drives the full promotion pipeline
+    /// hard enough for the run to be timing-meaningful.
+    pub fn bench() -> Self {
+        ChurnParams {
+            objects_per_worker: 40_000,
+            ..ChurnParams::default()
+        }
+    }
+
     /// The default configuration shrunk by `scale` (floors: 500 objects per
     /// worker, 4 workers); object size and survival rate are unaffected by
     /// scale.
     pub fn at_scale(scale: Scale) -> Self {
+        if scale.is_bench() {
+            return ChurnParams::bench();
+        }
         let default = ChurnParams::default();
         ChurnParams {
             objects_per_worker: scale.apply(default.objects_per_worker, 500),
@@ -88,7 +101,7 @@ impl Program for Churn {
     }
 
     fn expected_checksum(&self) -> Option<Checksum> {
-        Some(Checksum::I64(expected_survivors(self.params)))
+        Some(Checksum::I64(expected_checksum_value(self.params)))
     }
 
     fn params_json(&self) -> String {
@@ -103,8 +116,10 @@ impl Program for Churn {
     }
 }
 
-/// Spawns the churn workload; the root result is the total number of
-/// surviving objects (so tests can check none were lost by the collector).
+/// Spawns the churn workload; the root result is the wrapping sum of every
+/// payload word of every surviving object, so a survivor that is lost,
+/// moved incorrectly, or corrupted in *any* word by the collector changes
+/// the checksum.
 pub fn spawn(machine: &mut dyn Executor, params: ChurnParams) {
     machine.spawn_root(TaskSpec::new("churn-root", move |ctx| {
         let children: Vec<_> = (0..params.workers)
@@ -114,10 +129,10 @@ pub fn spawn(machine: &mut dyn Executor, params: ChurnParams) {
                         let mut survivors: Vec<Handle> = Vec::new();
                         let base_mark = ctx.root_mark();
                         for i in 0..params.objects_per_worker {
-                            let payload = vec![
-                                i64_to_word((worker * 1_000_000 + i) as i64);
-                                params.object_words
-                            ];
+                            let base = (worker * 1_000_000 + i) as i64;
+                            let payload: Vec<_> = (0..params.object_words)
+                                .map(|j| i64_to_word(base + j as i64))
+                                .collect();
                             let obj = ctx.alloc_raw(&payload);
                             if i % params.survive_every == 0 {
                                 survivors.push(obj);
@@ -136,16 +151,15 @@ pub fn spawn(machine: &mut dyn Executor, params: ChurnParams) {
                             }
                             ctx.work(params.object_words as u64 * 4);
                         }
-                        // Validate that every survivor still holds its value.
-                        let mut intact = 0i64;
-                        for (index, handle) in survivors.iter().enumerate() {
-                            let expected =
-                                (worker * 1_000_000 + index * params.survive_every) as i64;
-                            if word_to_i64(ctx.read_raw(*handle, 0)) == expected {
-                                intact += 1;
+                        // Sum every word of every survivor: the real mutator
+                        // work of this benchmark is touching its live data.
+                        let mut sum = 0i64;
+                        for handle in survivors.iter() {
+                            for word in ctx.read_words(*handle) {
+                                sum = sum.wrapping_add(word_to_i64(word));
                             }
                         }
-                        TaskResult::Value(i64_to_word(intact))
+                        TaskResult::Value(i64_to_word(sum))
                     }),
                     vec![],
                 )
@@ -154,9 +168,9 @@ pub fn spawn(machine: &mut dyn Executor, params: ChurnParams) {
         ctx.fork_join(
             children,
             TaskSpec::new("churn-sum", |ctx| {
-                let total: i64 = (0..ctx.num_values())
+                let total = (0..ctx.num_values())
                     .map(|i| word_to_i64(ctx.value(i)))
-                    .sum();
+                    .fold(0i64, i64::wrapping_add);
                 TaskResult::Value(i64_to_word(total))
             }),
             &[],
@@ -165,12 +179,28 @@ pub fn spawn(machine: &mut dyn Executor, params: ChurnParams) {
     }));
 }
 
-/// The number of survivors a correct run must report.
+/// The number of survivors a correct run must keep alive.
 pub fn expected_survivors(params: ChurnParams) -> i64 {
     (params.workers * params.objects_per_worker.div_ceil(params.survive_every)) as i64
 }
 
-/// Reads the survivor count of a finished churn run.
+/// The word-sum checksum a correct run must report: for every worker `w`,
+/// every surviving index `i` (multiples of `survive_every`), and every
+/// payload word `j`, the value `w * 1_000_000 + i + j`, wrapping-summed.
+pub fn expected_checksum_value(params: ChurnParams) -> i64 {
+    let mut sum = 0i64;
+    for worker in 0..params.workers {
+        for i in (0..params.objects_per_worker).step_by(params.survive_every) {
+            let base = (worker * 1_000_000 + i) as i64;
+            for j in 0..params.object_words {
+                sum = sum.wrapping_add(base + j as i64);
+            }
+        }
+    }
+    sum
+}
+
+/// Reads the word-sum checksum of a finished churn run.
 pub fn take_survivors(machine: &mut dyn Executor) -> Option<i64> {
     machine.take_result().map(|(word, _)| word_to_i64(word))
 }
@@ -188,7 +218,7 @@ mod tests {
         let report = machine.run();
         assert_eq!(
             take_survivors(&mut machine),
-            Some(expected_survivors(params))
+            Some(expected_checksum_value(params))
         );
         // The whole point of churn: it must actually collect.
         assert!(report.gc.minor_collections > 0);
@@ -204,5 +234,22 @@ mod tests {
             object_words: 1,
         };
         assert_eq!(expected_survivors(p), 8);
+    }
+
+    #[test]
+    fn expected_checksum_matches_hand_computed_tiny_case() {
+        // 1 worker, 5 objects, survive every 2 → survivors i = 0, 2, 4;
+        // 2 words each: (i + 0) + (i + 1). Sum = (0+1) + (2+3) + (4+5) = 15.
+        let p = ChurnParams {
+            objects_per_worker: 5,
+            survive_every: 2,
+            workers: 1,
+            object_words: 2,
+        };
+        assert_eq!(expected_checksum_value(p), 15);
+        // Second worker shifts every base by 1_000_000: 3 survivors × 2
+        // words more, each 1_000_000 larger.
+        let p2 = ChurnParams { workers: 2, ..p };
+        assert_eq!(expected_checksum_value(p2), 15 + 15 + 6 * 1_000_000);
     }
 }

@@ -12,8 +12,15 @@ use mgc_heap::{f64_to_word, word_to_f64};
 use mgc_runtime::{Checksum, Executor, Program, TaskResult, TaskSpec};
 use serde::{Deserialize, Serialize};
 
+/// Matrix dimension at the benchmark preset: cost grows with the cube of
+/// the edge, so 320 lands the run near 40 ms on one core.
+pub const BENCH_DIMENSION: usize = 320;
+
 /// Matrix dimension at the given scale (the paper uses 600 × 600).
 pub fn dimension(scale: Scale) -> usize {
+    if scale.is_bench() {
+        return BENCH_DIMENSION;
+    }
     scale.apply(600, 48)
 }
 
@@ -200,5 +207,43 @@ mod tests {
     fn dimension_scales_with_floor() {
         assert_eq!(dimension(Scale::paper()), 600);
         assert!(dimension(Scale::tiny()) >= 48);
+    }
+
+    #[test]
+    fn four_by_four_product_matches_hand_written_matrices() {
+        // The generator formulas written out by hand for n = 4; every value
+        // is a multiple of 0.25 or 0.5, so all arithmetic below is exact.
+        let a = [
+            [-1.0, -0.25, 0.5, 1.25],
+            [0.75, 1.5, -1.0, -0.25],
+            [-0.75, 0.0, 0.75, 1.5],
+            [1.0, 1.75, -0.75, 0.0],
+        ];
+        let b = [
+            [-2.0, 0.5, 3.0, 0.0],
+            [-1.5, 1.0, -2.0, 0.5],
+            [-1.0, 1.5, -1.5, 1.0],
+            [-0.5, 2.0, -1.0, 1.5],
+        ];
+        for i in 0..4 {
+            for k in 0..4 {
+                assert_eq!(a[i][k], a_elem(i, k), "A[{i}][{k}]");
+                assert_eq!(b[i][k], b_elem(i, k), "B[{i}][{k}]");
+            }
+        }
+        let mut expected = 0.0;
+        for row in &a {
+            for j in 0..4 {
+                for (a_ik, b_k) in row.iter().zip(&b) {
+                    expected += a_ik * b_k[j];
+                }
+            }
+        }
+        let params = DmmParams { dimension: 4 };
+        let mut machine = Machine::new(MachineConfig::small_for_tests(2));
+        spawn_with(&mut machine, params);
+        machine.run();
+        let got = take_checksum(&mut machine).expect("dmm produces a checksum");
+        assert_eq!(got, expected, "the machine must compute the real product");
     }
 }

@@ -233,6 +233,37 @@ mod tests {
     }
 
     #[test]
+    fn bench_preset_maps_to_the_hand_balanced_sizes() {
+        assert!(Scale::bench().is_bench());
+        assert!(!Scale::tiny().is_bench());
+        assert_eq!(dmm::dimension(Scale::bench()), dmm::BENCH_DIMENSION);
+        assert_eq!(
+            raytracer::image_size(Scale::bench()),
+            raytracer::BENCH_IMAGE_SIZE
+        );
+        assert_eq!(
+            quicksort::input_size(Scale::bench()),
+            quicksort::BENCH_ELEMENTS
+        );
+        assert_eq!(
+            barnes_hut::num_particles(Scale::bench()),
+            barnes_hut::BENCH_PARTICLES
+        );
+        assert_eq!(
+            barnes_hut::num_iterations(Scale::bench()),
+            barnes_hut::BENCH_ITERATIONS
+        );
+        assert_eq!(
+            smvm::vector_length(Scale::bench()),
+            smvm::BENCH_VECTOR_LENGTH
+        );
+        assert_eq!(
+            churn::ChurnParams::at_scale(Scale::bench()),
+            churn::ChurnParams::bench()
+        );
+    }
+
+    #[test]
     fn every_figure_workload_runs_on_a_small_machine() {
         let topology = Topology::dual_node_test();
         for workload in Workload::FIGURES {

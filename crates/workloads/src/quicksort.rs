@@ -13,8 +13,16 @@ use mgc_heap::{i64_to_word, word_to_i64};
 use mgc_runtime::{Checksum, Executor, Handle, Program, TaskCtx, TaskResult, TaskSpec};
 use serde::{Deserialize, Serialize};
 
+/// Input size at the benchmark preset: quicksort is the most
+/// allocation-bound workload (every partition builds fresh ropes), so it
+/// uses a smaller element count than the uniform factor would give.
+pub const BENCH_ELEMENTS: usize = 250_000;
+
 /// Number of integers to sort at the given scale (the paper sorts 10 M).
 pub fn input_size(scale: Scale) -> usize {
+    if scale.is_bench() {
+        return BENCH_ELEMENTS;
+    }
     scale.apply(10_000_000, 2_048)
 }
 
@@ -69,9 +77,9 @@ impl Program for Quicksort {
     }
 
     fn expected_checksum(&self) -> Option<Checksum> {
-        Some(Checksum::I64(
-            generate_input(self.params.elements).iter().sum(),
-        ))
+        let mut sorted = generate_input(self.params.elements);
+        sorted.sort_unstable();
+        Some(Checksum::I64(positional_checksum(&sorted)))
     }
 
     fn params_json(&self) -> String {
@@ -130,13 +138,23 @@ fn sort_task(depth: usize) -> TaskSpec {
         ctx.fork_join(
             children,
             TaskSpec::new("qsort-merge", |ctx| {
-                // Inputs: [equal, sorted-less, sorted-greater].
+                // Inputs: [equal, sorted-less, sorted-greater]. Empty-side
+                // sentinels (see `build_i64_rope_or_empty`) are dropped here,
+                // so they never appear past one recursion level and the
+                // merged rope is exactly the sorted subsequence.
                 let equal = ctx.input(0);
                 let sorted_less = ctx.input(1);
                 let sorted_greater = ctx.input(2);
-                let mut merged = read_i64_rope(ctx, sorted_less);
+                let mut merged: Vec<i64> = read_i64_rope(ctx, sorted_less)
+                    .into_iter()
+                    .filter(|&v| v != i64::MIN)
+                    .collect();
                 merged.extend(read_i64_rope(ctx, equal));
-                merged.extend(read_i64_rope(ctx, sorted_greater));
+                merged.extend(
+                    read_i64_rope(ctx, sorted_greater)
+                        .into_iter()
+                        .filter(|&v| v != i64::MIN),
+                );
                 ctx.work(merged.len() as u64 * 2);
                 let out = build_i64_rope(ctx, &merged);
                 TaskResult::Ptr(out)
@@ -147,10 +165,10 @@ fn sort_task(depth: usize) -> TaskSpec {
     })
 }
 
-/// Ropes must be non-empty, so empty partitions are represented by a
-/// one-element sentinel that is filtered out when merging. To keep the merge
-/// simple we instead pad with the pivot-equal rope; an empty side simply
-/// becomes a single pivot value that sorts stably into place.
+/// Ropes must be non-empty, so an empty partition is represented by a
+/// one-element `i64::MIN` sentinel (the generated input never produces that
+/// value). The parent's merge filters sentinels back out, so they survive at
+/// most one recursion level and never reach the final sequence.
 fn build_i64_rope_or_empty(ctx: &mut TaskCtx<'_>, values: &[i64]) -> Handle {
     if values.is_empty() {
         build_i64_rope(ctx, &[i64::MIN])
@@ -159,8 +177,19 @@ fn build_i64_rope_or_empty(ctx: &mut TaskCtx<'_>, values: &[i64]) -> Handle {
     }
 }
 
+/// A position-sensitive checksum of the sorted sequence: each element is
+/// weighted by its position modulo a small cycle, so a sequence with the
+/// right multiset in the wrong order (the failure a plain sum cannot see)
+/// changes the value. All arithmetic wraps, identically on every backend.
+pub fn positional_checksum(values: &[i64]) -> i64 {
+    values.iter().enumerate().fold(0i64, |acc, (i, &v)| {
+        acc.wrapping_add(v.wrapping_mul((i % 64) as i64 + 1))
+    })
+}
+
 /// Spawns the quicksort workload at the given scale; the root result is the
-/// sorted rope's checksum (sum of elements), which sorting must preserve.
+/// position-weighted checksum of the sorted rope, so both the multiset and
+/// the order of the output are verified.
 pub fn spawn(machine: &mut dyn Executor, scale: Scale) {
     spawn_with(machine, QuicksortParams::at_scale(scale));
 }
@@ -176,8 +205,7 @@ pub fn spawn_with(machine: &mut dyn Executor, params: QuicksortParams) {
             TaskSpec::new("qsort-checksum", |ctx| {
                 let sorted = ctx.input(0);
                 let values = read_i64_rope(ctx, sorted);
-                let sum: i64 = values.iter().filter(|&&v| v != i64::MIN).sum();
-                TaskResult::Value(i64_to_word(sum))
+                TaskResult::Value(i64_to_word(positional_checksum(&values)))
             }),
             &[],
         );
@@ -190,9 +218,12 @@ pub fn take_checksum(machine: &mut dyn Executor) -> Option<i64> {
     machine.take_result().map(|(word, _)| word_to_i64(word))
 }
 
-/// The reference checksum: the sum of the generated input.
+/// The reference checksum: the positional checksum of the sequentially
+/// sorted input.
 pub fn reference_checksum(scale: Scale) -> i64 {
-    generate_input(input_size(scale)).iter().sum()
+    let mut sorted = generate_input(input_size(scale));
+    sorted.sort_unstable();
+    positional_checksum(&sorted)
 }
 
 #[cfg(test)]
@@ -201,7 +232,7 @@ mod tests {
     use mgc_runtime::{Machine, MachineConfig};
 
     #[test]
-    fn sorting_preserves_the_multiset() {
+    fn sorting_produces_the_sorted_sequence() {
         let scale = Scale::tiny();
         let mut machine = Machine::new(MachineConfig::small_for_tests(2));
         spawn(&mut machine, scale);
@@ -209,8 +240,36 @@ mod tests {
         assert_eq!(
             take_checksum(&mut machine),
             Some(reference_checksum(scale)),
-            "the sorted sequence must contain exactly the input values"
+            "the output must be the input values in sorted order"
         );
+    }
+
+    #[test]
+    fn parallel_sort_crosses_the_fork_cutoff() {
+        // Enough elements that the recursion forks (> SEQUENTIAL_CUTOFF),
+        // exercising partition, sentinel filtering, and the merge path.
+        let params = QuicksortParams {
+            elements: SEQUENTIAL_CUTOFF * 4,
+        };
+        let mut machine = Machine::new(MachineConfig::small_for_tests(2));
+        spawn_with(&mut machine, params);
+        machine.run();
+        let mut sorted = generate_input(params.elements);
+        sorted.sort_unstable();
+        assert_eq!(
+            take_checksum(&mut machine),
+            Some(positional_checksum(&sorted))
+        );
+    }
+
+    #[test]
+    fn positional_checksum_matches_hand_computed_8_elements() {
+        // Positions 0..8 weight 1..9: 3·1 + 1·2 + 4·3 + 1·4 + 5·5 + 9·6 +
+        // 2·7 + 6·8 = 162.
+        assert_eq!(positional_checksum(&[3, 1, 4, 1, 5, 9, 2, 6]), 162);
+        // Sorted order gives a different value: 1·1 + 1·2 + 2·3 + 3·4 +
+        // 4·5 + 5·6 + 6·7 + 9·8 = 185 — order matters.
+        assert_eq!(positional_checksum(&[1, 1, 2, 3, 4, 5, 6, 9]), 185);
     }
 
     #[test]

@@ -25,6 +25,26 @@ impl Scale {
         Scale(0.05)
     }
 
+    /// The CI benchmark preset. Unlike the other scales this is *not* a
+    /// uniform shrink factor: the workloads' per-unit costs differ by four
+    /// orders of magnitude, so each workload maps this preset to a
+    /// hand-balanced input size (see the `bench` constants in each module)
+    /// chosen so a single-vproc run takes roughly 50–500 ms on one core —
+    /// large enough that real compute dominates scheduling and collection
+    /// overhead (so speedup curves are meaningful), small enough that the
+    /// full sweep fits a CI runner's time budget. Any size helper that is
+    /// not explicitly balanced falls back to treating the preset as a
+    /// uniform factor.
+    pub fn bench() -> Self {
+        Scale(0.02)
+    }
+
+    /// Whether this scale is the [`Scale::bench`] preset; workload size
+    /// helpers use this to substitute their hand-balanced benchmark input.
+    pub fn is_bench(&self) -> bool {
+        *self == Scale::bench()
+    }
+
     /// Very small inputs for unit tests.
     pub fn tiny() -> Self {
         Scale(0.004)

@@ -15,8 +15,16 @@ use mgc_heap::{f64_to_word, word_to_f64};
 use mgc_runtime::{Checksum, Executor, Program, TaskResult, TaskSpec};
 use serde::{Deserialize, Serialize};
 
+/// Vector length at the benchmark preset. A row costs only a few dozen
+/// flops, so the benchmark multiplies a matrix about 8× the paper's to
+/// give the run enough wall-clock for speedup to be measurable.
+pub const BENCH_VECTOR_LENGTH: usize = 131_072;
+
 /// Length of the dense vector at the given scale (the paper uses 16,614).
 pub fn vector_length(scale: Scale) -> usize {
+    if scale.is_bench() {
+        return BENCH_VECTOR_LENGTH;
+    }
     scale.apply(16_614, 512)
 }
 
@@ -235,6 +243,19 @@ mod tests {
     fn paper_scale_matrix_has_about_a_million_nonzeroes() {
         let nnz = num_rows(Scale::paper()) * NNZ_PER_ROW;
         assert!((1_000_000..1_200_000).contains(&nnz), "nnz = {nnz}");
+    }
+
+    #[test]
+    fn generators_match_hand_computed_values() {
+        // x_elem: (i % 29)·0.125 − 1, exactly representable.
+        assert_eq!(x_elem(0), -1.0);
+        assert_eq!(x_elem(8), 0.0);
+        assert_eq!(x_elem(28), 2.5);
+        assert_eq!(x_elem(29), -1.0);
+        // val_of: ((31r + 17k) % 23)·0.2 − 2, same expression as the code.
+        assert_eq!(val_of(0, 0), -2.0);
+        assert_eq!(val_of(1, 1), 2.0 * 0.2 - 2.0); // 48 % 23 = 2
+        assert_eq!(val_of(2, 3), 21.0 * 0.2 - 2.0); // 113 % 23 = 21
     }
 
     #[test]

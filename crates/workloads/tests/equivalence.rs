@@ -79,17 +79,18 @@ fn backends_agree_on_deterministic_invariants_for_every_workload() {
             checksums_agree(workload, sim_word, thr_word),
             "{workload}: checksums diverge (simulated {sim_word:#x} vs threaded {thr_word:#x})"
         );
-        // Programs that declare an expected checksum must match it on both
-        // backends (the `Program::expected_checksum` hook).
-        assert_ne!(
+        // Every figure workload computes for real and declares an expected
+        // checksum, so both backends must positively verify the math —
+        // `None` would mean the reference silently stopped being checked.
+        assert_eq!(
             sim.checksum_ok,
-            Some(false),
-            "{workload}: wrong simulated checksum"
+            Some(true),
+            "{workload}: simulated run must verify the real computation"
         );
-        assert_ne!(
+        assert_eq!(
             threaded.checksum_ok,
-            Some(false),
-            "{workload}: wrong threaded checksum"
+            Some(true),
+            "{workload}: threaded run must verify the real computation"
         );
 
         assert_eq!(
@@ -144,7 +145,7 @@ fn backends_agree_on_deterministic_invariants_for_every_workload() {
 #[test]
 fn churn_survivors_are_identical_across_backends() {
     let params = churn::ChurnParams::small();
-    let expected = churn::expected_survivors(params);
+    let expected = churn::expected_checksum_value(params);
 
     for (backend, vprocs) in [
         (Backend::Simulated, 2),

@@ -119,12 +119,12 @@ fn churn_survivors_survive_on_the_paper_machines() {
             .quantum_ns(200_000.0)
             .run()
             .expect("six vprocs fit both paper machines");
-        // `Churn` declares its expected survivor count as the program
+        // `Churn` declares its expected survivor word-sum as the program
         // checksum, so the experiment checks it for us.
         assert_eq!(record.checksum_ok, Some(true));
         assert_eq!(
             record.result.map(|(word, _)| word as i64),
-            Some(churn::expected_survivors(params))
+            Some(churn::expected_checksum_value(params))
         );
     }
 }
