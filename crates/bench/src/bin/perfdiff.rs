@@ -5,6 +5,7 @@
 //! perfdiff --baseline results/baseline/BENCH_threaded.json \
 //!          --current  results/BENCH_threaded.json \
 //!          [--speedup-thresholds results/baseline/speedup-thresholds.json] \
+//!          [--pause-thresholds results/baseline/pause-thresholds.json] \
 //!          [--max-wall-ratio 2.5] [--max-promoted-ratio 1.5] \
 //!          [--min-wall-ms 5] [--min-promoted-kb 64]
 //! ```
@@ -15,12 +16,18 @@
 //! (Speedup uses the current sweep only; it is not a baseline comparison,
 //! so a baseline recorded on a small machine cannot mask a scaling loss.)
 //!
+//! With `--pause-thresholds`, the max-pause gate also runs: every threaded
+//! point of a pinned program must keep its largest recorded mutator pause
+//! under the absolute per-program ceiling (milliseconds). Points without
+//! pause telemetry fail a pin loudly rather than passing silently.
+//!
 //! The Markdown comparison table goes to stdout (the CI job tees it into
 //! `$GITHUB_STEP_SUMMARY`); the exit code is the gate.
 
 use mgc_bench::perfdiff::{
-    compare, markdown, missing_pinned_programs, parse_run_records, parse_speedup_thresholds,
-    speedup_markdown, speedup_rows, Thresholds,
+    compare, markdown, missing_pause_pinned_programs, missing_pinned_programs,
+    parse_pause_thresholds, parse_run_records, parse_speedup_thresholds, pause_markdown,
+    pause_rows, speedup_markdown, speedup_rows, Thresholds,
 };
 
 fn parse_f64(value: Option<&String>, flag: &str) -> f64 {
@@ -37,6 +44,7 @@ fn main() {
     let mut baseline_path = None;
     let mut current_path = None;
     let mut speedup_path = None;
+    let mut pause_path = None;
     let mut thresholds = Thresholds::default();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -44,6 +52,7 @@ fn main() {
             "--baseline" => baseline_path = iter.next().cloned(),
             "--current" => current_path = iter.next().cloned(),
             "--speedup-thresholds" => speedup_path = iter.next().cloned(),
+            "--pause-thresholds" => pause_path = iter.next().cloned(),
             "--max-wall-ratio" => {
                 thresholds.max_wall_ratio = parse_f64(iter.next(), "--max-wall-ratio");
             }
@@ -59,7 +68,7 @@ fn main() {
             }
             other => panic!(
                 "unknown argument `{other}` (expected --baseline/--current <path> and optional \
-                 --speedup-thresholds <path> \
+                 --speedup-thresholds <path> --pause-thresholds <path> \
                  --max-wall-ratio/--max-promoted-ratio/--min-wall-ms/--min-promoted-kb <n>)"
             ),
         }
@@ -109,6 +118,27 @@ fn main() {
         } else {
             eprintln!(
                 "perfdiff: speedup gate failed ({slow} below their pin, {} missing)",
+                missing.len()
+            );
+            failed = true;
+        }
+    }
+
+    if let Some(pause_path) = pause_path {
+        let pins = parse_pause_thresholds(&read(&pause_path))
+            .unwrap_or_else(|err| panic!("{pause_path}: {err}"));
+        let rows = pause_rows(&current, &pins);
+        let missing = missing_pause_pinned_programs(&rows, &pins);
+        println!("{}", pause_markdown(&rows, &missing));
+        let over = rows.iter().filter(|r| r.failed()).count();
+        if over == 0 && missing.is_empty() {
+            eprintln!(
+                "perfdiff: max-pause gate passed for {} pinned programs",
+                pins.len()
+            );
+        } else {
+            eprintln!(
+                "perfdiff: max-pause gate failed ({over} points over their pin, {} missing)",
                 missing.len()
             );
             failed = true;

@@ -325,7 +325,7 @@ pub fn format_baseline(points: &[RunRecord]) -> String {
     );
     let _ = writeln!(
         out,
-        "{:<24} {:>6} {:>14} {:>14} {:>8} {:>8} {:>8} {:>8} {:>12}",
+        "{:<24} {:>6} {:>14} {:>14} {:>8} {:>8} {:>8} {:>8} {:>12} {:>10} {:>10}",
         "benchmark",
         "vprocs",
         "wall-clock",
@@ -334,7 +334,9 @@ pub fn format_baseline(points: &[RunRecord]) -> String {
         "globals",
         "tasks",
         "steals",
-        "promoted-B"
+        "promoted-B",
+        "p99-pause",
+        "max-pause"
     );
     for program in baseline_programs(points) {
         for &vprocs in &BASELINE_VPROCS {
@@ -351,7 +353,7 @@ pub fn format_baseline(points: &[RunRecord]) -> String {
             let ms = |ns: Option<f64>| ns.map_or("n/a".to_string(), |v| format!("{:.3}", v / 1e6));
             let _ = writeln!(
                 out,
-                "{:<24} {:>6} {:>14} {:>14} {:>8} {:>8} {:>8} {:>8} {:>12}",
+                "{:<24} {:>6} {:>14} {:>14} {:>8} {:>8} {:>8} {:>8} {:>12} {:>10} {:>10}",
                 program,
                 vprocs,
                 ms(threaded.wall_clock_ns()),
@@ -361,6 +363,8 @@ pub fn format_baseline(points: &[RunRecord]) -> String {
                 threaded.report.total_tasks(),
                 threaded.report.total_steals(),
                 threaded.report.total_promoted_bytes(),
+                ms(Some(threaded.report.pause_stats().percentile(99.0))),
+                ms(Some(threaded.report.max_pause_ns())),
             );
         }
     }
@@ -634,6 +638,7 @@ mod tests {
         let table = format_baseline(&points);
         assert!(table.contains("wall-clock"));
         assert!(table.contains("promoted-B"));
+        assert!(table.contains("max-pause"));
         assert!(table.contains("Dense-Matrix-Multiply"));
         let summary = promoted_bytes_summary(&points);
         assert!(summary.contains("promoted-bytes Dense-Matrix-Multiply"));

@@ -23,6 +23,14 @@
 //! computed from the *current* sweep only — a baseline recorded on a
 //! machine with a different core count says nothing about scaling here.
 //!
+//! A fourth gate pins **maximum pause**: per program, every threaded point
+//! in the current sweep must keep its largest recorded mutator pause under
+//! an absolute checked-in ceiling
+//! (`results/baseline/pause-thresholds.json`, milliseconds). Like speedup,
+//! it reads the current sweep only; unlike the ratio gates, the pin is
+//! absolute — a pause regression is a regression even if the baseline
+//! already had it.
+//!
 //! The comparison renders as a Markdown table so the CI job can write it
 //! straight into `$GITHUB_STEP_SUMMARY`.
 
@@ -43,6 +51,12 @@ pub struct PerfPoint {
     pub wall_clock_ns: Option<f64>,
     /// Total promoted bytes.
     pub promoted_bytes: u64,
+    /// Largest single mutator pause, in nanoseconds (`None` for records
+    /// that predate pause telemetry).
+    pub pause_max_ns: Option<f64>,
+    /// 99th-percentile mutator pause, in nanoseconds (`None` for records
+    /// that predate pause telemetry).
+    pub pause_p99_ns: Option<f64>,
 }
 
 impl PerfPoint {
@@ -90,6 +104,13 @@ pub fn parse_run_records(json: &str) -> Result<Vec<PerfPoint>, String> {
         let require = |key: &str| {
             field(line, key).ok_or_else(|| format!("record is missing \"{key}\": {line}"))
         };
+        // Pause telemetry is newer than the record schema: absent or null
+        // fields parse as `None` so old baselines still load.
+        let optional_f64 = |key: &str| match field(line, key) {
+            None => Ok(None),
+            Some("null") => Ok(None),
+            Some(raw) => raw.parse().map(Some).map_err(|e| format!("bad {key}: {e}")),
+        };
         let wall = require("wall_clock_ns")?;
         points.push(PerfPoint {
             program: unquote(require("program")?),
@@ -113,6 +134,8 @@ pub fn parse_run_records(json: &str) -> Result<Vec<PerfPoint>, String> {
             promoted_bytes: require("promoted_bytes")?
                 .parse()
                 .map_err(|e| format!("bad promoted_bytes: {e}"))?,
+            pause_max_ns: optional_f64("pause_max_ns")?,
+            pause_p99_ns: optional_f64("pause_p99_ns")?,
         });
     }
     Ok(points)
@@ -468,6 +491,152 @@ pub fn speedup_markdown(rows: &[SpeedupRow], missing: &[&str]) -> String {
     out
 }
 
+// ----------------------------------------------------------------------
+// The max-pause gate
+// ----------------------------------------------------------------------
+
+/// A pinned program: no threaded point in the current sweep may record a
+/// single mutator pause longer than `max_pause_ms`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PauseThreshold {
+    /// Program name, as it appears in the run records.
+    pub program: String,
+    /// Maximum tolerated single pause, in milliseconds (absolute).
+    pub max_pause_ms: f64,
+}
+
+/// Parses the checked-in pause-thresholds file: a JSON object with one
+/// `"program": max_pause_ms` pair per line (same machine-written line
+/// discipline as the speedup thresholds).
+pub fn parse_pause_thresholds(json: &str) -> Result<Vec<PauseThreshold>, String> {
+    let mut thresholds = Vec::new();
+    for line in json.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix('"') else {
+            continue;
+        };
+        let (program, value) = rest
+            .split_once("\": ")
+            .ok_or_else(|| format!("bad threshold line: {line}"))?;
+        thresholds.push(PauseThreshold {
+            program: program.to_string(),
+            max_pause_ms: value
+                .trim()
+                .parse()
+                .map_err(|e| format!("bad max pause for {program}: {e}"))?,
+        });
+    }
+    Ok(thresholds)
+}
+
+/// One threaded point's pause behaviour in the current sweep.
+#[derive(Debug, Clone)]
+pub struct PauseRow {
+    /// Program name.
+    pub program: String,
+    /// Placement-policy label.
+    pub placement: String,
+    /// Vproc count.
+    pub vprocs: u64,
+    /// Largest single pause of the run, in nanoseconds (`None` when the
+    /// record carries no pause telemetry).
+    pub pause_max_ns: Option<f64>,
+    /// 99th-percentile pause, in nanoseconds (informational).
+    pub pause_p99_ns: Option<f64>,
+    /// The pinned ceiling in milliseconds, when this program is gated.
+    pub max_pause_ms: Option<f64>,
+}
+
+impl PauseRow {
+    /// Whether this row fails the gate: it is pinned and either pauses
+    /// longer than the ceiling or carries no pause telemetry to check.
+    pub fn failed(&self) -> bool {
+        match (self.pause_max_ns, self.max_pause_ms) {
+            (Some(ns), Some(max_ms)) => ns > max_ms * 1e6,
+            (None, Some(_)) => true,
+            _ => false,
+        }
+    }
+}
+
+/// Builds one pause row per threaded point of the current sweep and
+/// attaches the pinned ceilings.
+pub fn pause_rows(current: &[PerfPoint], thresholds: &[PauseThreshold]) -> Vec<PauseRow> {
+    current
+        .iter()
+        .filter(|p| p.backend == "threaded")
+        .map(|p| PauseRow {
+            program: p.program.clone(),
+            placement: p.placement.clone(),
+            vprocs: p.vprocs,
+            pause_max_ns: p.pause_max_ns,
+            pause_p99_ns: p.pause_p99_ns,
+            max_pause_ms: thresholds
+                .iter()
+                .find(|t| t.program == p.program)
+                .map(|t| t.max_pause_ms),
+        })
+        .collect()
+}
+
+/// Pinned programs with no threaded point in the sweep — deleting a gated
+/// benchmark must not silently pass the pause gate.
+pub fn missing_pause_pinned_programs<'a>(
+    rows: &[PauseRow],
+    thresholds: &'a [PauseThreshold],
+) -> Vec<&'a str> {
+    thresholds
+        .iter()
+        .filter(|t| rows.iter().all(|r| r.program != t.program))
+        .map(|t| t.program.as_str())
+        .collect()
+}
+
+/// Renders the pause table as Markdown (for `$GITHUB_STEP_SUMMARY`).
+pub fn pause_markdown(rows: &[PauseRow], missing: &[&str]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "### Max-pause gate — largest single mutator pause, threaded points \
+         (current sweep, absolute pins)\n"
+    );
+    let _ = writeln!(
+        out,
+        "| program | placement | vprocs | p99 pause (ms) | max pause (ms) | pinned max (ms) | verdict |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|");
+    for row in rows {
+        let ms = |ns: Option<f64>| ns.map_or("—".to_string(), |v| format!("{:.3}", v / 1e6));
+        let verdict = if row.failed() {
+            "**PAUSE REGRESSION**"
+        } else if row.max_pause_ms.is_some() {
+            "ok"
+        } else {
+            "not pinned"
+        };
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} | {} |",
+            row.program,
+            row.placement,
+            row.vprocs,
+            ms(row.pause_p99_ns),
+            ms(row.pause_max_ns),
+            row.max_pause_ms
+                .map_or("—".to_string(), |m| format!("{m:.3}")),
+            verdict,
+        );
+    }
+    for program in missing {
+        let _ = writeln!(
+            out,
+            "\n**MISSING PINNED PROGRAM**: `{program}` has a pause threshold but no \
+             threaded points in the sweep."
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -483,6 +652,21 @@ mod tests {
 
     fn json(lines: &[String]) -> String {
         format!("[\n{}\n]\n", lines.join("\n"))
+    }
+
+    fn record_line_with_pauses(
+        program: &str,
+        vprocs: u64,
+        pause_max: &str,
+        pause_p99: &str,
+    ) -> String {
+        format!(
+            "  {{\"program\": \"{program}\", \"params\": {{}}, \"backend\": \"threaded\", \
+             \"vprocs\": {vprocs}, \"placement\": \"node-local\", \
+             \"wall_clock_ns\": 50000000, \"promoted_bytes\": 0, \
+             \"pause_count\": 12, \"pause_max_ns\": {pause_max}, \
+             \"pause_p50_ns\": 1000, \"pause_p99_ns\": {pause_p99}}},"
+        )
     }
 
     #[test]
@@ -665,6 +849,112 @@ mod tests {
             rows[0].failed(),
             "a pinned program without a multi-vproc point must fail"
         );
+    }
+
+    #[test]
+    fn pause_fields_parse_and_default_to_none_on_old_records() {
+        let text = json(&[
+            record_line_with_pauses("Barnes-Hut", 4, "2500000", "800000"),
+            record_line("Barnes-Hut", "threaded", 2, "280000000", 0),
+        ]);
+        let points = parse_run_records(&text).expect("the records parse");
+        assert_eq!(points[0].pause_max_ns, Some(2500000.0));
+        assert_eq!(points[0].pause_p99_ns, Some(800000.0));
+        assert_eq!(points[1].pause_max_ns, None, "old records lack the field");
+        assert_eq!(points[1].pause_p99_ns, None);
+    }
+
+    #[test]
+    fn pause_thresholds_file_round_trips() {
+        let text = "{\n  \"Barnes-Hut\": 20.0,\n  \"Quicksort\": 5.5\n}\n";
+        let thresholds = parse_pause_thresholds(text).expect("thresholds parse");
+        assert_eq!(thresholds.len(), 2);
+        assert_eq!(thresholds[0].program, "Barnes-Hut");
+        assert_eq!(thresholds[0].max_pause_ms, 20.0);
+        assert_eq!(thresholds[1].max_pause_ms, 5.5);
+    }
+
+    #[test]
+    fn pauses_under_the_pin_pass_the_gate() {
+        let sweep = parse_run_records(&json(&[
+            record_line_with_pauses("Barnes-Hut", 1, "1500000", "900000"),
+            record_line_with_pauses("Barnes-Hut", 4, "2500000", "800000"),
+        ]))
+        .unwrap();
+        let thresholds = vec![PauseThreshold {
+            program: "Barnes-Hut".to_string(),
+            max_pause_ms: 20.0,
+        }];
+        let rows = pause_rows(&sweep, &thresholds);
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| !r.failed()));
+        assert!(missing_pause_pinned_programs(&rows, &thresholds).is_empty());
+        assert!(pause_markdown(&rows, &[]).contains("| ok |"));
+    }
+
+    /// The acceptance demonstration for the pause gate: a sweep whose max
+    /// pause blows past its absolute pin must turn the comparison red.
+    #[test]
+    fn injected_pause_regression_fails_the_gate() {
+        // 50 ms max pause against a 20 ms pin.
+        let sweep = parse_run_records(&json(&[record_line_with_pauses(
+            "Barnes-Hut",
+            4,
+            "50000000",
+            "3000000",
+        )]))
+        .unwrap();
+        let thresholds = vec![PauseThreshold {
+            program: "Barnes-Hut".to_string(),
+            max_pause_ms: 20.0,
+        }];
+        let rows = pause_rows(&sweep, &thresholds);
+        assert!(rows[0].failed(), "50 ms must fail a 20 ms pin");
+        assert!(pause_markdown(&rows, &[]).contains("PAUSE REGRESSION"));
+    }
+
+    #[test]
+    fn pinned_points_without_pause_telemetry_fail_loudly() {
+        // An old-schema record (no pause fields) for a pinned program must
+        // not silently pass.
+        let sweep = parse_run_records(&json(&[record_line(
+            "Barnes-Hut",
+            "threaded",
+            4,
+            "280000000",
+            0,
+        )]))
+        .unwrap();
+        let thresholds = vec![PauseThreshold {
+            program: "Barnes-Hut".to_string(),
+            max_pause_ms: 20.0,
+        }];
+        let rows = pause_rows(&sweep, &thresholds);
+        assert!(rows[0].failed());
+
+        // Unpinned programs without telemetry are merely "not pinned".
+        let rows = pause_rows(&sweep, &[]);
+        assert!(!rows[0].failed());
+        assert!(pause_markdown(&rows, &[]).contains("not pinned"));
+    }
+
+    #[test]
+    fn missing_pause_pins_are_loud() {
+        let sweep = parse_run_records(&json(&[record_line_with_pauses(
+            "Quicksort",
+            2,
+            "1000000",
+            "500000",
+        )]))
+        .unwrap();
+        let thresholds = vec![PauseThreshold {
+            program: "Barnes-Hut".to_string(),
+            max_pause_ms: 20.0,
+        }];
+        let rows = pause_rows(&sweep, &thresholds);
+        let missing = missing_pause_pinned_programs(&rows, &thresholds);
+        assert_eq!(missing, vec!["Barnes-Hut"]);
+        assert!(pause_markdown(&rows, &missing).contains("MISSING PINNED PROGRAM"));
     }
 
     #[test]

@@ -35,6 +35,16 @@ pub struct GcConfig {
     /// When `true`, the heap invariants (§2.3) are re-verified after every
     /// collection; expensive, intended for tests.
     pub verify_after_gc: bool,
+    /// Soft per-increment pause budget for global collections, in
+    /// microseconds. `None` (the default) preserves the classic behaviour:
+    /// the whole collection is one stop-the-world increment. When set, the
+    /// threaded backend splits the evacuation into budgeted increments and
+    /// releases mutators between them, and the simulated backend models the
+    /// same split by slicing each vproc's virtual collection cost into
+    /// budget-sized pause increments. The budget bounds the Cheney-scan work
+    /// per increment; the ramp-down local collection and root re-evacuation
+    /// at the head of each increment add bounded slack on top.
+    pub pause_budget_us: Option<u64>,
 }
 
 impl Default for GcConfig {
@@ -46,6 +56,7 @@ impl Default for GcConfig {
             chunk_node_affinity: true,
             eager_publication: false,
             verify_after_gc: false,
+            pause_budget_us: None,
         }
     }
 }
@@ -61,6 +72,7 @@ impl GcConfig {
             chunk_node_affinity: true,
             eager_publication: false,
             verify_after_gc: true,
+            pause_budget_us: None,
         }
     }
 
@@ -97,5 +109,11 @@ mod tests {
     #[test]
     fn test_config_verifies() {
         assert!(GcConfig::small_for_tests().verify_after_gc);
+    }
+
+    #[test]
+    fn pause_budget_defaults_to_unbounded() {
+        assert_eq!(GcConfig::default().pause_budget_us, None);
+        assert_eq!(GcConfig::paper_scale().pause_budget_us, None);
     }
 }

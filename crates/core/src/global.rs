@@ -293,6 +293,14 @@ fn global_chunk_of(heap: &Heap, ptr: Addr) -> Option<ChunkId> {
 //    makes no progress;
 // 4. the leader returns the from-space chunks to the mutex-guarded pool
 //    ([`release_from_space`]).
+//
+// With a pause budget configured the runtime instead drives *budgeted*
+// passes ([`scan_pass_budgeted`]): a pass stops claiming and scanning once
+// its deadline expires (persisting partial chunk progress through the scan
+// pointer), the runtime releases the mutators, and the next increment
+// resumes where the pass left off. A timed-out pass reports
+// [`ScanPassOutcome::out_of_time`] so termination is never concluded from a
+// pass that merely ran out of budget.
 
 use mgc_heap::{GcHeap, Header, SharedChunkState, SharedGlobalHeap, WorkerHeap};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -426,15 +434,58 @@ pub fn scan_young_fields(worker: &mut WorkerHeap, state: &ParallelGcState) {
     }
 }
 
+/// Outcome of one (possibly budgeted) scan pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanPassOutcome {
+    /// At least one object was scanned during this pass.
+    pub progress: bool,
+    /// The deadline expired while unscanned work may remain; the partially
+    /// scanned chunk's progress is persisted through its scan pointer.
+    pub out_of_time: bool,
+}
+
+impl ScanPassOutcome {
+    /// Whether the collection may still have work after this pass. A pass
+    /// that timed out must count as "more work" when deciding termination —
+    /// concluding "done" from a pass that merely ran out of budget would
+    /// release from-space with live objects still in it.
+    pub fn may_have_more_work(&self) -> bool {
+        self.progress || self.out_of_time
+    }
+}
+
+/// How many objects a budgeted scan pass processes between deadline checks.
+/// Amortises the clock read, and guarantees every pass with available work
+/// scans at least this many objects before it can time out — a pathological
+/// budget degrades to many small increments instead of livelocking.
+const DEADLINE_STRIDE: u32 = 32;
+
 /// One scan pass: claims chunk-directory indices off the shared work index
 /// and Cheney-scans every claimed to-space chunk, forwarding the from-space
 /// pointers it contains. Returns `true` if any object was scanned or copied
 /// — the runtime repeats passes (with a barrier in between) until a full
 /// pass reports no progress from any worker.
 pub fn scan_pass(worker: &mut WorkerHeap, state: &ParallelGcState) -> bool {
-    let mut progress = false;
+    scan_pass_budgeted(worker, state, None).progress
+}
+
+/// [`scan_pass`] with an optional deadline: once the deadline passes (checked
+/// every `DEADLINE_STRIDE` objects, and never before at least one stride of
+/// work), the pass persists its position in the current chunk's scan pointer
+/// and returns with [`ScanPassOutcome::out_of_time`] set, leaving the rest of
+/// the work for the next increment.
+pub fn scan_pass_budgeted(
+    worker: &mut WorkerHeap,
+    state: &ParallelGcState,
+    deadline: Option<std::time::Instant>,
+) -> ScanPassOutcome {
+    let mut outcome = ScanPassOutcome {
+        progress: false,
+        out_of_time: false,
+    };
     let global = worker.shared_global().clone();
-    loop {
+    let mut until_check = DEADLINE_STRIDE;
+    'pass: loop {
         let index = state.work_index.fetch_add(1, Ordering::AcqRel);
         if index >= global.num_chunks() {
             break;
@@ -452,7 +503,7 @@ pub fn scan_pass(worker: &mut WorkerHeap, state: &ParallelGcState) -> bool {
             if scan >= top {
                 break;
             }
-            progress = true;
+            outcome.progress = true;
             let mut offset = scan;
             while offset < top {
                 let header = Header::decode(chunk.read(offset))
@@ -471,11 +522,22 @@ pub fn scan_pass(worker: &mut WorkerHeap, state: &ParallelGcState) -> bool {
                     }
                 }
                 offset += header.total_words();
+                until_check -= 1;
+                if until_check == 0 {
+                    until_check = DEADLINE_STRIDE;
+                    if let Some(d) = deadline {
+                        if std::time::Instant::now() >= d {
+                            chunk.set_scan(offset);
+                            outcome.out_of_time = true;
+                            break 'pass;
+                        }
+                    }
+                }
             }
             chunk.set_scan(offset);
         }
     }
-    progress
+    outcome
 }
 
 /// Leader-only reclamation: returns every from-space chunk to the
@@ -734,6 +796,97 @@ mod tests {
         assert!(global.bytes_in_use() <= in_use_before);
         // Far fewer bytes were copied than the garbage that was promoted.
         assert!(state.copied_bytes.load(Ordering::Relaxed) < (20 * 17 * 8) * 2);
+    }
+
+    #[test]
+    fn budgeted_scan_passes_converge_and_preserve_data() {
+        use mgc_heap::{DescriptorTable, HeapConfig, ThreadedLayout};
+        use std::sync::Arc;
+
+        let config = HeapConfig::small_for_tests();
+        let layout = ThreadedLayout::new(&config, 2, 2);
+        let global = Arc::new(SharedGlobalHeap::new(layout.chunk_words(), 2));
+        let descriptors = Arc::new(DescriptorTable::new());
+        let mut workers: Vec<WorkerHeap> = (0..2)
+            .map(|v| {
+                WorkerHeap::new(
+                    v,
+                    layout,
+                    NodeId::new(v as u16),
+                    global.clone(),
+                    descriptors.clone(),
+                )
+            })
+            .collect();
+        let mut collectors: Vec<Collector> = (0..2)
+            .map(|_| Collector::new(GcConfig::small_for_tests(), 2, 2))
+            .collect();
+
+        let mut roots: Vec<Vec<Addr>> = vec![Vec::new(); 2];
+        for v in 0..2 {
+            let mut list = Addr::NULL;
+            for i in 0..40u64 {
+                let val = workers[v].alloc_raw(&[i + 100 * v as u64]).unwrap();
+                list = workers[v].alloc_vector(&[val.raw(), list.raw()]).unwrap();
+            }
+            let (promoted, _) = collectors[v].promote(&mut workers[v], v, list);
+            roots[v].push(promoted);
+            let mut none: Vec<Addr> = Vec::new();
+            collectors[v].minor(&mut workers[v], v, &mut none);
+            collectors[v].major(&mut workers[v], v, &mut none);
+        }
+        let shared_values = |w: &WorkerHeap, mut cursor: Addr| -> Vec<u64> {
+            let mut out = Vec::new();
+            while !cursor.is_null() {
+                let val = Addr::new(w.read_field(cursor, 0));
+                out.push(w.read_field(val, 0));
+                cursor = Addr::new(w.read_field(cursor, 1));
+            }
+            out
+        };
+        let before: Vec<Vec<u64>> = (0..2)
+            .map(|v| shared_values(&workers[v], roots[v][0]))
+            .collect();
+
+        for w in workers.iter_mut() {
+            w.retire_current_chunk();
+        }
+        let from_space = flip_to_from_space(&global);
+        assert!(!from_space.is_empty());
+        let state = ParallelGcState::new();
+        for v in 0..2 {
+            let mut r = std::mem::take(&mut roots[v]);
+            evacuate_roots(&mut workers[v], &mut r, &state);
+            roots[v] = r;
+        }
+        // Drive the scan with an already-expired deadline: every pass with
+        // available work must still scan at least one stride (no livelock)
+        // and report out_of_time, so the loop below simulates many small
+        // increments. It must converge, and "done" must only ever be
+        // concluded from a pass that drained the work index in time.
+        let expired = std::time::Instant::now() - std::time::Duration::from_secs(1);
+        let mut increments = 0u32;
+        loop {
+            let mut more_work = false;
+            state.reset_work_index();
+            for w in workers.iter_mut() {
+                more_work |= scan_pass_budgeted(w, &state, Some(expired)).may_have_more_work();
+            }
+            increments += 1;
+            if !more_work {
+                break;
+            }
+            assert!(increments < 10_000, "budgeted passes failed to converge");
+        }
+        // 80 list cells + 80 values per the two workers: far more than one
+        // stride, so the expired deadline must have forced multiple passes.
+        assert!(increments > 2, "expected many budgeted increments");
+        let released = release_from_space(&global, &from_space);
+        assert_eq!(released, from_space.len());
+        for v in 0..2 {
+            assert_eq!(shared_values(&workers[v], roots[v][0]), before[v]);
+        }
+        assert!(state.copied_bytes.load(Ordering::Relaxed) > 0);
     }
 
     #[test]

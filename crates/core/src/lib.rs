@@ -64,6 +64,6 @@ pub use cost::{
 };
 pub use global::{
     evacuate_roots, flip_to_from_space, forward_parallel, release_from_space, scan_pass,
-    scan_young_fields, GlobalOutcome, ParallelGcState,
+    scan_pass_budgeted, scan_young_fields, GlobalOutcome, ParallelGcState, ScanPassOutcome,
 };
-pub use stats::{CollectionKind, GcStats};
+pub use stats::{CollectionKind, GcStats, PauseStats, PAUSE_BUCKETS};

@@ -1,8 +1,8 @@
 //! The one place `MGC_*` environment overrides are parsed.
 //!
-//! Three knobs flip whole runs without touching code; every entry point that
-//! honours them reads this module, so the parsing (and the warning printed
-//! for an unparseable value) is identical everywhere:
+//! A handful of knobs flip whole runs without touching code; every entry
+//! point that honours them reads this module, so the parsing (and the
+//! warning printed for an unparseable value) is identical everywhere:
 //!
 //! | Variable | Meaning | Accepted values |
 //! |----------|---------|-----------------|
@@ -10,13 +10,17 @@
 //! | `MGC_VPROCS` | Number of vprocs (threads) | a positive integer |
 //! | `MGC_PLACEMENT` | Promotion-chunk NUMA placement | `node-local`, `interleave`, `first-touch` |
 //! | `MGC_MAX_ROUNDS` | Simulated scheduler's runaway-program round cap | a positive integer |
+//! | `MGC_PAUSE_BUDGET_US` | Soft per-increment global-collection pause budget, in microseconds | a positive integer |
 //!
 //! [`Experiment`](crate::Experiment) applies `MGC_BACKEND`, `MGC_VPROCS`,
-//! and `MGC_PLACEMENT` as *defaults* — an explicit [`Experiment::backend`](crate::Experiment::backend)
-//! or [`Experiment::vprocs`](crate::Experiment::vprocs) call always wins —
-//! and the simulated [`Machine`](crate::Machine) reads `MGC_MAX_ROUNDS` when
-//! it is built. Invalid values never abort a run: they print a warning
-//! naming the knob and fall back to the caller's default.
+//! `MGC_PLACEMENT`, and `MGC_PAUSE_BUDGET_US` as *defaults* — an explicit
+//! [`Experiment::backend`](crate::Experiment::backend),
+//! [`Experiment::vprocs`](crate::Experiment::vprocs), or
+//! [`Experiment::gc_pause_budget`](crate::Experiment::gc_pause_budget) call
+//! always wins — and the simulated [`Machine`](crate::Machine) reads
+//! `MGC_MAX_ROUNDS` when it is built. Invalid values never abort a run:
+//! they print a warning naming the knob and fall back to the caller's
+//! default.
 
 use crate::executor::Backend;
 use mgc_numa::PlacementPolicy;
@@ -33,6 +37,9 @@ pub struct EnvOverrides {
     pub placement: Option<PlacementPolicy>,
     /// `MGC_MAX_ROUNDS`: the simulated scheduler's round cap.
     pub max_rounds: Option<u64>,
+    /// `MGC_PAUSE_BUDGET_US`: the soft per-increment pause budget for
+    /// global collections, in microseconds.
+    pub pause_budget_us: Option<u64>,
 }
 
 impl EnvOverrides {
@@ -51,6 +58,7 @@ impl EnvOverrides {
             vprocs: parse_positive("MGC_VPROCS", lookup("MGC_VPROCS")),
             placement: parse_placement(lookup("MGC_PLACEMENT")),
             max_rounds: parse_positive("MGC_MAX_ROUNDS", lookup("MGC_MAX_ROUNDS")),
+            pause_budget_us: parse_positive("MGC_PAUSE_BUDGET_US", lookup("MGC_PAUSE_BUDGET_US")),
         }
     }
 }
@@ -122,6 +130,7 @@ mod tests {
         assert_eq!(env.vprocs, None);
         assert_eq!(env.placement, None);
         assert_eq!(env.max_rounds, None);
+        assert_eq!(env.pause_budget_us, None);
     }
 
     #[test]
@@ -131,11 +140,13 @@ mod tests {
             ("MGC_VPROCS", "4"),
             ("MGC_PLACEMENT", "interleave"),
             ("MGC_MAX_ROUNDS", "1000"),
+            ("MGC_PAUSE_BUDGET_US", "250"),
         ]));
         assert_eq!(env.backend, Some(Backend::Threaded));
         assert_eq!(env.vprocs, Some(4));
         assert_eq!(env.placement, Some(PlacementPolicy::Interleave));
         assert_eq!(env.max_rounds, Some(1000));
+        assert_eq!(env.pause_budget_us, Some(250));
     }
 
     #[test]
@@ -153,16 +164,21 @@ mod tests {
             ("MGC_VPROCS", "zero"),
             ("MGC_PLACEMENT", "everywhere"),
             ("MGC_MAX_ROUNDS", "-3"),
+            ("MGC_PAUSE_BUDGET_US", "soon"),
         ]));
         assert_eq!(env, EnvOverrides::default());
     }
 
     #[test]
     fn zero_counts_are_rejected() {
-        let env =
-            EnvOverrides::from_lookup(lookup(&[("MGC_VPROCS", "0"), ("MGC_MAX_ROUNDS", "0")]));
+        let env = EnvOverrides::from_lookup(lookup(&[
+            ("MGC_VPROCS", "0"),
+            ("MGC_MAX_ROUNDS", "0"),
+            ("MGC_PAUSE_BUDGET_US", "0"),
+        ]));
         assert_eq!(env.vprocs, None);
         assert_eq!(env.max_rounds, None);
+        assert_eq!(env.pause_budget_us, None);
     }
 
     #[test]

@@ -14,11 +14,12 @@
 //!
 //! This is the **one place** the `MGC_*` variables are applied (they are
 //! *parsed* in [`crate::env`]): `MGC_BACKEND` supplies the backend,
-//! `MGC_VPROCS` the vproc count, and `MGC_PLACEMENT` the promotion-chunk
-//! placement **when the builder left them unset** — an explicit
-//! [`Experiment::backend`], [`Experiment::vprocs`], or
-//! [`Experiment::placement`] call always wins, so programmatic sweeps are
-//! immune to ambient configuration.
+//! `MGC_VPROCS` the vproc count, `MGC_PLACEMENT` the promotion-chunk
+//! placement, and `MGC_PAUSE_BUDGET_US` the global-collection pause budget
+//! **when the builder left them unset** — an explicit
+//! [`Experiment::backend`], [`Experiment::vprocs`],
+//! [`Experiment::placement`], or [`Experiment::gc_pause_budget`] call always
+//! wins, so programmatic sweeps are immune to ambient configuration.
 //! (`MGC_MAX_ROUNDS` is read by the simulated [`Machine`] itself when it is
 //! built, since it also applies to machines constructed without an
 //! experiment.)
@@ -103,6 +104,13 @@ pub enum ConfigError {
         /// The rejected value.
         quantum_ns: f64,
     },
+    /// The global-collection pause budget is zero (a zero budget would mean
+    /// "never do any collection work", which can only deadlock; unbounded
+    /// pauses are spelled by not setting a budget at all).
+    NonPositivePauseBudget {
+        /// The rejected value, in microseconds.
+        budget_us: u64,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -121,6 +129,11 @@ impl std::fmt::Display for ConfigError {
             ConfigError::NonPositiveQuantum { quantum_ns } => write!(
                 f,
                 "the scheduling quantum must be positive and finite, got {quantum_ns} ns"
+            ),
+            ConfigError::NonPositivePauseBudget { budget_us } => write!(
+                f,
+                "the GC pause budget must be positive, got {budget_us} us \
+                 (leave it unset for unbounded pauses)"
             ),
         }
     }
@@ -164,6 +177,7 @@ pub struct Experiment<P: Program> {
     backend: Option<Backend>,
     heap: Option<HeapConfig>,
     gc: Option<GcConfig>,
+    pause_budget_us: Option<u64>,
     mutator_costs: Option<MutatorCostModel>,
     quantum_ns: Option<f64>,
     env: Option<EnvOverrides>,
@@ -200,6 +214,7 @@ impl<P: Program> Experiment<P> {
             backend: None,
             heap: None,
             gc: None,
+            pause_budget_us: None,
             mutator_costs: None,
             quantum_ns: None,
             env: None,
@@ -252,6 +267,17 @@ impl<P: Program> Experiment<P> {
     /// Sets the collector configuration.
     pub fn gc(mut self, gc: GcConfig) -> Self {
         self.gc = Some(gc);
+        self
+    }
+
+    /// Caps each global-collection pause at a soft budget of `budget_us`
+    /// microseconds: the collection runs as a sequence of bounded increments
+    /// instead of one stop-the-world phase. Takes precedence over the budget
+    /// inside an [`Experiment::gc`] configuration and over
+    /// `MGC_PAUSE_BUDGET_US`. A zero budget is rejected by
+    /// [`Experiment::validate`] with [`ConfigError::NonPositivePauseBudget`].
+    pub fn gc_pause_budget(mut self, budget_us: u64) -> Self {
+        self.pause_budget_us = Some(budget_us);
         self
     }
 
@@ -327,6 +353,17 @@ impl<P: Program> Experiment<P> {
             return Err(ConfigError::NonPositiveQuantum { quantum_ns });
         }
 
+        let mut gc = self.gc.unwrap_or_default();
+        if let Some(budget_us) = self.pause_budget_us {
+            gc.pause_budget_us = Some(budget_us);
+        }
+        if gc.pause_budget_us.is_none() {
+            gc.pause_budget_us = env.pause_budget_us;
+        }
+        if let Some(0) = gc.pause_budget_us {
+            return Err(ConfigError::NonPositivePauseBudget { budget_us: 0 });
+        }
+
         Ok(ExperimentConfig {
             backend,
             machine: MachineConfig {
@@ -334,7 +371,7 @@ impl<P: Program> Experiment<P> {
                 num_vprocs: vprocs,
                 heap,
                 placement,
-                gc: self.gc.unwrap_or_default(),
+                gc,
                 mutator_costs: self.mutator_costs.unwrap_or_default(),
                 quantum_ns,
             },
@@ -419,65 +456,109 @@ impl RunRecord {
 
     /// Serialises the record as one JSON object (hand-rolled: the vendored
     /// `serde` shim does not serialise). This is the schema the CI
-    /// bench-baseline job asserts on.
+    /// bench-baseline job asserts on; every key is declared exactly once in
+    /// the `JsonFields` calls below, so the emitted schema cannot drift
+    /// from the field list.
     pub fn to_json(&self) -> String {
-        let opt_f64 = |v: Option<f64>| v.map_or("null".to_string(), |x| format!("{x:.0}"));
-        let opt_bool = |v: Option<bool>| v.map_or("null".to_string(), |x| x.to_string());
-        let result = self
-            .result
-            .map_or("null".to_string(), |(word, _)| format!("\"{word:#x}\""));
-        let mut out = String::from("{");
-        let _ = write!(
-            out,
-            "\"program\": \"{}\", \"params\": {}, \"backend\": \"{}\", \"vprocs\": {}, \
-             \"topology\": \"{}\", \"policy\": \"{}\", \"placement\": \"{}\", \
-             \"chunk_size_bytes\": {}, \
-             \"local_heap_bytes\": {}, \"quantum_ns\": {:.0}, \"eager_publication\": {}, \
-             \"wall_clock_ns\": {}, \"simulated_ns\": {}, \"checksum\": {}, \
-             \"checksum_ok\": {}, ",
-            escape_json(&self.program),
-            self.params,
-            self.backend,
-            self.config.num_vprocs,
-            escape_json(self.config.topology.name()),
-            self.config.heap.policy,
-            self.config.placement,
-            self.config.heap.chunk_size_bytes,
-            self.config.heap.local_heap_bytes,
-            self.config.quantum_ns,
-            self.config.gc.eager_publication,
-            opt_f64(self.wall_clock_ns()),
-            opt_f64(self.simulated_ns()),
-            result,
-            opt_bool(self.checksum_ok),
+        let pauses = self.report.pause_stats();
+        let mut json = JsonFields::new();
+        json.string("program", &self.program);
+        json.raw("params", &self.params);
+        json.string("backend", self.backend);
+        json.raw("vprocs", self.config.num_vprocs);
+        json.string("topology", self.config.topology.name());
+        json.string("policy", self.config.heap.policy);
+        json.string("placement", self.config.placement);
+        json.raw("chunk_size_bytes", self.config.heap.chunk_size_bytes);
+        json.raw("local_heap_bytes", self.config.heap.local_heap_bytes);
+        json.ns("quantum_ns", self.config.quantum_ns);
+        json.raw("eager_publication", self.config.gc.eager_publication);
+        json.opt_ns("wall_clock_ns", self.wall_clock_ns());
+        json.opt_ns("simulated_ns", self.simulated_ns());
+        match self.result {
+            Some((word, _)) => json.raw("checksum", format_args!("\"{word:#x}\"")),
+            None => json.raw("checksum", "null"),
+        }
+        match self.checksum_ok {
+            Some(ok) => json.raw("checksum_ok", ok),
+            None => json.raw("checksum_ok", "null"),
+        }
+        json.raw("tasks", self.report.total_tasks());
+        json.raw("allocated_objects", self.report.allocated_objects);
+        json.raw("minor_collections", self.report.gc.minor_collections);
+        json.raw("major_collections", self.report.gc.major_collections);
+        json.raw("global_collections", self.report.gc.global_collections);
+        json.raw("promotions", self.report.gc.promotions);
+        json.raw("steals", self.report.total_steals());
+        json.raw("steals_same_node", self.report.steals_same_node());
+        json.raw("steals_cross_node", self.report.steals_cross_node());
+        json.raw("promoted_bytes", self.report.total_promoted_bytes());
+        json.raw("promoted_bytes_local", self.report.promoted_bytes_local());
+        json.raw("promoted_bytes_remote", self.report.promoted_bytes_remote());
+        json.raw("promotions_at_steal", self.report.promotions_at_steal());
+        json.raw("promotions_at_publish", self.report.promotions_at_publish());
+        json.raw("channel_sends", self.channels.sends);
+        json.raw("channel_receives", self.channels.receives);
+        match self.config.gc.pause_budget_us {
+            Some(us) => json.raw("pause_budget_us", us),
+            None => json.raw("pause_budget_us", "null"),
+        }
+        json.raw("pause_count", pauses.count);
+        json.ns("pause_max_ns", pauses.max_ns);
+        json.ns("pause_p50_ns", pauses.percentile(50.0));
+        json.ns("pause_p99_ns", pauses.percentile(99.0));
+        json.ns(
+            "global_pause_max_ns",
+            self.report.global_pause_stats().max_ns,
         );
-        let _ = write!(
-            out,
-            "\"tasks\": {}, \"allocated_objects\": {}, \"minor_collections\": {}, \
-             \"major_collections\": {}, \"global_collections\": {}, \"promotions\": {}, \
-             \"steals\": {}, \"steals_same_node\": {}, \"steals_cross_node\": {}, \
-             \"promoted_bytes\": {}, \"promoted_bytes_local\": {}, \
-             \"promoted_bytes_remote\": {}, \"promotions_at_steal\": {}, \
-             \"promotions_at_publish\": {}, \"channel_sends\": {}, \"channel_receives\": {}",
-            self.report.total_tasks(),
-            self.report.allocated_objects,
-            self.report.gc.minor_collections,
-            self.report.gc.major_collections,
-            self.report.gc.global_collections,
-            self.report.gc.promotions,
-            self.report.total_steals(),
-            self.report.steals_same_node(),
-            self.report.steals_cross_node(),
-            self.report.total_promoted_bytes(),
-            self.report.promoted_bytes_local(),
-            self.report.promoted_bytes_remote(),
-            self.report.promotions_at_steal(),
-            self.report.promotions_at_publish(),
-            self.channels.sends,
-            self.channels.receives,
-        );
-        out.push('}');
-        out
+        json.finish()
+    }
+}
+
+/// Builds the flat JSON object behind [`RunRecord::to_json`]: callers add
+/// `"key": value` pairs one at a time and the separators are handled here,
+/// so a field can neither lose its key nor desync from its neighbours.
+struct JsonFields {
+    out: String,
+}
+
+impl JsonFields {
+    fn new() -> Self {
+        JsonFields {
+            out: String::from("{"),
+        }
+    }
+
+    /// Appends `"key": value` with `value` already valid JSON (numbers,
+    /// booleans, `null`, or pre-serialised objects).
+    fn raw(&mut self, key: &str, value: impl std::fmt::Display) {
+        if self.out.len() > 1 {
+            self.out.push_str(", ");
+        }
+        let _ = write!(self.out, "\"{key}\": {value}");
+    }
+
+    /// Appends a JSON string field, escaping the rendered value.
+    fn string(&mut self, key: &str, value: impl std::fmt::Display) {
+        self.raw(key, format_args!("\"{}\"", escape_json(&value.to_string())));
+    }
+
+    /// Appends a nanosecond-scale quantity rounded to whole units.
+    fn ns(&mut self, key: &str, value: f64) {
+        self.raw(key, format_args!("{value:.0}"));
+    }
+
+    /// Appends an optional nanosecond-scale quantity (`null` when absent).
+    fn opt_ns(&mut self, key: &str, value: Option<f64>) {
+        match value {
+            Some(v) => self.ns(key, v),
+            None => self.raw(key, "null"),
+        }
+    }
+
+    fn finish(mut self) -> String {
+        self.out.push('}');
+        self.out
     }
 }
 
@@ -633,6 +714,7 @@ mod tests {
             vprocs: Some(3),
             placement: Some(PlacementPolicy::Interleave),
             max_rounds: None,
+            pause_budget_us: Some(500),
         };
         let config = Experiment::new(Constant(1))
             .env_overrides(env)
@@ -641,6 +723,7 @@ mod tests {
         assert_eq!(config.backend, Backend::Threaded);
         assert_eq!(config.machine.num_vprocs, 3);
         assert_eq!(config.machine.placement, PlacementPolicy::Interleave);
+        assert_eq!(config.machine.gc.pause_budget_us, Some(500));
 
         // Explicit builder calls always beat the environment.
         let config = Experiment::new(Constant(1))
@@ -648,11 +731,44 @@ mod tests {
             .backend(Backend::Simulated)
             .vprocs(2)
             .placement(PlacementPolicy::FirstTouch)
+            .gc_pause_budget(125)
             .validate()
             .expect("explicit values are valid");
         assert_eq!(config.backend, Backend::Simulated);
         assert_eq!(config.machine.num_vprocs, 2);
         assert_eq!(config.machine.placement, PlacementPolicy::FirstTouch);
+        assert_eq!(config.machine.gc.pause_budget_us, Some(125));
+    }
+
+    #[test]
+    fn pause_budget_resolution_and_validation() {
+        // Unset everywhere: the resolved config stays unbounded.
+        let config = pinned(Constant(1)).validate().unwrap();
+        assert_eq!(config.machine.gc.pause_budget_us, None);
+
+        // The builder knob beats a budget carried inside a GcConfig.
+        let gc = GcConfig {
+            pause_budget_us: Some(1_000),
+            ..GcConfig::small_for_tests()
+        };
+        let config = pinned(Constant(1))
+            .gc(gc)
+            .gc_pause_budget(250)
+            .validate()
+            .unwrap();
+        assert_eq!(config.machine.gc.pause_budget_us, Some(250));
+
+        // Without the builder knob the GcConfig budget survives.
+        let config = pinned(Constant(1)).gc(gc).validate().unwrap();
+        assert_eq!(config.machine.gc.pause_budget_us, Some(1_000));
+
+        // A zero budget is a typed error, not a silent hang.
+        let err = pinned(Constant(1))
+            .gc_pause_budget(0)
+            .validate()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::NonPositivePauseBudget { budget_us: 0 });
+        assert!(err.to_string().contains("pause budget"));
     }
 
     #[test]
@@ -758,6 +874,12 @@ mod tests {
             "\"steals_cross_node\": ",
             "\"promotions_at_steal\": ",
             "\"promotions_at_publish\": ",
+            "\"pause_budget_us\": null",
+            "\"pause_count\": ",
+            "\"pause_max_ns\": ",
+            "\"pause_p50_ns\": ",
+            "\"pause_p99_ns\": ",
+            "\"global_pause_max_ns\": ",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
@@ -765,6 +887,16 @@ mod tests {
         assert!(array.starts_with("[\n"));
         assert!(array.trim_end().ends_with(']'));
         assert_eq!(array.matches("\"program\"").count(), 2);
+    }
+
+    #[test]
+    fn record_json_echoes_the_pause_budget() {
+        let record = pinned(Constant(5)).gc_pause_budget(250).run().unwrap();
+        let json = record.to_json();
+        assert!(
+            json.contains("\"pause_budget_us\": 250"),
+            "budget missing from {json}"
+        );
     }
 
     #[test]

@@ -362,9 +362,16 @@ impl RuntimeState {
         let stats = &mut self.vprocs[vproc].stats;
         stats.promoted_bytes_local += local;
         stats.promoted_bytes_remote += remote;
+        // One virtual pause per local collection, classified by the heaviest
+        // phase that ran.
         let pause = outcome.cost.cpu_ns;
+        self.vprocs[vproc].stats.pauses.record(pause);
         let stats = self.collector.vproc_stats_mut(vproc);
-        stats.minor_pause_ns += pause;
+        if outcome.triggered_major {
+            stats.major_pauses.record(pause);
+        } else {
+            stats.minor_pauses.record(pause);
+        }
         if outcome.needs_global {
             self.collector.request_global();
         }
@@ -941,10 +948,28 @@ impl Machine {
         let mut extra: Vec<Addr> = Vec::new();
         self.state.scatter_roots(0, &mut extra, &roots_per_vproc[0]);
 
+        // The sequential collector attributes one virtual cost per vproc.
+        // With a pause budget configured, model the threaded backend's
+        // incremental shape: the cost is sliced into equal increments no
+        // longer than the budget, each recorded as its own pause (the bound
+        // is exact here — virtual increments carry no ramp-down slack).
+        // Total virtual time is unchanged either way.
+        let budget_ns = self.config.gc.pause_budget_us.map(|us| us as f64 * 1e3);
         for (vproc, cost) in outcome.per_vproc_cost.iter().enumerate() {
             self.state.charge_gc_cost(vproc, cost);
-            let stats = self.state.collector.vproc_stats_mut(vproc);
-            stats.global_pause_ns += cost.cpu_ns;
+            let increments = match budget_ns {
+                Some(budget) if budget > 0.0 => (cost.cpu_ns / budget).ceil().max(1.0),
+                _ => 1.0,
+            };
+            let slice = cost.cpu_ns / increments;
+            for _ in 0..increments as u64 {
+                self.state.vprocs[vproc].stats.pauses.record(slice);
+                self.state
+                    .collector
+                    .vproc_stats_mut(vproc)
+                    .global_pauses
+                    .record(slice);
+            }
         }
         // The pending flag is satisfied by this collection.
         self.state.collector_clear_pending();

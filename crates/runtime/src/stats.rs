@@ -1,6 +1,6 @@
 //! Run-level statistics and reports.
 
-use mgc_core::GcStats;
+use mgc_core::{GcStats, PauseStats};
 use mgc_numa::TrafficStats;
 use serde::{Deserialize, Serialize};
 
@@ -44,6 +44,11 @@ pub struct VprocRunStats {
     pub promoted_bytes_remote: u64,
     /// Virtual nanoseconds this vproc spent busy (compute + memory + GC).
     pub busy_ns: f64,
+    /// Every mutator-visible pause this vproc experienced — minor, major,
+    /// and each global-collection increment — as one series. The
+    /// kind-classified split lives in the aggregated
+    /// [`GcStats`](mgc_core::GcStats).
+    pub pauses: PauseStats,
 }
 
 /// The result of running a program on either execution backend.
@@ -166,6 +171,24 @@ impl RunReport {
         }
         (self.gc.total_pause_ns() / self.vprocs as f64) / self.elapsed_ns
     }
+
+    /// Every pause of every kind across every vproc, merged into one
+    /// machine-wide series — what the report's p50/p99/max pause numbers
+    /// are computed from.
+    pub fn pause_stats(&self) -> PauseStats {
+        self.gc.all_pauses()
+    }
+
+    /// The largest single mutator-visible pause of the run, in nanoseconds.
+    pub fn max_pause_ns(&self) -> f64 {
+        self.pause_stats().max_ns
+    }
+
+    /// Pauses for global-collection increments only — the series a pause
+    /// budget bounds.
+    pub fn global_pause_stats(&self) -> PauseStats {
+        self.gc.global_pauses
+    }
 }
 
 #[cfg(test)]
@@ -207,5 +230,31 @@ mod tests {
         assert_eq!(report.promotions_at_steal(), 1);
         assert_eq!(report.promotions_at_publish(), 1);
         assert_eq!(report.total_promoted_bytes(), 0);
+        assert!(report.pause_stats().is_empty());
+        assert_eq!(report.max_pause_ns(), 0.0);
+    }
+
+    #[test]
+    fn pause_accessors_read_the_merged_gc_series() {
+        let mut gc = GcStats::default();
+        gc.minor_pauses.record(1_000.0);
+        gc.major_pauses.record(5_000.0);
+        gc.global_pauses.record(20_000.0);
+        gc.global_pauses.record(8_000.0);
+        let report = RunReport {
+            elapsed_ns: 1e9,
+            wall_clock_ns: None,
+            rounds: 0,
+            vprocs: 1,
+            allocated_objects: 0,
+            allocated_words: 0,
+            per_vproc: vec![VprocRunStats::default()],
+            gc,
+            traffic: TrafficStats::default(),
+        };
+        assert_eq!(report.pause_stats().count, 4);
+        assert!((report.max_pause_ns() - 20_000.0).abs() < 1e-9);
+        assert_eq!(report.global_pause_stats().count, 2);
+        assert!((report.gc_fraction() - 34_000.0 / 1e9).abs() < 1e-12);
     }
 }

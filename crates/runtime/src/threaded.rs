@@ -24,14 +24,25 @@
 //!   lands in machine-global structures (fork/join continuations, delivered
 //!   results, channel messages, proxy targets) is still promoted by its
 //!   owner at publication time, because any thread may read those tables;
-//! * global collections are a real **stop-the-world ramp-down**: a pending
-//!   flag, per-vproc acknowledgement at a safe point (declining outstanding
-//!   steal requests on the way), local collections rooted at the private
-//!   deque's tasks, leader-led from-space flip, parallel CAS-evacuation of
-//!   the worker-owned roots (private tasks included) plus a scan of the
-//!   surviving young local data, and a Cheney loop over a shared
-//!   [`AtomicUsize`] work index
-//!   (`mgc_core::{flip_to_from_space, scan_pass, release_from_space}`).
+//! * global collections are an **incremental stop-the-world ramp-down**: a
+//!   pending flag, per-vproc acknowledgement at a safe point (declining
+//!   outstanding steal requests on the way), local collections rooted at
+//!   the private deque's tasks, leader-led from-space flip, parallel
+//!   CAS-evacuation of the worker-owned roots (private tasks included) plus
+//!   a scan of the surviving young local data, and a Cheney drain over a
+//!   shared [`AtomicUsize`] work index
+//!   (`mgc_core::{flip_to_from_space, scan_pass_budgeted,
+//!   release_from_space}`). Without a pause budget the drain runs to
+//!   completion inside one pause — the classic stop-the-world shape. With
+//!   [`GcConfig::pause_budget_us`](mgc_core::GcConfig) set, each pause runs
+//!   at most one deadline-capped scan pass and then **releases the
+//!   mutators**: workers return to the scheduler, run real work, and rejoin
+//!   the collection at their next safe point (re-evacuating their roots and
+//!   rescanning their young data first, so pointers fetched from not-yet-
+//!   scanned to-space objects between increments can never survive into a
+//!   released from-space chunk). Every increment is recorded as its own
+//!   pause in [`PauseStats`](mgc_core::PauseStats), so p50/p99/max pause
+//!   numbers reflect what a mutator actually experienced.
 //!
 //! Unlike the eager promote-at-publication design this backend used before,
 //! a worker reaches the barrier still holding live *local* data — the
@@ -69,7 +80,7 @@ use crate::stats::{RunReport, VprocRunStats};
 use crate::task::{Delivery, JoinCell, JoinId, Task, TaskResult, TaskSpec};
 use crate::vproc::{StealMailbox, StealRequest};
 use mgc_core::{
-    evacuate_roots, flip_to_from_space, forward_parallel, release_from_space, scan_pass,
+    evacuate_roots, flip_to_from_space, forward_parallel, release_from_space, scan_pass_budgeted,
     scan_young_fields, Collector, GcStats, ParallelGcState,
 };
 use mgc_heap::{
@@ -178,6 +189,13 @@ struct GcControl {
     from_space: Mutex<Vec<usize>>,
     progress: AtomicBool,
     done: AtomicBool,
+    /// True between the from-space flip and the final release when the
+    /// collection is still in its scan phase. With a pause budget, workers
+    /// yield to the scheduler between budgeted increments while this is set
+    /// and re-enter through the scan path (skipping the flip) at their next
+    /// safe point. Only ever written by a barrier leader while every worker
+    /// is stopped, so all workers always agree on the entry path.
+    in_scan_phase: AtomicBool,
     /// Copied bytes across all collections of the run.
     total_copied_bytes: AtomicU64,
     /// Number of global collections performed.
@@ -404,11 +422,13 @@ impl WorkerState {
     fn local_gc(&mut self, roots: &mut [Addr]) {
         let start = Instant::now();
         let mut needs_global = false;
+        let mut triggered_major = false;
         let consumer = self.promotion_consumer;
         let mut split = (0u64, 0u64);
         self.with_local_roots(roots, |collector, heap, vproc, all_roots| {
             let outcome = collector.collect_local(heap, vproc, all_roots);
             needs_global = outcome.needs_global;
+            triggered_major = outcome.triggered_major;
             split = outcome.promoted_split(consumer);
         });
         // A local collection's major phase promotes old data for this
@@ -416,9 +436,16 @@ impl WorkerState {
         // ledger like any other promotion.
         self.stats.promoted_bytes_local += split.0;
         self.stats.promoted_bytes_remote += split.1;
+        // The mutator was stopped once for the whole local collection, so it
+        // is one recorded pause — classified by the heaviest phase that ran.
         let pause = start.elapsed().as_nanos() as f64;
+        self.stats.pauses.record(pause);
         let stats = self.collector.vproc_stats_mut(self.vproc);
-        stats.minor_pause_ns += pause;
+        if triggered_major {
+            stats.major_pauses.record(pause);
+        } else {
+            stats.minor_pauses.record(pause);
+        }
         if needs_global {
             self.request_global();
         }
@@ -851,6 +878,18 @@ impl WorkerState {
                 // outstanding steal requests so no thief waits on a victim
                 // that is heading into the barrier.
                 self.service_steal_requests(true);
+                // Between increments of a budgeted collection the mutator is
+                // actually released: run one task before rejoining (its
+                // allocation safe points rejoin the collection mid-task, so
+                // the other workers never wait longer than one inter-safe-
+                // point interval).
+                if self.shared.gc.in_scan_phase.load(Ordering::Acquire) {
+                    if let Some(task) = self.private.pop_back() {
+                        self.publish_work_hint();
+                        self.run_task(task);
+                        continue;
+                    }
+                }
                 self.participate_global_gc(&mut []);
                 continue;
             }
@@ -912,15 +951,42 @@ impl WorkerState {
     /// mid-task (allocation points), empty at task boundaries. Those roots
     /// join the ramp-down collections (their local referents may move) and
     /// are evacuated after the flip (they may point into from-space).
+    ///
+    /// Without a pause budget one call completes the whole collection — a
+    /// single stop-the-world pause, the classic shape. With
+    /// [`GcConfig::pause_budget_us`](mgc_core::GcConfig) set, a call runs
+    /// **one increment**: ramp-down (or a catch-up local collection on
+    /// re-entry), root re-evacuation and young rescan, then a single
+    /// deadline-capped scan pass — after which the worker returns to its
+    /// scheduler with `pending` still set and rejoins at its next safe
+    /// point. Roots and young data are re-evacuated at the head of *every*
+    /// increment because a mutator running between increments may load
+    /// from-space pointers out of not-yet-scanned to-space objects; the
+    /// from-space chunks are only released at the end of an increment whose
+    /// scan pass drained the work index with no worker reporting progress
+    /// or a deadline timeout — i.e. with the mutators stopped ever since
+    /// the last full root evacuation, so nothing can still point into
+    /// from-space. Each increment records its own pause.
     fn participate_global_gc(&mut self, task_roots: &mut [Addr]) {
         let start = Instant::now();
         let shared = self.shared.clone();
+        let budget = self
+            .collector
+            .config()
+            .pause_budget_us
+            .map(Duration::from_micros);
+        // Stable for the whole rendezvous: the flag only flips while every
+        // worker is stopped inside a barrier, so all workers agree on it.
+        let resuming = shared.gc.in_scan_phase.load(Ordering::Acquire);
 
         // --- Ramp-down (§3.4 steps 1–3). Under lazy promotion the unstolen
         // private tasks' graphs still live in this local heap, so the
         // collections are rooted at those tasks (plus the running task, when
         // stopping mid-task); their survivors end up in the young area
-        // (minor) with the old data promoted (major).
+        // (minor) with the old data promoted (major). A re-entering worker
+        // runs the same pair as a catch-up: anything it allocated between
+        // increments moves out of the nursery so the young rescan below
+        // covers it.
         let consumer = self.promotion_consumer;
         let mut split = (0u64, 0u64);
         self.with_local_roots(task_roots, |collector, heap, vproc, roots| {
@@ -930,15 +996,24 @@ impl WorkerState {
         });
         self.stats.promoted_bytes_local += split.0;
         self.stats.promoted_bytes_remote += split.1;
-        self.heap.retire_current_chunk();
+        if !resuming {
+            // Chunks promoted into between increments are to-space Current
+            // chunks the scan passes already cover; only the pre-flip chunk
+            // must be retired so the flip sees no Current chunk.
+            self.heap.retire_current_chunk();
+        }
 
-        // --- Acknowledge and wait for the flip: the leader (last arrival)
-        // turns every filled chunk into from-space.
+        // --- Acknowledge and rendezvous. On the first increment the leader
+        // (last arrival) turns every filled chunk into from-space; on every
+        // increment it resets the per-pass scan state.
         shared.gc.barrier.wait_with(|| {
-            let from_space = flip_to_from_space(&shared.global);
-            *shared.gc.from_space.lock().expect("gc state poisoned") = from_space;
+            if !shared.gc.in_scan_phase.load(Ordering::Acquire) {
+                let from_space = flip_to_from_space(&shared.global);
+                *shared.gc.from_space.lock().expect("gc state poisoned") = from_space;
+                shared.gc.state.copied_bytes.store(0, Ordering::Release);
+                shared.gc.in_scan_phase.store(true, Ordering::Release);
+            }
             shared.gc.state.reset_work_index();
-            shared.gc.state.copied_bytes.store(0, Ordering::Release);
             shared.gc.progress.store(false, Ordering::Release);
             shared.gc.done.store(false, Ordering::Release);
         });
@@ -946,15 +1021,22 @@ impl WorkerState {
         // --- Evacuate the roots this worker owns, then fix up the fields of
         // the surviving young local data (it may reference from-space). The
         // running task's roots count as owned: nobody else will forward them.
+        // Re-run on every increment: both may have picked up new from-space
+        // references while the mutators ran.
         evacuate_roots(&mut self.heap, task_roots, &shared.gc.state);
         self.evacuate_owned_roots();
         scan_young_fields(&mut self.heap, &shared.gc.state);
         shared.gc.barrier.wait_with(|| {});
 
-        // --- Parallel Cheney drain over the shared work index, until a full
-        // pass makes no progress on any worker.
+        // --- Parallel Cheney drain over the shared work index. Unbudgeted:
+        // repeat passes until a full pass makes no progress on any worker.
+        // Budgeted: one deadline-capped pass per increment, then yield; a
+        // timed-out pass counts as progress so termination is never
+        // concluded from a pass that merely ran out of budget.
+        let deadline = budget.map(|b| start + b);
         loop {
-            if scan_pass(&mut self.heap, &shared.gc.state) {
+            let pass = scan_pass_budgeted(&mut self.heap, &shared.gc.state, deadline);
+            if pass.may_have_more_work() {
                 shared.gc.progress.store(true, Ordering::Release);
             }
             shared.gc.barrier.wait_with(|| {
@@ -965,6 +1047,12 @@ impl WorkerState {
             });
             if shared.gc.done.load(Ordering::Acquire) {
                 break;
+            }
+            if budget.is_some() {
+                // Yield: release this mutator until its next safe point.
+                // `pending` stays set; the next entry resumes the scan phase.
+                self.record_global_increment(start);
+                return;
             }
         }
 
@@ -978,15 +1066,29 @@ impl WorkerState {
                 shared.gc.state.copied_bytes.load(Ordering::Acquire),
                 Ordering::Relaxed,
             );
+            shared.gc.in_scan_phase.store(false, Ordering::Release);
             // Clearing the pending flag is the "resume" signal; it must be
             // the leader's last write before releasing the barrier.
             shared.gc.pending.store(false, Ordering::Release);
         });
         shared.notify_workers();
 
-        let stats = self.collector.vproc_stats_mut(self.vproc);
-        stats.global_collections += 1;
-        stats.global_pause_ns += start.elapsed().as_nanos() as f64;
+        self.record_global_increment(start);
+        self.collector
+            .vproc_stats_mut(self.vproc)
+            .global_collections += 1;
+    }
+
+    /// Records one global-collection increment pause that started at
+    /// `start` — in the per-vproc collector stats (kind-classified) and the
+    /// per-vproc run stats (the mutator-visible pause series).
+    fn record_global_increment(&mut self, start: Instant) {
+        let pause = start.elapsed().as_nanos() as f64;
+        self.stats.pauses.record(pause);
+        self.collector
+            .vproc_stats_mut(self.vproc)
+            .global_pauses
+            .record(pause);
     }
 
     /// Evacuates the roots this worker is responsible for: its private
@@ -1172,6 +1274,7 @@ impl ThreadedMachine {
                 from_space: Mutex::new(Vec::new()),
                 progress: AtomicBool::new(false),
                 done: AtomicBool::new(false),
+                in_scan_phase: AtomicBool::new(false),
                 total_copied_bytes: AtomicU64::new(0),
                 collections: AtomicU64::new(0),
             },
