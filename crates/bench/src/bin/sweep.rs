@@ -16,13 +16,18 @@
 //!   `--churn-words N` — override the corresponding `ChurnParams` field
 //!   (each implies `--churn`), so allocation volume, object size, survival
 //!   rate, and parallelism are all reachable from the command line;
-//! * `--placement <node-local|interleave|first-touch>` — the promotion-chunk
-//!   NUMA placement the baseline runs under (recorded per point in the
-//!   JSON);
+//! * `--placement <node-local|interleave|first-touch|adaptive>` — the
+//!   promotion-chunk NUMA placement the baseline runs under (recorded per
+//!   point in the JSON);
 //! * `--figure8` — instead of the baseline, run the placement comparison:
-//!   all six programs on the threaded backend under `node-local` **and**
-//!   `interleave`, writing `results/figure8.csv` with the local/remote
-//!   promoted-byte and same-/cross-node steal splits.
+//!   all six programs on the threaded backend under `node-local`,
+//!   `interleave`, **and** `adaptive`, writing `results/figure8.csv` with
+//!   the local/remote promoted-byte split, the same-/cross-node steal
+//!   split, and the adaptive controller's switch count;
+//! * `--host-smoke` — instead of the baseline, run one small workload on
+//!   the **probed host topology** (`Topology::host()`) with adaptive
+//!   placement, printing the per-vproc binding outcomes and writing
+//!   `results/host_smoke.json`.
 
 use mgc_numa::PlacementPolicy;
 use mgc_workloads::churn::ChurnParams;
@@ -42,6 +47,7 @@ fn main() {
     let mut backend = mgc_runtime::Backend::Simulated;
     let mut placement = PlacementPolicy::default();
     let mut figure8 = false;
+    let mut host_smoke = false;
     let mut churn_requested = false;
     let mut churn_params = ChurnParams::at_scale(mgc_bench::scale_from_env());
     let mut iter = args.iter();
@@ -55,13 +61,14 @@ fn main() {
             }
             "--baseline" => backend = mgc_runtime::Backend::Threaded,
             "--placement" => {
-                let value = iter
-                    .next()
-                    .expect("--placement requires a value (node-local|interleave|first-touch)");
+                let value = iter.next().expect(
+                    "--placement requires a value (node-local|interleave|first-touch|adaptive)",
+                );
                 placement = value.parse().unwrap_or_else(|err: String| panic!("{err}"));
                 backend = mgc_runtime::Backend::Threaded;
             }
             "--figure8" => figure8 = true,
+            "--host-smoke" => host_smoke = true,
             "--churn" => churn_requested = true,
             "--churn-workers" => {
                 churn_params.workers = positive(iter.next(), "--churn-workers");
@@ -81,8 +88,8 @@ fn main() {
             }
             other => panic!(
                 "unknown argument `{other}` (expected --backend <simulated|threaded>, \
-                 --placement <node-local|interleave|first-touch>, --figure8, --churn, \
-                 or --churn-{{workers,objects,survive,words}} <n>)"
+                 --placement <node-local|interleave|first-touch|adaptive>, --figure8, \
+                 --host-smoke, --churn, or --churn-{{workers,objects,survive,words}} <n>)"
             ),
         }
     }
@@ -90,6 +97,10 @@ fn main() {
 
     if figure8 {
         mgc_bench::run_figure8_and_report();
+        return;
+    }
+    if host_smoke {
+        mgc_bench::run_host_smoke_and_report();
         return;
     }
 

@@ -422,10 +422,11 @@ pub fn run_baseline_and_report(churn: Option<ChurnParams>, placement: PlacementP
 }
 
 // ----------------------------------------------------------------------
-// Figure 8: NodeLocal vs Interleave promotion-chunk placement on the
-// threaded backend — the new scenario axis this PR opens. One row per
-// (program, placement), with the local/remote promoted-byte split and the
-// same-node/cross-node steal split that make the locality win visible.
+// Figure 8: NodeLocal vs Interleave vs Adaptive promotion-chunk placement
+// on the threaded backend. One row per (program, placement), with the
+// local/remote promoted-byte split, the same-node/cross-node steal split,
+// and the adaptive controller's switch count that together make the
+// locality win (and the controller's convergence) visible.
 // ----------------------------------------------------------------------
 
 /// Vproc count of the figure-8 sweep (4 OS threads on the dual-node test
@@ -451,10 +452,16 @@ fn figure8_point(workload: Workload, scale: Scale, placement: PlacementPolicy) -
         .expect("the figure-8 configuration is valid")
 }
 
-/// Runs all six programs under `NodeLocal` and `Interleave` placement.
+/// Runs all six programs under `NodeLocal`, `Interleave`, and `Adaptive`
+/// placement — the two static extremes plus the controller that moves
+/// between them.
 pub fn run_figure8(scale: Scale) -> Vec<RunRecord> {
     let mut points = Vec::new();
-    for placement in [PlacementPolicy::NodeLocal, PlacementPolicy::Interleave] {
+    for placement in [
+        PlacementPolicy::NodeLocal,
+        PlacementPolicy::Interleave,
+        PlacementPolicy::Adaptive,
+    ] {
         for workload in Workload::ALL {
             points.push(figure8_point(workload, scale, placement));
         }
@@ -467,12 +474,12 @@ pub fn run_figure8(scale: Scale) -> Vec<RunRecord> {
 pub fn figure8_csv(points: &[RunRecord]) -> String {
     let mut out = String::from(
         "program,placement,vprocs,wall_clock_ns,promoted_bytes,promoted_bytes_local,\
-         promoted_bytes_remote,steals,steals_same_node,steals_cross_node\n",
+         promoted_bytes_remote,steals,steals_same_node,steals_cross_node,placement_switches\n",
     );
     for p in points {
         let _ = writeln!(
             out,
-            "{},{},{},{:.0},{},{},{},{},{},{}",
+            "{},{},{},{:.0},{},{},{},{},{},{},{}",
             p.program,
             p.config.placement,
             p.config.num_vprocs,
@@ -483,6 +490,7 @@ pub fn figure8_csv(points: &[RunRecord]) -> String {
             p.report.total_steals(),
             p.report.steals_same_node(),
             p.report.steals_cross_node(),
+            p.report.placement_switches(),
         );
     }
     out
@@ -493,12 +501,12 @@ pub fn format_figure8(points: &[RunRecord]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "# Figure 8 — promotion-chunk placement: node-local vs interleave \
+        "# Figure 8 — promotion-chunk placement: node-local vs interleave vs adaptive \
          (threaded, {FIGURE8_VPROCS} vprocs)"
     );
     let _ = writeln!(
         out,
-        "{:<24} {:>12} {:>12} {:>12} {:>12} {:>8} {:>10} {:>10}",
+        "{:<24} {:>12} {:>12} {:>12} {:>12} {:>8} {:>10} {:>10} {:>8}",
         "benchmark",
         "placement",
         "wall-ms",
@@ -506,12 +514,13 @@ pub fn format_figure8(points: &[RunRecord]) -> String {
         "remote-B",
         "steals",
         "same-node",
-        "cross-node"
+        "cross-node",
+        "switches"
     );
     for p in points {
         let _ = writeln!(
             out,
-            "{:<24} {:>12} {:>12.3} {:>12} {:>12} {:>8} {:>10} {:>10}",
+            "{:<24} {:>12} {:>12.3} {:>12} {:>12} {:>8} {:>10} {:>10} {:>8}",
             p.program,
             p.config.placement.label(),
             p.wall_clock_ns().unwrap_or(0.0) / 1e6,
@@ -520,6 +529,7 @@ pub fn format_figure8(points: &[RunRecord]) -> String {
             p.report.total_steals(),
             p.report.steals_same_node(),
             p.report.steals_cross_node(),
+            p.report.placement_switches(),
         );
     }
     out
@@ -538,6 +548,74 @@ pub fn run_figure8_and_report() {
     }
     let path = dir.join("figure8.csv");
     match std::fs::write(&path, figure8_csv(&points)) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(err) => eprintln!("warning: could not write {}: {err}", path.display()),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Host-topology smoke: the one run that exercises `Topology::host()` — the
+// probed node/core/memory layout of the machine the harness is actually on
+// — instead of a modelled machine. CI runs it on every PR so the sysfs
+// probe, the thread-binding fallback, and the adaptive controller are all
+// exercised against a real (usually single-node) host.
+// ----------------------------------------------------------------------
+
+/// Runs one small workload on the probed host topology with adaptive
+/// placement and returns the record. Never panics on exotic hosts:
+/// `Topology::host()` degrades to a single node, and the vproc count is
+/// clamped to what the probed topology can seat.
+pub fn run_host_smoke() -> RunRecord {
+    let topology = Topology::host();
+    let vprocs = topology.num_cores().clamp(1, 4);
+    Workload::Dmm
+        .experiment(Scale::tiny())
+        .backend(Backend::Threaded)
+        .topology(topology)
+        .vprocs(vprocs)
+        .policy(AllocPolicy::Local)
+        .placement(PlacementPolicy::Adaptive)
+        .heap(HeapConfig::small_for_tests())
+        .run()
+        .expect("the host smoke configuration is valid on any probed topology")
+}
+
+/// Runs the host-topology smoke, prints the probed layout plus the
+/// per-vproc binding outcomes, and writes `results/host_smoke.json` (one
+/// `RunRecord` — the CI `host-topology` artifact, grepped for the
+/// `placement_decisions` and `node_bindings` keys).
+pub fn run_host_smoke_and_report() {
+    let record = run_host_smoke();
+    let topology = Topology::host();
+    println!(
+        "# Host-topology smoke — {} node(s) × {} core(s), {} vprocs, adaptive placement",
+        topology.num_nodes(),
+        topology.num_cores(),
+        record.config.num_vprocs,
+    );
+    for (vproc, stats) in record.report.per_vproc.iter().enumerate() {
+        println!(
+            "vproc {vproc}: binding={} switches={}",
+            if stats.node_binding_pinned {
+                "pinned"
+            } else {
+                "tagged"
+            },
+            stats.placement_switches,
+        );
+    }
+    println!(
+        "checksum_ok={:?} placement_switches={}",
+        record.checksum_ok,
+        record.report.placement_switches(),
+    );
+    let dir = std::path::Path::new("results");
+    if let Err(err) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: could not create {}: {err}", dir.display());
+        return;
+    }
+    let path = dir.join("host_smoke.json");
+    match std::fs::write(&path, run_records_json(std::slice::from_ref(&record))) {
         Ok(()) => println!("wrote {}", path.display()),
         Err(err) => eprintln!("warning: could not write {}: {err}", path.display()),
     }
@@ -666,6 +744,38 @@ mod tests {
         assert!(json.contains("\"workers\": 2"));
         let summary = promoted_bytes_summary(std::slice::from_ref(&point));
         assert!(summary.contains("promoted-bytes Synthetic-Churn"));
+    }
+
+    #[test]
+    fn figure8_adaptive_point_records_switches_and_lands_in_the_csv() {
+        let point = figure8_point(Workload::Dmm, Scale::tiny(), PlacementPolicy::Adaptive);
+        assert!(
+            point.report.placement_switches() >= 1,
+            "the cold-start adoption alone guarantees one recorded switch"
+        );
+        let csv = figure8_csv(std::slice::from_ref(&point));
+        let mut lines = csv.lines();
+        assert!(lines
+            .next()
+            .expect("header row")
+            .ends_with("placement_switches"));
+        let row = lines.next().expect("data row");
+        assert!(row.starts_with("Dense-Matrix-Multiply,adaptive,"));
+        assert_eq!(row.split(',').count(), 11);
+        let table = format_figure8(std::slice::from_ref(&point));
+        assert!(table.contains("switches"));
+        assert!(table.contains("adaptive"));
+    }
+
+    #[test]
+    fn host_smoke_runs_on_the_probed_topology() {
+        let record = run_host_smoke();
+        assert_eq!(record.checksum_ok, Some(true));
+        assert!(record.config.num_vprocs >= 1);
+        let json = record.to_json();
+        assert!(json.contains("\"placement\": \"adaptive\""));
+        assert!(json.contains("\"placement_decisions\": "));
+        assert!(json.contains("\"node_bindings\": "));
     }
 
     #[test]

@@ -4,8 +4,10 @@
 //!
 //! Both files are arrays of `RunRecord` JSON objects (one per line, as
 //! written by [`mgc_runtime::run_records_json`]). Records are matched by
-//! `(program, backend, vprocs, placement)`; for each matched pair two
-//! quantities are gated:
+//! `(program, backend, vprocs, placement, pause_budget_us)` — a budgeted
+//! run is a different experiment from an unbudgeted one, so the two never
+//! compare against each other. For each matched pair two quantities are
+//! gated:
 //!
 //! * **wall-clock time** (threaded records only) — fails when the current
 //!   time exceeds `max_wall_ratio ×` the baseline. Runner noise is handled
@@ -57,15 +59,22 @@ pub struct PerfPoint {
     /// 99th-percentile mutator pause, in nanoseconds (`None` for records
     /// that predate pause telemetry).
     pub pause_p99_ns: Option<f64>,
+    /// The configured global-collection pause budget, in microseconds
+    /// (`None` for unbudgeted runs and for records that predate the knob).
+    /// Part of the matching key: a budgeted run trades throughput for
+    /// bounded pauses, so comparing it against an unbudgeted baseline would
+    /// gate apples against oranges.
+    pub pause_budget_us: Option<u64>,
 }
 
 impl PerfPoint {
-    fn key(&self) -> (String, String, u64, String) {
+    fn key(&self) -> (String, String, u64, String, Option<u64>) {
         (
             self.program.clone(),
             self.backend.clone(),
             self.vprocs,
             self.placement.clone(),
+            self.pause_budget_us,
         )
     }
 }
@@ -136,6 +145,15 @@ pub fn parse_run_records(json: &str) -> Result<Vec<PerfPoint>, String> {
                 .map_err(|e| format!("bad promoted_bytes: {e}"))?,
             pause_max_ns: optional_f64("pause_max_ns")?,
             pause_p99_ns: optional_f64("pause_p99_ns")?,
+            // Like the pause telemetry, the budget knob is newer than the
+            // schema: absent or null parses as `None` (an unbudgeted run).
+            pause_budget_us: match field(line, "pause_budget_us") {
+                None | Some("null") => None,
+                Some(raw) => Some(
+                    raw.parse()
+                        .map_err(|e| format!("bad pause_budget_us: {e}"))?,
+                ),
+            },
         });
     }
     Ok(points)
@@ -955,6 +973,52 @@ mod tests {
         let missing = missing_pause_pinned_programs(&rows, &thresholds);
         assert_eq!(missing, vec!["Barnes-Hut"]);
         assert!(pause_markdown(&rows, &missing).contains("MISSING PINNED PROGRAM"));
+    }
+
+    fn record_line_with_budget(program: &str, vprocs: u64, budget: &str) -> String {
+        format!(
+            "  {{\"program\": \"{program}\", \"params\": {{}}, \"backend\": \"threaded\", \
+             \"vprocs\": {vprocs}, \"placement\": \"node-local\", \
+             \"wall_clock_ns\": 50000000, \"promoted_bytes\": 0, \
+             \"pause_budget_us\": {budget}}},"
+        )
+    }
+
+    #[test]
+    fn pause_budget_is_part_of_the_matching_key() {
+        let unbudgeted =
+            parse_run_records(&json(&[record_line_with_budget("Barnes-Hut", 4, "null")])).unwrap();
+        let budgeted =
+            parse_run_records(&json(&[record_line_with_budget("Barnes-Hut", 4, "250")])).unwrap();
+        assert_eq!(unbudgeted[0].pause_budget_us, None);
+        assert_eq!(budgeted[0].pause_budget_us, Some(250));
+
+        // Same program/backend/vprocs/placement, different budget: the
+        // budgeted point must NOT be compared against the unbudgeted
+        // baseline — it shows up as a missing baseline point plus a new
+        // current point instead.
+        let cmp = compare(&unbudgeted, &budgeted, Thresholds::default());
+        assert_eq!(cmp.regressions().len(), 1);
+        assert_eq!(cmp.regressions()[0].verdict, Verdict::Missing);
+        assert_eq!(cmp.new_points.len(), 1);
+
+        // Identical budgets still match.
+        let cmp = compare(&budgeted, &budgeted, Thresholds::default());
+        assert!(cmp.regressions().is_empty());
+
+        // Records that predate the knob parse as unbudgeted and keep
+        // matching each other.
+        let old = parse_run_records(&json(&[record_line(
+            "Barnes-Hut",
+            "threaded",
+            4,
+            "50000000",
+            0,
+        )]))
+        .unwrap();
+        assert_eq!(old[0].pause_budget_us, None);
+        let cmp = compare(&old, &unbudgeted, Thresholds::default());
+        assert!(cmp.regressions().is_empty());
     }
 
     #[test]

@@ -28,6 +28,11 @@ pub struct HeapConfig {
     /// Size of each vproc's local heap in bytes. The paper sizes local heaps
     /// to fit the node's L3 cache (§3.1).
     pub local_heap_bytes: usize,
+    /// Bytes of global-heap address band reserved per NUMA node in the
+    /// threaded backend (a power of two). The default,
+    /// [`NODE_SPAN_BYTES`](crate::NODE_SPAN_BYTES), is 256 GiB of *virtual*
+    /// span; host-scale runs may derive it from probed node memory instead.
+    pub node_span_bytes: u64,
     /// Physical placement policy for local heaps and global chunks (§4.3).
     pub policy: AllocPolicy,
 }
@@ -37,6 +42,7 @@ impl Default for HeapConfig {
         HeapConfig {
             chunk_size_bytes: 256 * 1024,
             local_heap_bytes: 512 * 1024,
+            node_span_bytes: crate::shared::NODE_SPAN_BYTES,
             policy: AllocPolicy::Local,
         }
     }
@@ -49,8 +55,119 @@ impl HeapConfig {
         HeapConfig {
             chunk_size_bytes: 4 * 1024,
             local_heap_bytes: 16 * 1024,
+            node_span_bytes: crate::shared::NODE_SPAN_BYTES,
             policy: AllocPolicy::Local,
         }
+    }
+
+    /// The validated geometry view of this configuration.
+    pub fn geometry(&self) -> HeapGeometry {
+        HeapGeometry {
+            chunk_size_bytes: self.chunk_size_bytes,
+            local_heap_bytes: self.local_heap_bytes,
+            node_span_bytes: self.node_span_bytes,
+        }
+    }
+}
+
+/// Smallest accepted global-heap chunk, in bytes.
+pub const MIN_CHUNK_BYTES: usize = 1024;
+/// Smallest accepted per-vproc local heap, in bytes.
+pub const MIN_LOCAL_HEAP_BYTES: usize = 4096;
+
+/// The geometry knobs of a heap, validated as a unit.
+///
+/// Construct via [`HeapConfig::geometry`] and call
+/// [`HeapGeometry::validate`] before building heaps from untrusted knobs
+/// (CLI flags, environment overrides, probed host memory) — the heap
+/// constructors `assert!` the same bounds, but this path reports a typed
+/// violation instead of panicking mid-run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeapGeometry {
+    /// Size of a global-heap chunk in bytes.
+    pub chunk_size_bytes: usize,
+    /// Size of each vproc's local heap in bytes.
+    pub local_heap_bytes: usize,
+    /// Bytes of global-heap address band per NUMA node.
+    pub node_span_bytes: u64,
+}
+
+/// One violated heap-geometry bound (see [`HeapGeometry::validate`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeometryViolation {
+    /// A knob is below its minimum.
+    BelowMinimum {
+        /// The violating [`HeapConfig`] field.
+        field: &'static str,
+        /// The rejected value.
+        bytes: u64,
+        /// The smallest accepted value.
+        min: u64,
+    },
+    /// The node span is not a power of two (the `addr → node` shift
+    /// arithmetic requires one).
+    NotPowerOfTwo {
+        /// The violating [`HeapConfig`] field.
+        field: &'static str,
+        /// The rejected value.
+        bytes: u64,
+    },
+    /// The node span exceeds the largest supported band.
+    AboveMaximum {
+        /// The violating [`HeapConfig`] field.
+        field: &'static str,
+        /// The rejected value.
+        bytes: u64,
+        /// The largest accepted value.
+        max: u64,
+    },
+}
+
+impl HeapGeometry {
+    /// Checks every geometry bound, reporting the first violation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violated bound: chunk and local-heap minimums, and for
+    /// the node span — power-of-two shape, room for at least one chunk, and
+    /// the [`MAX_NODE_SPAN_SHIFT`](crate::MAX_NODE_SPAN_SHIFT) ceiling that
+    /// keeps band arithmetic inside `u64`.
+    pub fn validate(&self) -> Result<(), GeometryViolation> {
+        if self.chunk_size_bytes < MIN_CHUNK_BYTES {
+            return Err(GeometryViolation::BelowMinimum {
+                field: "chunk_size_bytes",
+                bytes: self.chunk_size_bytes as u64,
+                min: MIN_CHUNK_BYTES as u64,
+            });
+        }
+        if self.local_heap_bytes < MIN_LOCAL_HEAP_BYTES {
+            return Err(GeometryViolation::BelowMinimum {
+                field: "local_heap_bytes",
+                bytes: self.local_heap_bytes as u64,
+                min: MIN_LOCAL_HEAP_BYTES as u64,
+            });
+        }
+        if !self.node_span_bytes.is_power_of_two() {
+            return Err(GeometryViolation::NotPowerOfTwo {
+                field: "node_span_bytes",
+                bytes: self.node_span_bytes,
+            });
+        }
+        if self.node_span_bytes > 1 << crate::shared::MAX_NODE_SPAN_SHIFT {
+            return Err(GeometryViolation::AboveMaximum {
+                field: "node_span_bytes",
+                bytes: self.node_span_bytes,
+                max: 1 << crate::shared::MAX_NODE_SPAN_SHIFT,
+            });
+        }
+        if self.node_span_bytes < self.chunk_size_bytes as u64 {
+            return Err(GeometryViolation::BelowMinimum {
+                field: "node_span_bytes",
+                bytes: self.node_span_bytes,
+                min: (self.chunk_size_bytes as u64).next_power_of_two(),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -167,6 +284,11 @@ pub struct Heap {
     /// next promotion lives on. Defaults to the vproc's home node; the
     /// runtime retargets it at the thief's node around a steal handoff.
     promotion_target: Vec<NodeId>,
+    /// Per-vproc *effective* static policy under
+    /// [`PlacementPolicy::Adaptive`]: the runtime's controller resolves the
+    /// adaptive mode to `NodeLocal` or `Interleave` before each promotion.
+    /// Ignored for static heap-wide policies.
+    effective_placement: Vec<PlacementPolicy>,
     stats: HeapStats,
 }
 
@@ -220,6 +342,8 @@ impl Heap {
             placement: PlacementPolicy::NodeLocal,
             interleave_cursor: 0,
             promotion_target: vproc_nodes.to_vec(),
+            // Adaptive controllers cold-start in node-local mode.
+            effective_placement: vec![PlacementPolicy::NodeLocal; vproc_nodes.len()],
             stats: HeapStats::default(),
         }
     }
@@ -249,6 +373,32 @@ impl Heap {
     /// The node `vproc`'s next promotion targets.
     pub fn promotion_target(&self, vproc: usize) -> NodeId {
         self.promotion_target[vproc]
+    }
+
+    /// The static policy `vproc`'s chunk acquisitions currently follow:
+    /// the heap-wide policy, except under [`PlacementPolicy::Adaptive`],
+    /// where it is the controller-resolved per-vproc mode.
+    pub fn effective_placement(&self, vproc: usize) -> PlacementPolicy {
+        match self.placement {
+            PlacementPolicy::Adaptive => self.effective_placement[vproc],
+            fixed => fixed,
+        }
+    }
+
+    /// Resolves `vproc`'s effective policy under
+    /// [`PlacementPolicy::Adaptive`] (no effect on static heap-wide
+    /// policies). The runtime's adaptive controller calls this before each
+    /// promotion.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `effective` is itself `Adaptive`.
+    pub fn set_effective_placement(&mut self, vproc: usize, effective: PlacementPolicy) {
+        debug_assert!(
+            effective != PlacementPolicy::Adaptive,
+            "the adaptive controller resolves to a concrete static policy"
+        );
+        self.effective_placement[vproc] = effective;
     }
 
     /// The heap configuration.
@@ -550,10 +700,11 @@ impl Heap {
         }
         // The placement policy picks the target node (consumer node under
         // `NodeLocal`, home node under `FirstTouch`, round-robin under
-        // `Interleave`); the page placer then resolves it exactly as it does
+        // `Interleave`, whichever of those the controller resolved under
+        // `Adaptive`); the page placer then resolves it exactly as it does
         // for any other region.
-        let target = match self.placement {
-            PlacementPolicy::NodeLocal => self.promotion_target[vproc],
+        let target = match self.effective_placement(vproc) {
+            PlacementPolicy::NodeLocal | PlacementPolicy::Adaptive => self.promotion_target[vproc],
             PlacementPolicy::FirstTouch => self.vproc_nodes[vproc],
             PlacementPolicy::Interleave => {
                 let node = NodeId::new((self.interleave_cursor % self.num_nodes) as u16);
@@ -584,8 +735,8 @@ impl Heap {
         if !self.global.node_affinity() {
             return None;
         }
-        let target = match self.placement {
-            PlacementPolicy::NodeLocal => self.promotion_target[vproc],
+        let target = match self.effective_placement(vproc) {
+            PlacementPolicy::NodeLocal | PlacementPolicy::Adaptive => self.promotion_target[vproc],
             PlacementPolicy::FirstTouch => self.vproc_nodes[vproc],
             PlacementPolicy::Interleave => return None,
         };
@@ -726,6 +877,64 @@ mod tests {
         assert_eq!(heap.local(1).node(), NodeId::new(1));
         assert_eq!(heap.vproc_home_node(1), NodeId::new(1));
         assert!(heap.page_map().mapped_pages() > 0);
+    }
+
+    #[test]
+    fn geometry_validates_spans_and_minimums() {
+        // The defaults and the test config are valid.
+        assert_eq!(HeapConfig::default().geometry().validate(), Ok(()));
+        assert_eq!(HeapConfig::small_for_tests().geometry().validate(), Ok(()));
+        // Chunk and local-heap minimums are the classic bounds.
+        let tiny_chunk = HeapConfig {
+            chunk_size_bytes: 64,
+            ..HeapConfig::small_for_tests()
+        };
+        assert_eq!(
+            tiny_chunk.geometry().validate(),
+            Err(GeometryViolation::BelowMinimum {
+                field: "chunk_size_bytes",
+                bytes: 64,
+                min: MIN_CHUNK_BYTES as u64,
+            })
+        );
+        // A non-power-of-two span breaks the addr→node shift.
+        let crooked = HeapConfig {
+            node_span_bytes: (1 << 30) + 512,
+            ..HeapConfig::small_for_tests()
+        };
+        assert_eq!(
+            crooked.geometry().validate(),
+            Err(GeometryViolation::NotPowerOfTwo {
+                field: "node_span_bytes",
+                bytes: (1 << 30) + 512,
+            })
+        );
+        // A span smaller than one chunk can never map anything.
+        let sliver = HeapConfig {
+            node_span_bytes: 1024,
+            ..HeapConfig::small_for_tests()
+        };
+        assert_eq!(
+            sliver.geometry().validate(),
+            Err(GeometryViolation::BelowMinimum {
+                field: "node_span_bytes",
+                bytes: 1024,
+                min: 4096,
+            })
+        );
+        // The ceiling keeps band arithmetic inside u64 for any NodeId.
+        let vast = HeapConfig {
+            node_span_bytes: 1 << 50,
+            ..HeapConfig::small_for_tests()
+        };
+        assert_eq!(
+            vast.geometry().validate(),
+            Err(GeometryViolation::AboveMaximum {
+                field: "node_span_bytes",
+                bytes: 1 << 50,
+                max: 1 << crate::shared::MAX_NODE_SPAN_SHIFT,
+            })
+        );
     }
 
     #[test]

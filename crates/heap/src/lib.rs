@@ -63,12 +63,16 @@ pub use global::{GlobalHeap, GlobalHeapStats, SharedChunkPool};
 pub use header::{
     Header, HeaderSlot, ObjectKind, FIRST_MIXED_ID, MAX_ID, MAX_LEN_WORDS, RAW_ID, VECTOR_ID,
 };
-pub use heap::{EvacTarget, Heap, HeapConfig, HeapStats, Space};
+pub use heap::{
+    EvacTarget, GeometryViolation, Heap, HeapConfig, HeapGeometry, HeapStats, Space,
+    MIN_CHUNK_BYTES, MIN_LOCAL_HEAP_BYTES,
+};
 pub use local::{LocalHeap, LocalHeapStats, LocalObjects, LocalRegion};
 pub use object::{f64_to_word, i64_to_word, word_to_f64, word_to_i64};
 pub use shared::{
-    global_node_of, SharedChunk, SharedChunkState, SharedGlobalHeap, ThreadedLayout, ThreadedOwner,
-    WorkerHeap, GLOBAL_BASE, LOCAL_BASE, NODE_SPAN_BYTES, NODE_SPAN_SHIFT,
+    global_node_of, ChunkDirectory, DirSegment, DirectorySnapshot, SharedChunk, SharedChunkState,
+    SharedGlobalHeap, ThreadedLayout, ThreadedOwner, WorkerHeap, DIR_SEG_CHUNKS, GLOBAL_BASE,
+    LOCAL_BASE, MAX_NODE_SPAN_SHIFT, NODE_SPAN_BYTES, NODE_SPAN_SHIFT,
 };
 pub use space::{AddressSpace, RegionOwner};
 pub use verify::{verify_global_heap, verify_heap, verify_local_heap, InvariantViolation};

@@ -44,12 +44,19 @@ use std::sync::{Arc, RwLock};
 pub const LOCAL_BASE: u64 = 1 << 20;
 /// Base address of the shared global heap (far above any local heap).
 pub const GLOBAL_BASE: u64 = 1 << 44;
-/// log2 of the per-node global-heap address band.
+/// log2 of the *default* per-node global-heap address band
+/// ([`HeapConfig::node_span_bytes`] can override the span per heap).
 pub const NODE_SPAN_SHIFT: u32 = 38;
-/// Bytes of global-heap address space reserved per NUMA node (256 GiB of
-/// *virtual* span — chunks are only mapped as they are acquired). Because
-/// every node owns one contiguous band, `addr → node` is a shift.
+/// Default bytes of global-heap address space reserved per NUMA node
+/// (256 GiB of *virtual* span — chunks are only mapped as they are
+/// acquired). Because every node owns one contiguous band, `addr → node`
+/// is a shift. Heaps sized from probed host memory pass their own
+/// power-of-two span through [`HeapConfig::node_span_bytes`].
 pub const NODE_SPAN_BYTES: u64 = 1 << NODE_SPAN_SHIFT;
+/// Largest accepted per-node span (64 TiB): keeps
+/// `GLOBAL_BASE + node * span + offset` inside `u64` for every
+/// representable [`NodeId`].
+pub const MAX_NODE_SPAN_SHIFT: u32 = 46;
 
 /// The NUMA node whose address band contains the global-heap address
 /// `addr`, by pure arithmetic. `None` for non-global addresses and for
@@ -62,6 +69,147 @@ pub fn global_node_of(addr: Addr) -> Option<NodeId> {
     }
     let band = (raw - GLOBAL_BASE) >> NODE_SPAN_SHIFT;
     (band <= u64::from(u16::MAX)).then(|| NodeId::new(band as u16))
+}
+
+/// Chunks per directory segment. Small enough that a heap with a handful of
+/// chunks wastes little, large enough that a GB-scale heap (hundreds of
+/// thousands of chunks) stays at a few hundred segments.
+pub const DIR_SEG_CHUNKS: usize = 512;
+
+/// One append-only segment of a [`ChunkDirectory`]. Slots are `OnceLock`s:
+/// a published entry never moves and never changes, so holders of a segment
+/// `Arc` read it without any lock — including entries published *after*
+/// they snapshotted the segment list.
+#[derive(Debug)]
+pub struct DirSegment {
+    slots: Vec<std::sync::OnceLock<Arc<SharedChunk>>>,
+}
+
+impl DirSegment {
+    fn new() -> Self {
+        DirSegment {
+            slots: (0..DIR_SEG_CHUNKS)
+                .map(|_| std::sync::OnceLock::new())
+                .collect(),
+        }
+    }
+
+    /// The chunk in `slot`, if one has been published there.
+    pub fn get(&self, slot: usize) -> Option<&Arc<SharedChunk>> {
+        self.slots[slot].get()
+    }
+}
+
+/// A growable chunk directory: an append-only list of fixed-size
+/// [`DirSegment`]s. Unlike a flat `Vec`, growth *appends a segment* — no
+/// existing entry is ever moved or reallocated — so readers holding segment
+/// `Arc`s (worker thread-local caches, GC work-index snapshots) stay valid
+/// across concurrent growth, and refreshing a snapshot clones only the
+/// segment list (O(chunks / [`DIR_SEG_CHUNKS`])), not every chunk `Arc`.
+#[derive(Debug)]
+pub struct ChunkDirectory {
+    segments: RwLock<Vec<Arc<DirSegment>>>,
+    /// Published length: entries `0..len` are readable. Bumped with
+    /// `Release` *after* the slot's `OnceLock` is set.
+    len: AtomicUsize,
+}
+
+impl ChunkDirectory {
+    fn new() -> Self {
+        ChunkDirectory {
+            segments: RwLock::new(Vec::new()),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of published entries.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// True when no chunk has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The chunk at `index`, if published.
+    pub fn get(&self, index: usize) -> Option<Arc<SharedChunk>> {
+        if index >= self.len() {
+            return None;
+        }
+        let segments = self.segments.read().expect("chunk directory poisoned");
+        segments
+            .get(index / DIR_SEG_CHUNKS)?
+            .get(index % DIR_SEG_CHUNKS)
+            .cloned()
+    }
+
+    /// Appends a chunk, growing by a fresh segment when the last one is
+    /// full, and returns its index. Appends are serialised by the caller
+    /// (the heap's acquire path holds the flat directory's append lock);
+    /// concurrent readers are never blocked out of published entries.
+    fn push(&self, chunk: Arc<SharedChunk>) -> usize {
+        let index = self.len.load(Ordering::Relaxed);
+        let (seg, slot) = (index / DIR_SEG_CHUNKS, index % DIR_SEG_CHUNKS);
+        if slot == 0 {
+            self.segments
+                .write()
+                .expect("chunk directory poisoned")
+                .push(Arc::new(DirSegment::new()));
+        }
+        {
+            let segments = self.segments.read().expect("chunk directory poisoned");
+            segments[seg].slots[slot]
+                .set(chunk)
+                .expect("directory slots are published exactly once");
+        }
+        self.len.store(index + 1, Ordering::Release);
+        index
+    }
+
+    /// A point-in-time view sharing the directory's segments.
+    pub fn snapshot(&self) -> DirectorySnapshot {
+        DirectorySnapshot {
+            segments: self
+                .segments
+                .read()
+                .expect("chunk directory poisoned")
+                .clone(),
+        }
+    }
+
+    /// Materialises the published entries as a flat vector (index order).
+    pub fn to_vec(&self) -> Vec<Arc<SharedChunk>> {
+        let len = self.len();
+        let snapshot = self.snapshot();
+        (0..len)
+            .map(|i| {
+                snapshot
+                    .get(i)
+                    .expect("published entries are readable")
+                    .clone()
+            })
+            .collect()
+    }
+}
+
+/// A lock-free view of a [`ChunkDirectory`] taken at some instant. Because
+/// segments are append-only, a snapshot can also resolve entries published
+/// *after* it was taken, as long as they landed in a segment it already
+/// holds — which is what lets worker caches go many promotions between
+/// refreshes.
+#[derive(Debug, Clone, Default)]
+pub struct DirectorySnapshot {
+    segments: Vec<Arc<DirSegment>>,
+}
+
+impl DirectorySnapshot {
+    /// The chunk at `index`, if it is visible through this snapshot.
+    pub fn get(&self, index: usize) -> Option<&Arc<SharedChunk>> {
+        self.segments
+            .get(index / DIR_SEG_CHUNKS)?
+            .get(index % DIR_SEG_CHUNKS)
+    }
 }
 
 /// Lifecycle state of a shared chunk (the payload-free counterpart of
@@ -297,14 +445,21 @@ pub struct SharedGlobalHeap {
     chunk_size_words: usize,
     num_nodes: usize,
     /// Which node's pool promotion chunks are leased from (see
-    /// [`PlacementPolicy`]); fixed at construction.
+    /// [`PlacementPolicy`]); fixed at construction. `Adaptive` is resolved
+    /// per lease by the caller through [`SharedGlobalHeap::acquire_as`].
     placement: PlacementPolicy,
+    /// Bytes of address band per node (a power of two; default
+    /// [`NODE_SPAN_BYTES`]).
+    node_span_bytes: u64,
     /// Flat, append-only directory in [`ChunkId`] order (the parallel GC's
     /// work index iterates it).
-    chunks: RwLock<Vec<Arc<SharedChunk>>>,
-    /// Per-node directories in address order: `by_node[n][i]` is the chunk
-    /// at `GLOBAL_BASE + n * NODE_SPAN_BYTES + i * chunk_size_bytes`.
-    by_node: Vec<RwLock<Vec<Arc<SharedChunk>>>>,
+    chunks: ChunkDirectory,
+    /// Per-node directories in address order: `by_node[n]` entry `i` is the
+    /// chunk at `GLOBAL_BASE + n * node_span_bytes + i * chunk_size_bytes`.
+    by_node: Vec<ChunkDirectory>,
+    /// Serialises fresh-chunk mapping (id assignment + the two directory
+    /// appends); pooled reuse never takes it.
+    grow: std::sync::Mutex<()>,
     pool: SharedChunkPool,
     chunks_in_use: AtomicUsize,
     chunks_created: AtomicU64,
@@ -314,7 +469,8 @@ pub struct SharedGlobalHeap {
 
 impl SharedGlobalHeap {
     /// Creates an empty shared global heap with the default
-    /// ([`PlacementPolicy::NodeLocal`]) placement.
+    /// ([`PlacementPolicy::NodeLocal`]) placement and the default
+    /// [`NODE_SPAN_BYTES`] per-node address band.
     ///
     /// # Panics
     ///
@@ -326,8 +482,10 @@ impl SharedGlobalHeap {
             chunk_size_words,
             num_nodes,
             placement: PlacementPolicy::NodeLocal,
-            chunks: RwLock::new(Vec::new()),
-            by_node: (0..num_nodes).map(|_| RwLock::new(Vec::new())).collect(),
+            node_span_bytes: NODE_SPAN_BYTES,
+            chunks: ChunkDirectory::new(),
+            by_node: (0..num_nodes).map(|_| ChunkDirectory::new()).collect(),
+            grow: std::sync::Mutex::new(()),
             pool: SharedChunkPool::new(num_nodes),
             chunks_in_use: AtomicUsize::new(0),
             chunks_created: AtomicU64::new(0),
@@ -342,16 +500,58 @@ impl SharedGlobalHeap {
         self
     }
 
+    /// Sets the per-node address-band span (builder-style; call before any
+    /// chunk is mapped). Heaps sized from probed host memory pass the
+    /// validated [`HeapConfig::node_span_bytes`] here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not a power of two, is smaller than one chunk,
+    /// or exceeds `1 << `[`MAX_NODE_SPAN_SHIFT`] (callers validate through
+    /// [`HeapGeometry`](crate::HeapGeometry) to get a typed error instead).
+    pub fn with_node_span_bytes(mut self, bytes: u64) -> Self {
+        assert!(
+            bytes.is_power_of_two(),
+            "the node span must be a power of two"
+        );
+        assert!(
+            bytes >= self.chunk_size_bytes() as u64,
+            "the node span must fit at least one chunk"
+        );
+        assert!(
+            bytes <= 1 << MAX_NODE_SPAN_SHIFT,
+            "the node span exceeds the supported maximum band"
+        );
+        self.node_span_bytes = bytes;
+        self
+    }
+
     /// The chunk-lease placement policy.
     pub fn placement(&self) -> PlacementPolicy {
         self.placement
     }
 
+    /// Bytes of global-heap address band per node.
+    pub fn node_span_bytes(&self) -> u64 {
+        self.node_span_bytes
+    }
+
     /// Resolves the node a new chunk lease should come from, given the
     /// requesting worker's preferred (consumer) node.
     pub fn place_node(&self, preferred: NodeId) -> NodeId {
-        match self.placement {
-            PlacementPolicy::NodeLocal | PlacementPolicy::FirstTouch => preferred,
+        self.place_node_as(self.placement, preferred)
+    }
+
+    /// Resolves a lease node under an explicit *effective* policy. This is
+    /// how [`PlacementPolicy::Adaptive`] reaches the heap: the runtime's
+    /// controller resolves the adaptive mode to node-local or interleave
+    /// first, so the heap only ever executes static behaviours (an
+    /// unresolved `Adaptive` behaves as node-local, its cold-start mode).
+    pub fn place_node_as(&self, effective: PlacementPolicy, preferred: NodeId) -> NodeId {
+        match effective {
+            PlacementPolicy::NodeLocal
+            | PlacementPolicy::FirstTouch
+            | PlacementPolicy::Adaptive => preferred,
             PlacementPolicy::Interleave => {
                 let next = self.interleave_cursor.fetch_add(1, Ordering::Relaxed);
                 NodeId::new((next % self.num_nodes) as u16)
@@ -381,7 +581,7 @@ impl SharedGlobalHeap {
 
     /// Total chunks ever created.
     pub fn num_chunks(&self) -> usize {
-        self.chunks.read().expect("chunk directory poisoned").len()
+        self.chunks.len()
     }
 
     /// Chunks created from fresh address space.
@@ -402,10 +602,7 @@ impl SharedGlobalHeap {
 
     /// A snapshot of the chunk directory.
     pub fn snapshot(&self) -> Vec<Arc<SharedChunk>> {
-        self.chunks
-            .read()
-            .expect("chunk directory poisoned")
-            .clone()
+        self.chunks.to_vec()
     }
 
     /// The chunk at directory index `index`.
@@ -414,7 +611,9 @@ impl SharedGlobalHeap {
     ///
     /// Panics if `index` is out of range.
     pub fn chunk_at(&self, index: usize) -> Arc<SharedChunk> {
-        self.chunks.read().expect("chunk directory poisoned")[index].clone()
+        self.chunks
+            .get(index)
+            .expect("chunk index out of directory range")
     }
 
     /// Acquires a chunk for a worker whose preferred (consumer) node is
@@ -427,7 +626,13 @@ impl SharedGlobalHeap {
     /// chunk from *another* node; it keeps its true node — memory does not
     /// migrate — so subsequent promotions into it are accounted as remote.
     pub fn acquire(&self, preferred: NodeId) -> Arc<SharedChunk> {
-        let node = self.place_node(preferred);
+        self.acquire_as(self.placement, preferred)
+    }
+
+    /// [`SharedGlobalHeap::acquire`] under an explicit effective policy
+    /// (see [`SharedGlobalHeap::place_node_as`]).
+    pub fn acquire_as(&self, effective: PlacementPolicy, preferred: NodeId) -> Arc<SharedChunk> {
+        let node = self.place_node_as(effective, preferred);
         if let Some((id, _crossed)) = self.pool.pop(node) {
             let chunk = self.chunk_at(id.index());
             debug_assert_eq!(chunk.state(), SharedChunkState::Free);
@@ -435,23 +640,24 @@ impl SharedGlobalHeap {
             self.chunks_in_use.fetch_add(1, Ordering::AcqRel);
             return chunk;
         }
-        // Map a fresh chunk in `node`'s address band. Lock order (flat
-        // directory, then the node directory) is the same everywhere.
-        let mut chunks = self.chunks.write().expect("chunk directory poisoned");
-        let mut on_node = self.by_node[node.index()]
-            .write()
-            .expect("node directory poisoned");
-        let id = ChunkId(chunks.len() as u32);
+        // Map a fresh chunk in `node`'s address band. The grow mutex
+        // serialises id assignment and the two directory appends; readers
+        // are never blocked (directories grow by appending segments, so
+        // published entries stay valid throughout).
+        let _grow = self.grow.lock().expect("grow lock poisoned");
+        let on_node = &self.by_node[node.index()];
+        let id = ChunkId(self.chunks.len() as u32);
         let index_on_node = on_node.len();
-        let offset = (index_on_node * self.chunk_size_bytes()) as u64;
+        let offset = (index_on_node as u64) * self.chunk_size_bytes() as u64;
         assert!(
-            offset + self.chunk_size_bytes() as u64 <= NODE_SPAN_BYTES,
-            "node {node} exhausted its {NODE_SPAN_BYTES}-byte global-heap address band"
+            offset + self.chunk_size_bytes() as u64 <= self.node_span_bytes,
+            "node {node} exhausted its {}-byte global-heap address band",
+            self.node_span_bytes
         );
-        let base = Addr::new(GLOBAL_BASE + (node.index() as u64) * NODE_SPAN_BYTES + offset);
+        let base = Addr::new(GLOBAL_BASE + (node.index() as u64) * self.node_span_bytes + offset);
         let chunk = Arc::new(SharedChunk::new(id, base, node, self.chunk_size_words));
         chunk.set_state(SharedChunkState::Current);
-        chunks.push(chunk.clone());
+        self.chunks.push(chunk.clone());
         on_node.push(chunk.clone());
         self.chunks_created.fetch_add(1, Ordering::Relaxed);
         self.chunks_in_use.fetch_add(1, Ordering::AcqRel);
@@ -480,10 +686,26 @@ impl SharedGlobalHeap {
     ///
     /// Panics if `node` is out of range.
     pub fn snapshot_node(&self, node: NodeId) -> Vec<Arc<SharedChunk>> {
-        self.by_node[node.index()]
-            .read()
-            .expect("node directory poisoned")
-            .clone()
+        self.by_node[node.index()].to_vec()
+    }
+
+    /// A segment-sharing snapshot of one node's directory (what worker
+    /// caches hold — refreshing clones segment `Arc`s, not chunk `Arc`s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn snapshot_node_dir(&self, node: NodeId) -> DirectorySnapshot {
+        self.by_node[node.index()].snapshot()
+    }
+
+    /// Number of chunks mapped in `node`'s address band.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn chunks_on_node(&self, node: NodeId) -> usize {
+        self.by_node[node.index()].len()
     }
 }
 
@@ -498,6 +720,9 @@ pub struct ThreadedLayout {
     local_words: usize,
     /// Words per global chunk.
     chunk_words: usize,
+    /// log2 of the per-node global-heap address band (from
+    /// [`HeapConfig::node_span_bytes`]).
+    node_span_shift: u32,
 }
 
 /// Who owns an address under a [`ThreadedLayout`].
@@ -535,11 +760,25 @@ impl ThreadedLayout {
             LOCAL_BASE + span < GLOBAL_BASE,
             "local heaps would overlap the global heap base"
         );
+        assert!(
+            config.node_span_bytes.is_power_of_two(),
+            "the node span must be a power of two (validate through HeapGeometry)"
+        );
+        assert!(
+            config.node_span_bytes <= 1 << MAX_NODE_SPAN_SHIFT,
+            "the node span exceeds the supported maximum band"
+        );
+        let node_span_shift = config.node_span_bytes.trailing_zeros();
+        assert!(
+            (chunk_words * WORD_BYTES) as u64 <= config.node_span_bytes,
+            "a node's address band must fit at least one chunk"
+        );
         ThreadedLayout {
             num_vprocs,
             num_nodes,
             local_words,
             chunk_words,
+            node_span_shift,
         }
     }
 
@@ -563,6 +802,16 @@ impl ThreadedLayout {
         self.chunk_words
     }
 
+    /// log2 of the per-node global-heap address band.
+    pub fn node_span_shift(&self) -> u32 {
+        self.node_span_shift
+    }
+
+    /// Bytes of global-heap address band per node.
+    pub fn node_span_bytes(&self) -> u64 {
+        1 << self.node_span_shift
+    }
+
     /// Base address of vproc `v`'s local heap.
     pub fn local_base(&self, vproc: usize) -> Addr {
         Addr::new(LOCAL_BASE + (vproc * self.local_words * WORD_BYTES) as u64)
@@ -572,11 +821,11 @@ impl ThreadedLayout {
     pub fn owner_of(&self, addr: Addr) -> ThreadedOwner {
         let raw = addr.raw();
         if raw >= GLOBAL_BASE {
-            let node = ((raw - GLOBAL_BASE) >> NODE_SPAN_SHIFT) as usize;
+            let node = ((raw - GLOBAL_BASE) >> self.node_span_shift) as usize;
             if node >= self.num_nodes {
                 return ThreadedOwner::Unmapped;
             }
-            let offset = (raw - GLOBAL_BASE) & (NODE_SPAN_BYTES - 1);
+            let offset = (raw - GLOBAL_BASE) & (self.node_span_bytes() - 1);
             let index = (offset as usize) / (self.chunk_words * WORD_BYTES);
             ThreadedOwner::Global { node, index }
         } else if raw >= LOCAL_BASE {
@@ -610,11 +859,17 @@ pub struct WorkerHeap {
     /// duration of a steal handoff (under `NodeLocal` placement), so
     /// promoted graphs land where they are about to be traversed.
     promotion_target: NodeId,
+    /// The static policy this worker's chunk leases follow *right now*.
+    /// Equals the heap's policy for static policies; under
+    /// [`PlacementPolicy::Adaptive`] the runtime's controller retargets it
+    /// between `NodeLocal` and `Interleave` as the locality ledger moves.
+    effective_placement: PlacementPolicy,
     current: Option<Arc<SharedChunk>>,
     /// Thread-local shadow of the per-node chunk directories; a node's
-    /// snapshot is refreshed from the `RwLock`-guarded directory only when
-    /// an address points past its end.
-    cache: RefCell<Vec<Vec<Arc<SharedChunk>>>>,
+    /// snapshot shares the directory's append-only segments (so it also
+    /// resolves chunks published after it was taken, within known
+    /// segments) and is refreshed only when an address points past it.
+    cache: RefCell<Vec<DirectorySnapshot>>,
     stats: HeapStats,
 }
 
@@ -644,6 +899,12 @@ impl WorkerHeap {
     ) -> Self {
         let base = layout.local_base(vproc);
         let num_nodes = layout.num_nodes();
+        // Adaptive controllers cold-start in node-local mode; static
+        // policies are their own effective policy.
+        let effective_placement = match global.placement() {
+            PlacementPolicy::Adaptive => PlacementPolicy::NodeLocal,
+            fixed => fixed,
+        };
         WorkerHeap {
             vproc,
             layout,
@@ -652,8 +913,9 @@ impl WorkerHeap {
             descriptors,
             home_node: node,
             promotion_target: node,
+            effective_placement,
             current: None,
-            cache: RefCell::new(vec![Vec::new(); num_nodes]),
+            cache: RefCell::new(vec![DirectorySnapshot::default(); num_nodes]),
             stats: HeapStats::default(),
         }
     }
@@ -680,6 +942,29 @@ impl WorkerHeap {
     /// restores it to the home node afterwards.
     pub fn set_promotion_target(&mut self, node: NodeId) {
         self.promotion_target = node;
+    }
+
+    /// The static policy this worker's leases currently follow (differs
+    /// from the heap's policy only under [`PlacementPolicy::Adaptive`]).
+    pub fn effective_placement(&self) -> PlacementPolicy {
+        self.effective_placement
+    }
+
+    /// Retargets the worker's effective lease policy. Only meaningful when
+    /// the heap's policy is [`PlacementPolicy::Adaptive`] — the runtime's
+    /// controller calls this as the locality ledger moves; static policies
+    /// never change.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `effective` is itself `Adaptive` — the controller
+    /// must resolve a concrete mode.
+    pub fn set_effective_placement(&mut self, effective: PlacementPolicy) {
+        debug_assert!(
+            effective != PlacementPolicy::Adaptive,
+            "the adaptive controller resolves to a concrete static policy"
+        );
+        self.effective_placement = effective;
     }
 
     /// The shared global heap.
@@ -766,18 +1051,20 @@ impl WorkerHeap {
 
     fn fresh_current_chunk(&mut self) -> Arc<SharedChunk> {
         self.retire_current_chunk();
-        let chunk = self.global.acquire(self.promotion_target);
+        let chunk = self
+            .global
+            .acquire_as(self.effective_placement, self.promotion_target);
         self.stats.chunk_acquisitions += 1;
         self.current = Some(chunk.clone());
         chunk
     }
 
     /// True when the current chunk satisfies the promotion target under the
-    /// active placement policy. `Interleave` never binds; and when the
-    /// affinity ablation is on, the pool may legitimately hand back
-    /// wrong-node chunks, so retiring them would only churn.
+    /// worker's *effective* placement policy. `Interleave` never binds; and
+    /// when the affinity ablation is on, the pool may legitimately hand
+    /// back wrong-node chunks, so retiring them would only churn.
     fn current_chunk_matches_target(&self, chunk: &SharedChunk) -> bool {
-        if !self.global.placement().binds_node() || !self.global.pool().node_affinity() {
+        if !self.effective_placement.binds_node() || !self.global.pool().node_affinity() {
             return true;
         }
         chunk.node() == self.promotion_target
@@ -829,14 +1116,15 @@ impl WorkerHeap {
         self.refresh_cached_chunk(addr, node, index)
     }
 
-    /// Cache miss: the node's directory grew since we last looked.
+    /// Cache miss: the node's directory grew a segment since we last looked.
     fn refresh_cached_chunk(&self, addr: Addr, node: usize, index: usize) -> Arc<SharedChunk> {
-        let snapshot = self.global.snapshot_node(NodeId::new(node as u16));
-        assert!(
-            index < snapshot.len(),
-            "{addr:?} points past the end of node {node}'s global-heap band"
-        );
-        let chunk = snapshot[index].clone();
+        let snapshot = self.global.snapshot_node_dir(NodeId::new(node as u16));
+        let chunk = snapshot
+            .get(index)
+            .unwrap_or_else(|| {
+                panic!("{addr:?} points past the end of node {node}'s global-heap band")
+            })
+            .clone();
         self.cache.borrow_mut()[node] = snapshot;
         chunk
     }
@@ -1260,6 +1548,190 @@ mod tests {
             Err(copy_a)
         );
         assert_eq!(GcHeap::forwarded_to(&w0, obj), Some(copy_a));
+    }
+
+    #[test]
+    fn directory_grows_by_segments_and_snapshots_see_later_entries() {
+        let config = HeapConfig::small_for_tests();
+        let layout = ThreadedLayout::new(&config, 1, 1);
+        let global = Arc::new(SharedGlobalHeap::new(layout.chunk_words(), 1));
+        // Take a snapshot while the directory is empty, then grow past one
+        // segment boundary.
+        let early = global.snapshot_node_dir(NodeId::new(0));
+        assert!(early.get(0).is_none());
+        let total = DIR_SEG_CHUNKS + 3;
+        let chunks: Vec<_> = (0..total).map(|_| global.acquire(NodeId::new(0))).collect();
+        assert_eq!(global.num_chunks(), total);
+        assert_eq!(global.chunks_on_node(NodeId::new(0)), total);
+        // A fresh snapshot resolves every entry; entries keep address order.
+        let snap = global.snapshot_node_dir(NodeId::new(0));
+        for (i, chunk) in chunks.iter().enumerate() {
+            assert_eq!(snap.get(i).unwrap().id(), chunk.id());
+        }
+        assert!(snap.get(total).is_none());
+        // The append-only segments mean the *old* snapshot still can't see
+        // anything (it held no segments), but a mid-growth snapshot sees
+        // entries published later into segments it already holds.
+        let mid = global.snapshot_node_dir(NodeId::new(0));
+        let more = global.acquire(NodeId::new(0));
+        assert_eq!(mid.get(total).unwrap().id(), more.id());
+        // The flat directory agrees.
+        assert_eq!(global.snapshot().len(), total + 1);
+    }
+
+    #[test]
+    fn concurrent_grow_while_promoting_keeps_every_chunk_distinct() {
+        use std::collections::HashSet;
+        use std::sync::atomic::AtomicBool;
+        // Hammer the Treiber free stacks and the directory append path at
+        // once: half the acquisitions recycle released chunks, half map
+        // fresh ones, racing across two nodes and one segment boundary.
+        let config = HeapConfig::small_for_tests();
+        let layout = ThreadedLayout::new(&config, 4, 2);
+        let global = Arc::new(SharedGlobalHeap::new(layout.chunk_words(), 2));
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..2)
+            .map(|n| {
+                // Concurrent directory readers: resolve every published
+                // index while the appends race.
+                let global = global.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Acquire) {
+                        let node = NodeId::new(n as u16);
+                        let len = global.chunks_on_node(node);
+                        let snap = global.snapshot_node_dir(node);
+                        for i in 0..len {
+                            assert_eq!(snap.get(i).unwrap().node(), node);
+                        }
+                    }
+                })
+            })
+            .collect();
+        let workers: Vec<_> = (0..4)
+            .map(|w| {
+                let global = global.clone();
+                std::thread::spawn(move || {
+                    let node = NodeId::new((w % 2) as u16);
+                    let mut held = Vec::new();
+                    let mut seen = Vec::new();
+                    for round in 0..300 {
+                        let chunk = global.acquire(node);
+                        assert_eq!(chunk.node(), node, "affinity-on leases stay node-local");
+                        seen.push(chunk.id());
+                        held.push(chunk);
+                        // Release every other round so the pool path and the
+                        // fresh-map path interleave.
+                        if round % 2 == 0 {
+                            let chunk = held.remove(0);
+                            global.release(&chunk);
+                        }
+                    }
+                    (held, seen)
+                })
+            })
+            .collect();
+        let mut in_use = Vec::new();
+        for w in workers {
+            let (held, seen) = w.join().unwrap();
+            assert_eq!(seen.len(), 300);
+            in_use.extend(held.into_iter().map(|c| c.id()));
+        }
+        stop.store(true, Ordering::Release);
+        for r in readers {
+            r.join().unwrap();
+        }
+        // No two workers ever held the same chunk simultaneously.
+        let distinct: HashSet<_> = in_use.iter().copied().collect();
+        assert_eq!(distinct.len(), in_use.len(), "a chunk was double-leased");
+        assert_eq!(global.chunks_in_use(), in_use.len());
+        // Every chunk the directory knows is exactly once in it.
+        let all = global.snapshot();
+        let ids: HashSet<_> = all.iter().map(|c| c.id()).collect();
+        assert_eq!(ids.len(), all.len());
+        assert_eq!(global.num_chunks(), all.len());
+    }
+
+    #[test]
+    fn custom_node_span_places_bands_at_the_configured_stride() {
+        let span: u64 = 1 << 20;
+        let config = HeapConfig {
+            node_span_bytes: span,
+            ..HeapConfig::small_for_tests()
+        };
+        let layout = ThreadedLayout::new(&config, 1, 2);
+        assert_eq!(layout.node_span_bytes(), span);
+        let global =
+            Arc::new(SharedGlobalHeap::new(layout.chunk_words(), 2).with_node_span_bytes(span));
+        let c0 = global.acquire(NodeId::new(0));
+        let c1 = global.acquire(NodeId::new(1));
+        assert_eq!(c0.base().raw(), GLOBAL_BASE);
+        assert_eq!(c1.base().raw(), GLOBAL_BASE + span);
+        // The layout's arithmetic agrees with the heap's band math.
+        assert_eq!(
+            layout.owner_of(c1.base()),
+            ThreadedOwner::Global { node: 1, index: 0 }
+        );
+        // And the smaller band actually exhausts: a 1 MiB band holds 256
+        // four-KiB chunks.
+        let per_band = (span / global.chunk_size_bytes() as u64) as usize;
+        assert_eq!(per_band, 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted its")]
+    fn exhausting_a_small_band_panics_clearly() {
+        let span: u64 = 8 * 1024;
+        let config = HeapConfig {
+            node_span_bytes: span,
+            ..HeapConfig::small_for_tests()
+        };
+        let layout = ThreadedLayout::new(&config, 1, 1);
+        let global = SharedGlobalHeap::new(layout.chunk_words(), 1).with_node_span_bytes(span);
+        // Two 4 KiB chunks fit; the third must fail loudly.
+        let _a = global.acquire(NodeId::new(0));
+        let _b = global.acquire(NodeId::new(0));
+        let _c = global.acquire(NodeId::new(0));
+    }
+
+    /// GB-scale geometry smoke: only runs under `MGC_SCALE=bench` (it maps
+    /// a quarter-GiB of chunk *payload*, which is too slow for the tier-1
+    /// suite). Exercises the segmented directory well past many segment
+    /// boundaries with a realistic 256 KiB chunk size.
+    #[test]
+    fn gb_geometry_smoke_maps_a_quarter_gib_band() {
+        if std::env::var("MGC_SCALE").as_deref() != Ok("bench") {
+            return;
+        }
+        let chunk_bytes: usize = 256 * 1024;
+        let span: u64 = 1 << 30;
+        let config = HeapConfig {
+            chunk_size_bytes: chunk_bytes,
+            node_span_bytes: span,
+            ..HeapConfig::small_for_tests()
+        };
+        let layout = ThreadedLayout::new(&config, 1, 1);
+        let global = SharedGlobalHeap::new(layout.chunk_words(), 1).with_node_span_bytes(span);
+        // 1024 chunks × 256 KiB = 256 MiB mapped, crossing two segment
+        // boundaries; the last chunk sits just under the 1 GiB band edge.
+        let n = 1024;
+        let mut last = None;
+        for _ in 0..n {
+            last = Some(global.acquire(NodeId::new(0)));
+        }
+        let last = last.unwrap();
+        assert_eq!(global.num_chunks(), n);
+        assert_eq!(
+            last.base().raw(),
+            GLOBAL_BASE + ((n - 1) * chunk_bytes) as u64
+        );
+        assert_eq!(
+            layout.owner_of(last.base()),
+            ThreadedOwner::Global {
+                node: 0,
+                index: n - 1
+            }
+        );
     }
 
     #[test]

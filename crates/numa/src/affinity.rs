@@ -18,9 +18,13 @@
 //!   promoted bytes, same-node vs cross-node steals) is exact with respect
 //!   to the tagged assignment.
 //!
-//! [`host_numa_nodes`] reports how many NUMA nodes the *host* actually
-//! exposes (via sysfs), purely for observability — the modelled topology is
-//! what the runtime binds against.
+//! [`host_numa_nodes`] and [`host_node_memory_bytes`] probe what the *host*
+//! actually exposes (via Linux sysfs). [`Topology::host`](crate::Topology::host)
+//! turns those probes into a runnable topology, falling back to a
+//! deterministic single-node machine when sysfs is absent (non-Linux,
+//! sandboxed CI). Heap geometry can likewise derive its per-node
+//! address-band span from the probed node memory instead of a hard-coded
+//! constant.
 
 use crate::ids::NodeId;
 
@@ -69,6 +73,44 @@ pub fn host_numa_nodes() -> Option<usize> {
     (count > 0).then_some(count)
 }
 
+/// Total DRAM attached to host NUMA node `node`, in bytes, if discoverable
+/// (Linux sysfs `nodeN/meminfo`). `None` on other platforms, sandboxed
+/// filesystems, or nodes the host does not expose.
+///
+/// Used by [`Topology::host`](crate::Topology::host) callers that want to
+/// size heap address bands from real node memory rather than the modelled
+/// default.
+pub fn host_node_memory_bytes(node: usize) -> Option<u64> {
+    let path = format!("/sys/devices/system/node/node{node}/meminfo");
+    let text = std::fs::read_to_string(path).ok()?;
+    parse_meminfo_total_kb(&text).map(|kb| kb * 1024)
+}
+
+/// The smallest per-node DRAM size across all host nodes, in bytes, if every
+/// node's size is discoverable. This is the conservative bound for a uniform
+/// per-node heap band.
+pub fn host_min_node_memory_bytes() -> Option<u64> {
+    let nodes = host_numa_nodes()?;
+    (0..nodes)
+        .map(host_node_memory_bytes)
+        .try_fold(u64::MAX, |min, m| m.map(|b| min.min(b)))
+}
+
+/// Extracts the `MemTotal` figure (in kB) from a sysfs `nodeN/meminfo` blob.
+///
+/// Sysfs formats each line as `Node 0 MemTotal:    16309248 kB`.
+fn parse_meminfo_total_kb(text: &str) -> Option<u64> {
+    for line in text.lines() {
+        if let Some(rest) = line.split("MemTotal:").nth(1) {
+            let digits: String = rest.chars().filter(|c| c.is_ascii_digit()).collect();
+            if !digits.is_empty() {
+                return digits.parse().ok();
+            }
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,5 +125,15 @@ mod tests {
     fn host_probe_never_panics() {
         // The result depends on the host; only the call's safety is asserted.
         let _ = host_numa_nodes();
+        let _ = host_node_memory_bytes(0);
+        let _ = host_min_node_memory_bytes();
+    }
+
+    #[test]
+    fn meminfo_parsing_handles_sysfs_format() {
+        let blob = "Node 0 MemTotal:       16309248 kB\nNode 0 MemFree:        1203944 kB\n";
+        assert_eq!(parse_meminfo_total_kb(blob), Some(16309248));
+        assert_eq!(parse_meminfo_total_kb("Node 0 MemFree: 12 kB\n"), None);
+        assert_eq!(parse_meminfo_total_kb(""), None);
     }
 }

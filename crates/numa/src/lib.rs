@@ -32,11 +32,22 @@
 //! * [`PlacementPolicy`] is the promotion-chunk placement knob of the
 //!   threaded backend: whether a steal victim promotes the stolen graph into
 //!   a chunk on the thief's node (`NodeLocal`), its own node (`FirstTouch`),
-//!   or round-robin across all nodes (`Interleave`). Runtime front doors
-//!   expose it as `Experiment::placement(..)` and `MGC_PLACEMENT`.
+//!   round-robin across all nodes (`Interleave`), or decided at runtime by
+//!   the locality ledger (`Adaptive`). Runtime front doors expose it as
+//!   `Experiment::placement(..)` and `MGC_PLACEMENT`.
+//! * [`AdaptiveController`] is the per-worker hysteresis state machine
+//!   behind `PlacementPolicy::Adaptive`: it samples the local/remote
+//!   promoted-bytes split every N promotions and switches the effective
+//!   behaviour between node-local and interleave, recording every switch as
+//!   a [`PlacementDecision`] for the run record.
+//! * [`Topology::host`] probes the machine the process is actually running
+//!   on (sysfs node count, `available_parallelism` cores), falling back to
+//!   a deterministic single-node model off-Linux; [`host_node_memory_bytes`]
+//!   exposes per-node DRAM so heap bands can be sized to real memory.
 //! * [`bind_current_thread`] binds a worker thread to its node —
 //!   [`NodeBinding::Tagged`] (deterministic bookkeeping) in this build,
 //!   [`NodeBinding::Pinned`] where a platform backend can do real affinity.
+//!   The achieved strength is observable per vproc in the run record.
 //! * [`PageMap`] tracks which node every page of the simulated address space
 //!   lives on, so the heap can ask "where is this object physically?".
 //! * [`MemoryModel`] converts the work a set of virtual processors performed
@@ -64,6 +75,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod adaptive;
 mod affinity;
 mod error;
 mod ids;
@@ -73,7 +85,14 @@ mod policy;
 mod stats;
 mod topology;
 
-pub use affinity::{bind_current_thread, host_numa_nodes, NodeBinding};
+pub use adaptive::{
+    AdaptiveController, DecisionReason, PlacementDecision, PlacementMode,
+    DEFAULT_HI_REMOTE_PERMILLE, DEFAULT_LO_REMOTE_PERMILLE, DEFAULT_PATIENCE, DEFAULT_SAMPLE_EVERY,
+};
+pub use affinity::{
+    bind_current_thread, host_min_node_memory_bytes, host_node_memory_bytes, host_numa_nodes,
+    NodeBinding,
+};
 pub use error::TopologyError;
 pub use ids::{CoreId, NodeId, PackageId};
 pub use memory::{Bottleneck, MemoryModel, RoundBreakdown, Traffic, VprocRoundCost};

@@ -162,6 +162,38 @@ impl Topology {
             .expect("preset topology is valid")
     }
 
+    /// The topology of the machine this process is running on, as far as the
+    /// host exposes it.
+    ///
+    /// Node count comes from the sysfs probe
+    /// ([`host_numa_nodes`](crate::host_numa_nodes)); core count from
+    /// [`std::thread::available_parallelism`]. Each host node is modelled as
+    /// its own package (the probe cannot see package grouping), with the
+    /// builder's AMD-like default bandwidth/latency classes. When the probe
+    /// finds nothing — non-Linux platforms, sandboxed CI filesystems — the
+    /// fallback is a deterministic single-node machine, so this constructor
+    /// never panics and never varies run-to-run on the same host.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use mgc_numa::Topology;
+    /// let t = Topology::host();
+    /// assert!(t.num_nodes() >= 1);
+    /// assert!(t.num_cores() >= 1);
+    /// ```
+    pub fn host() -> Self {
+        let nodes = crate::affinity::host_numa_nodes().unwrap_or(1);
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let cores_per_node = (cores / nodes).max(1);
+        TopologyBuilder::new("host")
+            .packages(nodes)
+            .nodes_per_package(1)
+            .cores_per_node(cores_per_node)
+            .build()
+            .expect("host topology parameters are non-degenerate by construction")
+    }
+
     /// A tiny two-node topology, convenient for unit tests.
     pub fn dual_node_test() -> Self {
         TopologyBuilder::new("test-dual-node")
@@ -660,6 +692,21 @@ mod tests {
         let cross_pkg = t.latency_ns(NodeId::new(0), NodeId::new(2));
         assert!(local < same_pkg);
         assert!(same_pkg < cross_pkg);
+    }
+
+    #[test]
+    fn host_topology_is_valid_and_deterministic() {
+        let t = Topology::host();
+        assert_eq!(t.name(), "host");
+        assert!(t.num_nodes() >= 1);
+        assert!(t.num_cores() >= t.num_nodes());
+        // One node per package: package grouping is invisible to the probe.
+        assert_eq!(t.num_packages(), t.num_nodes());
+        // Same host, same answer.
+        assert_eq!(t, Topology::host());
+        // The usual derived machinery works on it.
+        let cores = t.spread_cores(t.num_nodes());
+        assert_eq!(cores.len(), t.num_nodes());
     }
 
     #[test]

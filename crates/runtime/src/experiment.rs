@@ -73,11 +73,6 @@ use std::fmt::Write as _;
 /// inside a single vproc's first quantum.
 pub const DEFAULT_QUANTUM_NS: f64 = 25_000.0;
 
-/// Smallest accepted global-heap chunk, in bytes.
-const MIN_CHUNK_BYTES: usize = 1024;
-/// Smallest accepted per-vproc local heap, in bytes.
-const MIN_LOCAL_HEAP_BYTES: usize = 4096;
-
 /// Why an experiment configuration was rejected by validation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ConfigError {
@@ -90,7 +85,8 @@ pub enum ConfigError {
         /// Cores the topology actually has.
         cores: usize,
     },
-    /// The heap geometry is too small to hold any real program.
+    /// The heap geometry is too small to hold any real program (see
+    /// [`mgc_heap::HeapGeometry::validate`]).
     DegenerateHeap {
         /// Which [`HeapConfig`] field is degenerate.
         field: &'static str,
@@ -98,6 +94,24 @@ pub enum ConfigError {
         bytes: usize,
         /// The smallest accepted value.
         min: usize,
+    },
+    /// A heap-geometry field that feeds address arithmetic (the per-node
+    /// span shift) is not a power of two.
+    NonPowerOfTwoGeometry {
+        /// Which [`HeapConfig`] field is crooked.
+        field: &'static str,
+        /// The rejected value.
+        bytes: u64,
+    },
+    /// A heap-geometry field exceeds its hard ceiling (the per-node span
+    /// must keep `GLOBAL_BASE + node * span + offset` inside a `u64`).
+    ExcessiveHeapGeometry {
+        /// Which [`HeapConfig`] field overflows.
+        field: &'static str,
+        /// The rejected value.
+        bytes: u64,
+        /// The largest accepted value.
+        max: u64,
     },
     /// The scheduling quantum is zero, negative, or not finite.
     NonPositiveQuantum {
@@ -126,6 +140,14 @@ impl std::fmt::Display for ConfigError {
                 f,
                 "degenerate heap geometry: {field} = {bytes} bytes is below the minimum of {min}"
             ),
+            ConfigError::NonPowerOfTwoGeometry { field, bytes } => write!(
+                f,
+                "degenerate heap geometry: {field} = {bytes} bytes must be a power of two"
+            ),
+            ConfigError::ExcessiveHeapGeometry { field, bytes, max } => write!(
+                f,
+                "degenerate heap geometry: {field} = {bytes} bytes exceeds the maximum of {max}"
+            ),
             ConfigError::NonPositiveQuantum { quantum_ns } => write!(
                 f,
                 "the scheduling quantum must be positive and finite, got {quantum_ns} ns"
@@ -140,6 +162,25 @@ impl std::fmt::Display for ConfigError {
 }
 
 impl std::error::Error for ConfigError {}
+
+impl From<mgc_heap::GeometryViolation> for ConfigError {
+    fn from(violation: mgc_heap::GeometryViolation) -> Self {
+        use mgc_heap::GeometryViolation;
+        match violation {
+            GeometryViolation::BelowMinimum { field, bytes, min } => ConfigError::DegenerateHeap {
+                field,
+                bytes: bytes as usize,
+                min: min as usize,
+            },
+            GeometryViolation::NotPowerOfTwo { field, bytes } => {
+                ConfigError::NonPowerOfTwoGeometry { field, bytes }
+            }
+            GeometryViolation::AboveMaximum { field, bytes, max } => {
+                ConfigError::ExcessiveHeapGeometry { field, bytes, max }
+            }
+        }
+    }
+}
 
 /// A validated experiment configuration: the backend plus the fully resolved
 /// [`MachineConfig`]. Produced by [`Experiment::validate`]; useful on its
@@ -335,20 +376,7 @@ impl<P: Program> Experiment<P> {
         if vprocs > cores {
             return Err(ConfigError::VprocsExceedTopology { vprocs, cores });
         }
-        if heap.chunk_size_bytes < MIN_CHUNK_BYTES {
-            return Err(ConfigError::DegenerateHeap {
-                field: "chunk_size_bytes",
-                bytes: heap.chunk_size_bytes,
-                min: MIN_CHUNK_BYTES,
-            });
-        }
-        if heap.local_heap_bytes < MIN_LOCAL_HEAP_BYTES {
-            return Err(ConfigError::DegenerateHeap {
-                field: "local_heap_bytes",
-                bytes: heap.local_heap_bytes,
-                min: MIN_LOCAL_HEAP_BYTES,
-            });
-        }
+        heap.geometry().validate().map_err(ConfigError::from)?;
         if !quantum_ns.is_finite() || quantum_ns <= 0.0 {
             return Err(ConfigError::NonPositiveQuantum { quantum_ns });
         }
@@ -497,6 +525,12 @@ impl RunRecord {
         json.raw("promoted_bytes_remote", self.report.promoted_bytes_remote());
         json.raw("promotions_at_steal", self.report.promotions_at_steal());
         json.raw("promotions_at_publish", self.report.promotions_at_publish());
+        json.raw("placement_switches", self.report.placement_switches());
+        json.raw(
+            "placement_decisions",
+            placement_decisions_json(&self.report.placement_decisions),
+        );
+        json.raw("node_bindings", node_bindings_json(&self.report.per_vproc));
         json.raw("channel_sends", self.channels.sends);
         json.raw("channel_receives", self.channels.receives);
         match self.config.gc.pause_budget_us {
@@ -560,6 +594,48 @@ impl JsonFields {
         self.out.push('}');
         self.out
     }
+}
+
+/// Serialises the adaptive decision trail as a JSON array (empty under the
+/// static placement policies).
+fn placement_decisions_json(decisions: &[crate::stats::VprocPlacementDecision]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in decisions.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(
+            out,
+            "{{\"vproc\": {}, \"at_promotion\": {}, \"from\": \"{}\", \"to\": \"{}\", \
+             \"remote_permille\": {}, \"reason\": \"{}\"}}",
+            d.vproc,
+            d.decision.at_promotion,
+            d.decision.from,
+            d.decision.to,
+            d.decision.remote_permille,
+            d.decision.reason.label(),
+        );
+    }
+    out.push(']');
+    out
+}
+
+/// Serialises the per-vproc node-binding outcomes (`"pinned"` where the
+/// worker thread achieved real OS affinity, `"tagged"` otherwise).
+fn node_bindings_json(per_vproc: &[crate::stats::VprocRunStats]) -> String {
+    let mut out = String::from("[");
+    for (i, v) in per_vproc.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(if v.node_binding_pinned {
+            "\"pinned\""
+        } else {
+            "\"tagged\""
+        });
+    }
+    out.push(']');
+    out
 }
 
 /// Serialises a slice of records as a JSON array, one record per line (the
@@ -683,6 +759,55 @@ mod tests {
             }
         );
         assert!(err.to_string().contains("degenerate heap geometry"));
+    }
+
+    #[test]
+    fn crooked_node_span_is_rejected() {
+        // Not a power of two: the addr→node shift would be meaningless.
+        let heap = HeapConfig {
+            node_span_bytes: (1 << 30) + 512,
+            ..HeapConfig::small_for_tests()
+        };
+        let err = pinned(Constant(1)).heap(heap).validate().unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::NonPowerOfTwoGeometry {
+                field: "node_span_bytes",
+                bytes: (1 << 30) + 512,
+            }
+        );
+        assert!(err.to_string().contains("power of two"));
+
+        // Above the ceiling: band arithmetic would overflow u64.
+        let heap = HeapConfig {
+            node_span_bytes: 1 << 50,
+            ..HeapConfig::small_for_tests()
+        };
+        let err = pinned(Constant(1)).heap(heap).validate().unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::ExcessiveHeapGeometry {
+                field: "node_span_bytes",
+                bytes: 1 << 50,
+                max: 1 << mgc_heap::MAX_NODE_SPAN_SHIFT,
+            }
+        );
+        assert!(err.to_string().contains("exceeds the maximum"));
+
+        // Below one chunk: the band could never map anything.
+        let heap = HeapConfig {
+            node_span_bytes: 1024,
+            ..HeapConfig::small_for_tests()
+        };
+        let err = pinned(Constant(1)).heap(heap).validate().unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::DegenerateHeap {
+                field: "node_span_bytes",
+                bytes: 1024,
+                min: 4096,
+            }
+        );
     }
 
     #[test]
@@ -874,6 +999,9 @@ mod tests {
             "\"steals_cross_node\": ",
             "\"promotions_at_steal\": ",
             "\"promotions_at_publish\": ",
+            "\"placement_switches\": 0",
+            "\"placement_decisions\": []",
+            "\"node_bindings\": [\"tagged\"]",
             "\"pause_budget_us\": null",
             "\"pause_count\": ",
             "\"pause_max_ns\": ",

@@ -76,7 +76,7 @@ use crate::channel::{ChannelId, ChannelState, ChannelStats, Proxy, ProxyId};
 use crate::ctx::TaskCtx;
 use crate::executor::{Backend, Executor};
 use crate::machine::MachineConfig;
-use crate::stats::{RunReport, VprocRunStats};
+use crate::stats::{RunReport, VprocPlacementDecision, VprocRunStats};
 use crate::task::{Delivery, JoinCell, JoinId, Task, TaskResult, TaskSpec};
 use crate::vproc::{StealMailbox, StealRequest};
 use mgc_core::{
@@ -87,7 +87,7 @@ use mgc_heap::{
     Addr, Descriptor, DescriptorId, DescriptorTable, GcHeap, LocalHeapStats, SharedGlobalHeap,
     ThreadedLayout, Word, WorkerHeap,
 };
-use mgc_numa::{NodeId, PlacementPolicy, TrafficStats};
+use mgc_numa::{AdaptiveController, NodeId, PlacementDecision, PlacementPolicy, TrafficStats};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -280,6 +280,9 @@ struct WorkerOutcome {
     run: VprocRunStats,
     gc: GcStats,
     local: LocalHeapStats,
+    /// The adaptive controller's decision trail (empty under static
+    /// placement policies).
+    decisions: Vec<PlacementDecision>,
 }
 
 /// Why a worker promotes an object graph to the global heap — threaded
@@ -329,6 +332,10 @@ pub(crate) struct WorkerState {
     /// [`STEAL_LOCALITY_PATIENCE`] the thief ignores locality ordering (the
     /// starvation escape hatch).
     failed_steal_attempts: u32,
+    /// The hysteresis controller resolving [`PlacementPolicy::Adaptive`]
+    /// into a concrete effective mode before each promotion; `None` under
+    /// the static policies.
+    adaptive: Option<AdaptiveController>,
 }
 
 /// Consecutive empty-handed steal attempts before a thief abandons
@@ -419,12 +426,31 @@ impl WorkerState {
         debug_assert_eq!(cursor, roots.len());
     }
 
+    /// Resolves the adaptive controller's mode into the heap's effective
+    /// placement for the promotion work about to run. No-op under the
+    /// static policies.
+    fn adaptive_pre_promotion(&mut self) {
+        if let Some(controller) = self.adaptive.as_mut() {
+            let mode = controller.placement_for_next_promotion();
+            self.heap.set_effective_placement(mode.as_policy());
+        }
+    }
+
+    /// Feeds one promotion operation's ledger split back into the adaptive
+    /// controller. No-op under the static policies.
+    fn adaptive_record(&mut self, local_bytes: u64, remote_bytes: u64) {
+        if let Some(controller) = self.adaptive.as_mut() {
+            controller.record_promotion(local_bytes, remote_bytes);
+        }
+    }
+
     fn local_gc(&mut self, roots: &mut [Addr]) {
         let start = Instant::now();
         let mut needs_global = false;
         let mut triggered_major = false;
         let consumer = self.promotion_consumer;
         let mut split = (0u64, 0u64);
+        self.adaptive_pre_promotion();
         self.with_local_roots(roots, |collector, heap, vproc, all_roots| {
             let outcome = collector.collect_local(heap, vproc, all_roots);
             needs_global = outcome.needs_global;
@@ -436,6 +462,7 @@ impl WorkerState {
         // ledger like any other promotion.
         self.stats.promoted_bytes_local += split.0;
         self.stats.promoted_bytes_remote += split.1;
+        self.adaptive_record(split.0, split.1);
         // The mutator was stopped once for the whole local collection, so it
         // is one recorded pause — classified by the heaviest phase that ran.
         let pause = start.elapsed().as_nanos() as f64;
@@ -484,6 +511,7 @@ impl WorkerState {
         if addr.is_null() || !self.heap.is_local(addr) {
             return addr;
         }
+        self.adaptive_pre_promotion();
         let (new, outcome) = self.collector.promote(&mut self.heap, self.vproc, addr);
         // Local-vs-remote is judged against the *consumer's* node — the
         // thief's node for steal promotions, this worker's own node
@@ -493,6 +521,7 @@ impl WorkerState {
         let (local, remote) = outcome.promoted_split(self.promotion_consumer);
         self.stats.promoted_bytes_local += local;
         self.stats.promoted_bytes_remote += remote;
+        self.adaptive_record(local, remote);
         self.stats.lazy_promotions += 1;
         match why {
             PromoteWhy::Steal => {
@@ -703,8 +732,10 @@ impl WorkerState {
             // node, as an OS first-touch policy would back the pages the
             // victim writes. `Interleave` ignores the target.
             let thief_node = self.shared.vproc_nodes[request.thief()];
+            // `Adaptive` targets the thief like `NodeLocal`: in its
+            // interleave mode the heap ignores the preferred node anyway.
             let target = match self.shared.placement {
-                PlacementPolicy::NodeLocal => thief_node,
+                PlacementPolicy::NodeLocal | PlacementPolicy::Adaptive => thief_node,
                 PlacementPolicy::Interleave | PlacementPolicy::FirstTouch => self.node,
             };
             self.heap.set_promotion_target(target);
@@ -850,10 +881,16 @@ impl WorkerState {
         let shared = self.shared.clone();
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
             self.main_loop();
+            self.stats.placement_switches = self.adaptive.as_ref().map_or(0, |c| c.switches());
             WorkerOutcome {
                 run: self.stats,
                 gc: *self.collector.vproc_stats(self.vproc),
                 local: self.heap.local(self.vproc).stats(),
+                decisions: self
+                    .adaptive
+                    .take()
+                    .map(|c| c.decisions().to_vec())
+                    .unwrap_or_default(),
             }
         }));
         match result {
@@ -989,6 +1026,7 @@ impl WorkerState {
         // covers it.
         let consumer = self.promotion_consumer;
         let mut split = (0u64, 0u64);
+        self.adaptive_pre_promotion();
         self.with_local_roots(task_roots, |collector, heap, vproc, roots| {
             collector.minor(heap, vproc, roots);
             let major = collector.major(heap, vproc, roots);
@@ -996,6 +1034,7 @@ impl WorkerState {
         });
         self.stats.promoted_bytes_local += split.0;
         self.stats.promoted_bytes_remote += split.1;
+        self.adaptive_record(split.0, split.1);
         if !resuming {
             // Chunks promoted into between increments are to-space Current
             // chunks the scan passes already cover; only the pre-flip chunk
@@ -1230,7 +1269,8 @@ impl ThreadedMachine {
         let layout = ThreadedLayout::new(&self.config.heap, num_vprocs, topology.num_nodes());
         let global = Arc::new(
             SharedGlobalHeap::new(layout.chunk_words(), topology.num_nodes())
-                .with_placement(self.config.placement),
+                .with_placement(self.config.placement)
+                .with_node_span_bytes(self.config.heap.node_span_bytes),
         );
         global
             .pool()
@@ -1310,6 +1350,8 @@ impl ThreadedMachine {
                     remote_victims,
                     steal_cursor: vproc,
                     failed_steal_attempts: 0,
+                    adaptive: (self.config.placement == PlacementPolicy::Adaptive)
+                        .then(AdaptiveController::new),
                 }
             })
             .collect();
@@ -1324,8 +1366,13 @@ impl ThreadedMachine {
                         .spawn_scoped(scope, move || {
                             // Bind the thread to its vproc's node: real
                             // affinity where the platform provides it,
-                            // deterministic node tagging otherwise.
-                            let _binding = mgc_numa::bind_current_thread(worker.node);
+                            // deterministic node tagging otherwise. The
+                            // achieved strength lands in the run stats so
+                            // every run record says what it actually got.
+                            let mut worker = worker;
+                            let binding = mgc_numa::bind_current_thread(worker.node);
+                            worker.stats.node_binding_pinned =
+                                matches!(binding, mgc_numa::NodeBinding::Pinned);
                             worker.worker_main()
                         })
                         .expect("spawning a worker thread failed")
@@ -1369,6 +1416,18 @@ impl ThreadedMachine {
         }
         gc.global_copied_bytes += shared.gc.total_copied_bytes.load(Ordering::Relaxed);
 
+        // Workers are joined in spawn order, so `outcomes[i]` is vproc i's.
+        let placement_decisions = outcomes
+            .iter()
+            .enumerate()
+            .flat_map(|(vproc, outcome)| {
+                outcome
+                    .decisions
+                    .iter()
+                    .map(move |&decision| VprocPlacementDecision { vproc, decision })
+            })
+            .collect();
+
         RunReport {
             elapsed_ns: wall_ns,
             wall_clock_ns: Some(wall_ns),
@@ -1379,6 +1438,7 @@ impl ThreadedMachine {
             per_vproc: outcomes.iter().map(|o| o.run).collect(),
             gc,
             traffic: TrafficStats::new(),
+            placement_decisions,
         }
     }
 
@@ -1393,6 +1453,7 @@ impl ThreadedMachine {
             per_vproc: vec![VprocRunStats::default(); vprocs],
             gc: GcStats::new(),
             traffic: TrafficStats::new(),
+            placement_decisions: Vec::new(),
         }
     }
 }
@@ -1669,5 +1730,44 @@ mod tests {
         assert_eq!(m.take_result(), Some((4000, false)));
         assert!(report.gc.minor_collections > 0, "minors expected");
         assert!(report.gc.global_collections > 0, "globals expected");
+    }
+
+    #[test]
+    fn adaptive_placement_records_a_cold_start_decision() {
+        // Any run that promotes (here: via local collections' major phases)
+        // must resolve the adaptive cold start, leaving at least the
+        // node-local adoption in the decision trail.
+        let mut config = MachineConfig::small_for_tests(2);
+        config.placement = PlacementPolicy::Adaptive;
+        let mut m = ThreadedMachine::new(config);
+        m.spawn_root(TaskSpec::new("allocate-a-lot", |ctx| {
+            let mut list = None;
+            for i in 0..1500u64 {
+                let mark = ctx.root_mark();
+                let value = ctx.alloc_raw(&[i]);
+                let cons = ctx.alloc_vector(&[Some(value), list]);
+                list = Some(ctx.keep(cons, mark));
+            }
+            let mut count = 0u64;
+            let mut cursor = list;
+            while let Some(cell) = cursor {
+                count += 1;
+                cursor = ctx.read_ptr(cell, 1);
+            }
+            TaskResult::Value(count)
+        }));
+        let report = m.run();
+        assert_eq!(m.take_result(), Some((1500, false)));
+        assert!(
+            report.placement_switches() >= 1,
+            "the cold-start adoption counts as a switch"
+        );
+        let first = &report.placement_decisions[0];
+        assert_eq!(first.decision.reason, mgc_numa::DecisionReason::ColdStart);
+        assert_eq!(first.decision.to, mgc_numa::PlacementMode::NodeLocal);
+        assert!(
+            !report.per_vproc.iter().any(|v| v.node_binding_pinned),
+            "this unsafe-free build can only tag, never pin"
+        );
     }
 }
