@@ -6,6 +6,7 @@
 //!          --current  results/BENCH_threaded.json \
 //!          [--speedup-thresholds results/baseline/speedup-thresholds.json] \
 //!          [--pause-thresholds results/baseline/pause-thresholds.json] \
+//!          [--latency-thresholds results/baseline/latency-thresholds.json] \
 //!          [--max-wall-ratio 2.5] [--max-promoted-ratio 1.5] \
 //!          [--min-wall-ms 5] [--min-promoted-kb 64]
 //! ```
@@ -21,11 +22,18 @@
 //! under the absolute per-program ceiling (milliseconds). Points without
 //! pause telemetry fail a pin loudly rather than passing silently.
 //!
+//! With `--latency-thresholds`, the request-latency gate also runs: every
+//! threaded point of a pinned serving program must keep its p99 end-to-end
+//! request latency under the absolute per-program ceiling (milliseconds).
+//! Same discipline as the pause gate — current sweep only, and missing
+//! telemetry on a pinned program fails loudly.
+//!
 //! The Markdown comparison table goes to stdout (the CI job tees it into
 //! `$GITHUB_STEP_SUMMARY`); the exit code is the gate.
 
 use mgc_bench::perfdiff::{
-    compare, markdown, missing_pause_pinned_programs, missing_pinned_programs,
+    compare, latency_markdown, latency_rows, markdown, missing_latency_pinned_programs,
+    missing_pause_pinned_programs, missing_pinned_programs, parse_latency_thresholds,
     parse_pause_thresholds, parse_run_records, parse_speedup_thresholds, pause_markdown,
     pause_rows, speedup_markdown, speedup_rows, Thresholds,
 };
@@ -45,6 +53,7 @@ fn main() {
     let mut current_path = None;
     let mut speedup_path = None;
     let mut pause_path = None;
+    let mut latency_path = None;
     let mut thresholds = Thresholds::default();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -53,6 +62,7 @@ fn main() {
             "--current" => current_path = iter.next().cloned(),
             "--speedup-thresholds" => speedup_path = iter.next().cloned(),
             "--pause-thresholds" => pause_path = iter.next().cloned(),
+            "--latency-thresholds" => latency_path = iter.next().cloned(),
             "--max-wall-ratio" => {
                 thresholds.max_wall_ratio = parse_f64(iter.next(), "--max-wall-ratio");
             }
@@ -69,6 +79,7 @@ fn main() {
             other => panic!(
                 "unknown argument `{other}` (expected --baseline/--current <path> and optional \
                  --speedup-thresholds <path> --pause-thresholds <path> \
+                 --latency-thresholds <path> \
                  --max-wall-ratio/--max-promoted-ratio/--min-wall-ms/--min-promoted-kb <n>)"
             ),
         }
@@ -139,6 +150,27 @@ fn main() {
         } else {
             eprintln!(
                 "perfdiff: max-pause gate failed ({over} points over their pin, {} missing)",
+                missing.len()
+            );
+            failed = true;
+        }
+    }
+
+    if let Some(latency_path) = latency_path {
+        let pins = parse_latency_thresholds(&read(&latency_path))
+            .unwrap_or_else(|err| panic!("{latency_path}: {err}"));
+        let rows = latency_rows(&current, &pins);
+        let missing = missing_latency_pinned_programs(&rows, &pins);
+        println!("{}", latency_markdown(&rows, &missing));
+        let over = rows.iter().filter(|r| r.failed()).count();
+        if over == 0 && missing.is_empty() {
+            eprintln!(
+                "perfdiff: latency gate passed for {} pinned programs",
+                pins.len()
+            );
+        } else {
+            eprintln!(
+                "perfdiff: latency gate failed ({over} points over their pin, {} missing)",
                 missing.len()
             );
             failed = true;

@@ -27,7 +27,13 @@
 //! * `--host-smoke` — instead of the baseline, run one small workload on
 //!   the **probed host topology** (`Topology::host()`) with adaptive
 //!   placement, printing the per-vproc binding outcomes and writing
-//!   `results/host_smoke.json`.
+//!   `results/host_smoke.json`;
+//! * `--serve` — instead of the baseline, run the **service scenario**: the
+//!   Request-Server program under open-loop load on both backends (plus a
+//!   bounded-pause threaded point), printing the throughput/latency table
+//!   and writing `results/SERVE_threaded.json`. `MGC_SCALE=bench` selects
+//!   the benchmark preset (4 workers, 2,000 req/s for 5 s);
+//!   `MGC_SERVE_SECONDS` and `MGC_SERVE_RPS` override the stream shape.
 
 use mgc_numa::PlacementPolicy;
 use mgc_workloads::churn::ChurnParams;
@@ -48,6 +54,7 @@ fn main() {
     let mut placement = PlacementPolicy::default();
     let mut figure8 = false;
     let mut host_smoke = false;
+    let mut serve = false;
     let mut churn_requested = false;
     let mut churn_params = ChurnParams::at_scale(mgc_bench::scale_from_env());
     let mut iter = args.iter();
@@ -69,6 +76,7 @@ fn main() {
             }
             "--figure8" => figure8 = true,
             "--host-smoke" => host_smoke = true,
+            "--serve" => serve = true,
             "--churn" => churn_requested = true,
             "--churn-workers" => {
                 churn_params.workers = positive(iter.next(), "--churn-workers");
@@ -89,7 +97,8 @@ fn main() {
             other => panic!(
                 "unknown argument `{other}` (expected --backend <simulated|threaded>, \
                  --placement <node-local|interleave|first-touch|adaptive>, --figure8, \
-                 --host-smoke, --churn, or --churn-{{workers,objects,survive,words}} <n>)"
+                 --host-smoke, --serve, --churn, or \
+                 --churn-{{workers,objects,survive,words}} <n>)"
             ),
         }
     }
@@ -101,6 +110,10 @@ fn main() {
     }
     if host_smoke {
         mgc_bench::run_host_smoke_and_report();
+        return;
+    }
+    if serve {
+        mgc_bench::run_serve_and_report();
         return;
     }
 

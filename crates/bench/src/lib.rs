@@ -20,7 +20,8 @@
 
 use mgc_heap::HeapConfig;
 use mgc_numa::{AllocPolicy, PlacementPolicy, Topology};
-use mgc_runtime::{run_records_json, Backend, Experiment, Program, RunRecord};
+use mgc_runtime::{run_records_json, Backend, EnvOverrides, Experiment, Program, RunRecord};
+use mgc_server::{ServeParams, ServerProgram, SERVE_QUANTUM_NS};
 use mgc_workloads::churn::{Churn, ChurnParams};
 use mgc_workloads::{speedup_series, Scale, SpeedupPoint, Workload};
 use std::fmt::Write as _;
@@ -621,6 +622,134 @@ pub fn run_host_smoke_and_report() {
     }
 }
 
+// ----------------------------------------------------------------------
+// Service scenario: the Request-Server program under open-loop load. One
+// simulated point (deterministic, correlation-ready), one plain threaded
+// point (wall-clock latency percentiles), and one threaded point under the
+// bounded-pause budget — so the latency tail can be read against the GC
+// pause tail on the same page. This is what the CI `serve-smoke` job runs
+// and uploads as `SERVE_threaded.json`.
+// ----------------------------------------------------------------------
+
+/// The soft global-collection pause budget (µs) of the bounded-pause serve
+/// point — the same budget the pause-telemetry docs quote, so the latency
+/// tail under it is directly comparable.
+pub const SERVE_PAUSE_BUDGET_US: u64 = 500;
+
+/// Serve parameters at the ambient `MGC_SCALE` (`bench`/`paper` select the
+/// benchmark preset, everything else the fast test preset), with the
+/// `MGC_SERVE_SECONDS` / `MGC_SERVE_RPS` overrides applied on top.
+pub fn serve_params_from_env() -> ServeParams {
+    let base = match std::env::var("MGC_SCALE").as_deref() {
+        Ok("bench") | Ok("paper") => ServeParams::bench(),
+        _ => ServeParams::small(),
+    };
+    base.apply_env(&EnvOverrides::capture())
+}
+
+/// Runs one serve point: the Request-Server on `backend` with one vproc per
+/// worker (clamped to the dual-node test topology's four cores), optionally
+/// under a bounded-pause budget.
+fn serve_point(params: ServeParams, backend: Backend, pause_budget_us: Option<u64>) -> RunRecord {
+    let mut experiment =
+        Experiment::new(ServerProgram::new(params).expect("the serve presets are valid"))
+            .backend(backend)
+            .topology(Topology::dual_node_test())
+            .vprocs(params.workers.clamp(1, 4))
+            .policy(AllocPolicy::Local)
+            // On the simulated backend the quantum must leave room for a
+            // worker to start behind the generator on the same vproc (see
+            // `SERVE_QUANTUM_NS`); the threaded backend ignores it.
+            .quantum_ns(SERVE_QUANTUM_NS);
+    if let Some(budget) = pause_budget_us {
+        experiment = experiment.gc_pause_budget(budget);
+    }
+    experiment
+        .run()
+        .expect("the serve configuration is valid on the dual-node test topology")
+}
+
+/// Runs the serve sweep: simulated, threaded, and threaded under the
+/// [`SERVE_PAUSE_BUDGET_US`] bounded-pause budget.
+pub fn run_serve(params: ServeParams) -> Vec<RunRecord> {
+    vec![
+        serve_point(params, Backend::Simulated, None),
+        serve_point(params, Backend::Threaded, None),
+        serve_point(params, Backend::Threaded, Some(SERVE_PAUSE_BUDGET_US)),
+    ]
+}
+
+/// Formats the serve records as an aligned table: throughput next to the
+/// latency percentiles next to the GC pause tail, one row per point.
+pub fn format_serve(points: &[RunRecord]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# Service scenario — open-loop load, end-to-end latency vs GC pauses"
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:>9} {:>6} {:>9} {:>10} {:>9} {:>9} {:>9} {:>9} {:>12} {:>8}",
+        "backend",
+        "budget-us",
+        "vprocs",
+        "requests",
+        "rps",
+        "p50-ms",
+        "p99-ms",
+        "p99.9-ms",
+        "max-ms",
+        "gc-p99-ms",
+        "checksum"
+    );
+    for p in points {
+        let latency = p.report.latency_stats();
+        let ms = |ns: f64| format!("{:.3}", ns / 1e6);
+        let _ = writeln!(
+            out,
+            "{:<10} {:>9} {:>6} {:>9} {:>10.1} {:>9} {:>9} {:>9} {:>9} {:>12} {:>8}",
+            p.backend.to_string(),
+            p.config
+                .gc
+                .pause_budget_us
+                .map_or("none".to_string(), |us| us.to_string()),
+            p.config.num_vprocs,
+            p.report.requests_served(),
+            p.report.throughput_rps(),
+            ms(latency.percentile(50.0)),
+            ms(latency.percentile(99.0)),
+            ms(latency.percentile(99.9)),
+            ms(latency.max_ns),
+            ms(p.report.pause_stats().percentile(99.0)),
+            match p.checksum_ok {
+                Some(true) => "ok",
+                Some(false) => "MISMATCH",
+                None => "n/a",
+            },
+        );
+    }
+    out
+}
+
+/// Runs the serve sweep end-to-end, printing the latency table and writing
+/// `results/SERVE_threaded.json` (an array of [`RunRecord`] JSON objects —
+/// the CI `serve-smoke` artifact).
+pub fn run_serve_and_report() {
+    let params = serve_params_from_env();
+    let points = run_serve(params);
+    println!("{}", format_serve(&points));
+    let dir = std::path::Path::new("results");
+    if let Err(err) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: could not create {}: {err}", dir.display());
+        return;
+    }
+    let path = dir.join("SERVE_threaded.json");
+    match std::fs::write(&path, run_records_json(&points)) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(err) => eprintln!("warning: could not write {}: {err}", path.display()),
+    }
+}
+
 pub mod perfdiff;
 
 /// Reads the workload scale from the `MGC_SCALE` environment variable
@@ -776,6 +905,48 @@ mod tests {
         assert!(json.contains("\"placement\": \"adaptive\""));
         assert!(json.contains("\"placement_decisions\": "));
         assert!(json.contains("\"node_bindings\": "));
+    }
+
+    #[test]
+    fn serve_points_report_latency_and_survive_the_json_schema() {
+        // One simulated point at the fast preset: deterministic, and enough
+        // to pin the whole serve reporting pipeline.
+        let point = serve_point(ServeParams::small(), Backend::Simulated, None);
+        assert_eq!(point.program, "Request-Server");
+        assert_eq!(point.checksum_ok, Some(true));
+        assert_eq!(
+            point.report.requests_served(),
+            ServeParams::small().total_requests()
+        );
+        assert!(point.report.throughput_rps() > 0.0);
+        let json = point.to_json();
+        for key in [
+            "\"requests_served\": 400",
+            "\"throughput_rps\": ",
+            "\"latency_p50_ns\": ",
+            "\"latency_p99_ns\": ",
+            "\"latency_p999_ns\": ",
+            "\"latency_max_ns\": ",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        let table = format_serve(std::slice::from_ref(&point));
+        assert!(table.contains("p99.9-ms"));
+        assert!(table.contains("simulated"));
+        assert!(table.trim_end().ends_with("ok"));
+    }
+
+    #[test]
+    fn serve_budgeted_point_carries_the_budget() {
+        let point = serve_point(
+            ServeParams::small(),
+            Backend::Simulated,
+            Some(SERVE_PAUSE_BUDGET_US),
+        );
+        assert_eq!(point.config.gc.pause_budget_us, Some(SERVE_PAUSE_BUDGET_US));
+        assert_eq!(point.checksum_ok, Some(true));
+        let table = format_serve(std::slice::from_ref(&point));
+        assert!(table.contains("500"));
     }
 
     #[test]

@@ -33,6 +33,13 @@
 //! absolute — a pause regression is a regression even if the baseline
 //! already had it.
 //!
+//! A fifth gate pins **request latency**: per serving program, every
+//! threaded point in the current sweep must keep its 99th-percentile
+//! end-to-end request latency under an absolute checked-in ceiling
+//! (`results/baseline/latency-thresholds.json`, milliseconds). Same shape
+//! as the pause gate: current sweep only, absolute pins, and a pinned
+//! program whose records carry no latency telemetry fails loudly.
+//!
 //! The comparison renders as a Markdown table so the CI job can write it
 //! straight into `$GITHUB_STEP_SUMMARY`.
 
@@ -65,6 +72,13 @@ pub struct PerfPoint {
     /// bounded pauses, so comparing it against an unbudgeted baseline would
     /// gate apples against oranges.
     pub pause_budget_us: Option<u64>,
+    /// 99th-percentile end-to-end request latency, in nanoseconds (`None`
+    /// for records that predate the serving scenario; zero for programs
+    /// that serve no requests).
+    pub latency_p99_ns: Option<f64>,
+    /// 99.9th-percentile end-to-end request latency, in nanoseconds
+    /// (informational alongside the gated p99).
+    pub latency_p999_ns: Option<f64>,
 }
 
 impl PerfPoint {
@@ -154,6 +168,8 @@ pub fn parse_run_records(json: &str) -> Result<Vec<PerfPoint>, String> {
                         .map_err(|e| format!("bad pause_budget_us: {e}"))?,
                 ),
             },
+            latency_p99_ns: optional_f64("latency_p99_ns")?,
+            latency_p999_ns: optional_f64("latency_p999_ns")?,
         });
     }
     Ok(points)
@@ -655,6 +671,159 @@ pub fn pause_markdown(rows: &[PauseRow], missing: &[&str]) -> String {
     out
 }
 
+// ----------------------------------------------------------------------
+// The latency gate
+// ----------------------------------------------------------------------
+
+/// A pinned serving program: no threaded point in the current sweep may
+/// report a 99th-percentile end-to-end request latency above `max_p99_ms`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyThreshold {
+    /// Program name, as it appears in the run records.
+    pub program: String,
+    /// Maximum tolerated p99 request latency, in milliseconds (absolute).
+    pub max_p99_ms: f64,
+}
+
+/// Parses the checked-in latency-thresholds file: a JSON object with one
+/// `"program": max_p99_ms` pair per line (same machine-written line
+/// discipline as the speedup and pause thresholds).
+pub fn parse_latency_thresholds(json: &str) -> Result<Vec<LatencyThreshold>, String> {
+    let mut thresholds = Vec::new();
+    for line in json.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix('"') else {
+            continue;
+        };
+        let (program, value) = rest
+            .split_once("\": ")
+            .ok_or_else(|| format!("bad threshold line: {line}"))?;
+        thresholds.push(LatencyThreshold {
+            program: program.to_string(),
+            max_p99_ms: value
+                .trim()
+                .parse()
+                .map_err(|e| format!("bad max p99 latency for {program}: {e}"))?,
+        });
+    }
+    Ok(thresholds)
+}
+
+/// One threaded point's request-latency behaviour in the current sweep.
+#[derive(Debug, Clone)]
+pub struct LatencyRow {
+    /// Program name.
+    pub program: String,
+    /// Placement-policy label.
+    pub placement: String,
+    /// Vproc count.
+    pub vprocs: u64,
+    /// The configured pause budget, in microseconds (budgeted and
+    /// unbudgeted serve points both appear, each gated against the pin).
+    pub pause_budget_us: Option<u64>,
+    /// 99th-percentile request latency, in nanoseconds (`None` when the
+    /// record carries no latency telemetry).
+    pub latency_p99_ns: Option<f64>,
+    /// 99.9th-percentile request latency, in nanoseconds (informational).
+    pub latency_p999_ns: Option<f64>,
+    /// The pinned ceiling in milliseconds, when this program is gated.
+    pub max_p99_ms: Option<f64>,
+}
+
+impl LatencyRow {
+    /// Whether this row fails the gate: it is pinned and either misses the
+    /// p99 ceiling or carries no latency telemetry to check.
+    pub fn failed(&self) -> bool {
+        match (self.latency_p99_ns, self.max_p99_ms) {
+            (Some(ns), Some(max_ms)) => ns > max_ms * 1e6,
+            (None, Some(_)) => true,
+            _ => false,
+        }
+    }
+}
+
+/// Builds one latency row per threaded point of the current sweep and
+/// attaches the pinned ceilings.
+pub fn latency_rows(current: &[PerfPoint], thresholds: &[LatencyThreshold]) -> Vec<LatencyRow> {
+    current
+        .iter()
+        .filter(|p| p.backend == "threaded")
+        .map(|p| LatencyRow {
+            program: p.program.clone(),
+            placement: p.placement.clone(),
+            vprocs: p.vprocs,
+            pause_budget_us: p.pause_budget_us,
+            latency_p99_ns: p.latency_p99_ns,
+            latency_p999_ns: p.latency_p999_ns,
+            max_p99_ms: thresholds
+                .iter()
+                .find(|t| t.program == p.program)
+                .map(|t| t.max_p99_ms),
+        })
+        .collect()
+}
+
+/// Pinned programs with no threaded point in the sweep — deleting a gated
+/// serving program must not silently pass the latency gate.
+pub fn missing_latency_pinned_programs<'a>(
+    rows: &[LatencyRow],
+    thresholds: &'a [LatencyThreshold],
+) -> Vec<&'a str> {
+    thresholds
+        .iter()
+        .filter(|t| rows.iter().all(|r| r.program != t.program))
+        .map(|t| t.program.as_str())
+        .collect()
+}
+
+/// Renders the latency table as Markdown (for `$GITHUB_STEP_SUMMARY`).
+pub fn latency_markdown(rows: &[LatencyRow], missing: &[&str]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "### Latency gate — p99 end-to-end request latency, threaded points \
+         (current sweep, absolute pins)\n"
+    );
+    let _ = writeln!(
+        out,
+        "| program | placement | vprocs | budget (µs) | p99 (ms) | p99.9 (ms) | \
+         pinned p99 (ms) | verdict |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|");
+    for row in rows {
+        let ms = |ns: Option<f64>| ns.map_or("—".to_string(), |v| format!("{:.3}", v / 1e6));
+        let verdict = if row.failed() {
+            "**LATENCY REGRESSION**"
+        } else if row.max_p99_ms.is_some() {
+            "ok"
+        } else {
+            "not pinned"
+        };
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} | {} | {} |",
+            row.program,
+            row.placement,
+            row.vprocs,
+            row.pause_budget_us
+                .map_or("—".to_string(), |us| us.to_string()),
+            ms(row.latency_p99_ns),
+            ms(row.latency_p999_ns),
+            row.max_p99_ms
+                .map_or("—".to_string(), |m| format!("{m:.3}")),
+            verdict,
+        );
+    }
+    for program in missing {
+        let _ = writeln!(
+            out,
+            "\n**MISSING PINNED PROGRAM**: `{program}` has a latency threshold but no \
+             threaded points in the sweep."
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1019,6 +1188,132 @@ mod tests {
         assert_eq!(old[0].pause_budget_us, None);
         let cmp = compare(&old, &unbudgeted, Thresholds::default());
         assert!(cmp.regressions().is_empty());
+    }
+
+    fn record_line_with_latency(
+        program: &str,
+        vprocs: u64,
+        budget: &str,
+        p99: &str,
+        p999: &str,
+    ) -> String {
+        format!(
+            "  {{\"program\": \"{program}\", \"params\": {{}}, \"backend\": \"threaded\", \
+             \"vprocs\": {vprocs}, \"placement\": \"node-local\", \
+             \"wall_clock_ns\": 5000000000, \"promoted_bytes\": 0, \
+             \"pause_budget_us\": {budget}, \"requests_served\": 10000, \
+             \"throughput_rps\": 1999.2, \"latency_p50_ns\": 700000, \
+             \"latency_p99_ns\": {p99}, \"latency_p999_ns\": {p999}, \
+             \"latency_max_ns\": 9000000}},"
+        )
+    }
+
+    #[test]
+    fn latency_fields_parse_and_default_to_none_on_old_records() {
+        let text = json(&[
+            record_line_with_latency("Request-Server", 4, "null", "2000000", "4000000"),
+            record_line("Request-Server", "threaded", 4, "5000000000", 0),
+        ]);
+        let points = parse_run_records(&text).expect("the records parse");
+        assert_eq!(points[0].latency_p99_ns, Some(2000000.0));
+        assert_eq!(points[0].latency_p999_ns, Some(4000000.0));
+        assert_eq!(points[1].latency_p99_ns, None, "old records lack the field");
+        assert_eq!(points[1].latency_p999_ns, None);
+    }
+
+    #[test]
+    fn latency_thresholds_file_round_trips() {
+        let text = "{\n  \"Request-Server\": 25.0\n}\n";
+        let thresholds = parse_latency_thresholds(text).expect("thresholds parse");
+        assert_eq!(thresholds.len(), 1);
+        assert_eq!(thresholds[0].program, "Request-Server");
+        assert_eq!(thresholds[0].max_p99_ms, 25.0);
+    }
+
+    #[test]
+    fn latencies_under_the_pin_pass_the_gate() {
+        let sweep = parse_run_records(&json(&[
+            record_line_with_latency("Request-Server", 4, "null", "2000000", "4000000"),
+            record_line_with_latency("Request-Server", 4, "500", "2500000", "5000000"),
+        ]))
+        .unwrap();
+        let thresholds = vec![LatencyThreshold {
+            program: "Request-Server".to_string(),
+            max_p99_ms: 25.0,
+        }];
+        let rows = latency_rows(&sweep, &thresholds);
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| !r.failed()));
+        assert_eq!(rows[1].pause_budget_us, Some(500));
+        assert!(missing_latency_pinned_programs(&rows, &thresholds).is_empty());
+        assert!(latency_markdown(&rows, &[]).contains("| ok |"));
+    }
+
+    /// The acceptance demonstration for the latency gate: a sweep whose p99
+    /// request latency blows past its absolute pin must turn the comparison
+    /// red.
+    #[test]
+    fn injected_latency_regression_fails_the_gate() {
+        // 80 ms p99 against a 25 ms pin.
+        let sweep = parse_run_records(&json(&[record_line_with_latency(
+            "Request-Server",
+            4,
+            "null",
+            "80000000",
+            "120000000",
+        )]))
+        .unwrap();
+        let thresholds = vec![LatencyThreshold {
+            program: "Request-Server".to_string(),
+            max_p99_ms: 25.0,
+        }];
+        let rows = latency_rows(&sweep, &thresholds);
+        assert!(rows[0].failed(), "80 ms must fail a 25 ms pin");
+        assert!(latency_markdown(&rows, &[]).contains("LATENCY REGRESSION"));
+    }
+
+    #[test]
+    fn pinned_points_without_latency_telemetry_fail_loudly() {
+        // An old-schema record (no latency fields) for a pinned program must
+        // not silently pass.
+        let sweep = parse_run_records(&json(&[record_line(
+            "Request-Server",
+            "threaded",
+            4,
+            "5000000000",
+            0,
+        )]))
+        .unwrap();
+        let thresholds = vec![LatencyThreshold {
+            program: "Request-Server".to_string(),
+            max_p99_ms: 25.0,
+        }];
+        let rows = latency_rows(&sweep, &thresholds);
+        assert!(rows[0].failed());
+
+        // Unpinned programs without telemetry are merely "not pinned".
+        let rows = latency_rows(&sweep, &[]);
+        assert!(!rows[0].failed());
+        assert!(latency_markdown(&rows, &[]).contains("not pinned"));
+    }
+
+    #[test]
+    fn missing_latency_pins_are_loud() {
+        let sweep = parse_run_records(&json(&[record_line_with_pauses(
+            "Quicksort",
+            2,
+            "1000000",
+            "500000",
+        )]))
+        .unwrap();
+        let thresholds = vec![LatencyThreshold {
+            program: "Request-Server".to_string(),
+            max_p99_ms: 25.0,
+        }];
+        let rows = latency_rows(&sweep, &thresholds);
+        let missing = missing_latency_pinned_programs(&rows, &thresholds);
+        assert_eq!(missing, vec!["Request-Server"]);
+        assert!(latency_markdown(&rows, &missing).contains("MISSING PINNED PROGRAM"));
     }
 
     #[test]

@@ -53,6 +53,7 @@ mod collector;
 mod config;
 mod cost;
 mod global;
+pub mod histogram;
 mod major;
 mod stats;
 
@@ -66,4 +67,5 @@ pub use global::{
     evacuate_roots, flip_to_from_space, forward_parallel, release_from_space, scan_pass,
     scan_pass_budgeted, scan_young_fields, GlobalOutcome, ParallelGcState, ScanPassOutcome,
 };
+pub use histogram::{Histogram, HISTOGRAM_BUCKETS};
 pub use stats::{CollectionKind, GcStats, PauseStats, PAUSE_BUCKETS};

@@ -1,5 +1,6 @@
 //! Collector statistics.
 
+use crate::histogram::{Histogram, HISTOGRAM_BUCKETS};
 use serde::{Deserialize, Serialize};
 
 /// The kind of a collection.
@@ -33,132 +34,18 @@ impl std::fmt::Display for CollectionKind {
     }
 }
 
-/// Number of log2 buckets in a [`PauseStats`] histogram. Bucket `i` counts
-/// pauses in `[2^i, 2^(i+1))` nanoseconds; `2^48` ns is ~3.3 days, far beyond
-/// any pause this runtime can produce, so the last bucket never saturates in
-/// practice (out-of-range values are clamped into it rather than dropped).
-pub const PAUSE_BUCKETS: usize = 48;
+/// Number of log2 buckets in a [`PauseStats`] histogram (alias of
+/// [`HISTOGRAM_BUCKETS`], kept for the established pause-telemetry API).
+pub const PAUSE_BUCKETS: usize = HISTOGRAM_BUCKETS;
 
-/// A fixed-footprint summary of a series of pause durations: count, sum, max,
-/// and a log2-bucket histogram that supports approximate percentiles.
+/// A fixed-footprint summary of a series of pause durations.
 ///
 /// Every individual mutator-visible pause (minor, major, or one increment of
-/// a global collection) is [`record`](Self::record)ed as it happens; per-vproc
-/// records [`merge`](Self::merge) losslessly into machine-wide aggregates
-/// (counts, sums, and buckets add; max takes the max), so merge order never
-/// changes the result.
-///
-/// Percentiles are bucket-resolution approximations: [`PauseStats::percentile`]
-/// (Self::percentile) returns the upper bound of the bucket holding the
-/// requested rank, capped at the observed maximum — an over-approximation by
-/// at most 2x, which is plenty for p50/p99 pause reporting and for a CI gate
-/// on the (exact) maximum.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct PauseStats {
-    /// Number of pauses recorded.
-    pub count: u64,
-    /// Sum of all recorded pauses, in nanoseconds.
-    pub sum_ns: f64,
-    /// The largest single recorded pause, in nanoseconds (exact, not
-    /// bucket-rounded).
-    pub max_ns: f64,
-    /// Log2 histogram: `buckets[i]` counts pauses in `[2^i, 2^(i+1))` ns.
-    pub buckets: [u64; PAUSE_BUCKETS],
-}
-
-impl Default for PauseStats {
-    fn default() -> Self {
-        Self {
-            count: 0,
-            sum_ns: 0.0,
-            max_ns: 0.0,
-            buckets: [0; PAUSE_BUCKETS],
-        }
-    }
-}
-
-impl PauseStats {
-    /// Creates an empty record.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// True when no pause has been recorded.
-    pub fn is_empty(&self) -> bool {
-        self.count == 0
-    }
-
-    /// Index of the log2 bucket covering a pause of `ns` nanoseconds.
-    fn bucket_index(ns: f64) -> usize {
-        if ns < 2.0 {
-            return 0;
-        }
-        // floor(log2(ns)) via the integer part; ns >= 2 here so ilog2 >= 1.
-        let whole = ns.min(u64::MAX as f64) as u64;
-        (whole.ilog2() as usize).min(PAUSE_BUCKETS - 1)
-    }
-
-    /// Records one pause of `ns` nanoseconds. Non-finite or negative values
-    /// are clamped to zero (still counted: a pause happened even if the clock
-    /// could not size it).
-    pub fn record(&mut self, ns: f64) {
-        let ns = if ns.is_finite() { ns.max(0.0) } else { 0.0 };
-        self.count += 1;
-        self.sum_ns += ns;
-        if ns > self.max_ns {
-            self.max_ns = ns;
-        }
-        self.buckets[Self::bucket_index(ns)] += 1;
-    }
-
-    /// Mean pause in nanoseconds (zero when empty).
-    pub fn mean_ns(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum_ns / self.count as f64
-        }
-    }
-
-    /// Approximate `p`-th percentile in nanoseconds, `p` in `[0, 100]`
-    /// (values outside the range are clamped). Returns the upper bound of
-    /// the histogram bucket containing the requested rank, capped at the
-    /// exact observed maximum; zero when empty.
-    pub fn percentile(&self, p: f64) -> f64 {
-        if self.count == 0 {
-            return 0.0;
-        }
-        let p = if p.is_finite() {
-            p.clamp(0.0, 100.0)
-        } else {
-            100.0
-        };
-        // Rank of the requested observation, 1-based: p=0 -> 1, p=100 -> count.
-        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                let upper = (1u64 << (i as u32 + 1).min(63)) as f64;
-                return upper.min(self.max_ns);
-            }
-        }
-        self.max_ns
-    }
-
-    /// Merges another record into this one. Associative and commutative:
-    /// counts, sums, and buckets add; max takes the max.
-    pub fn merge(&mut self, other: &PauseStats) {
-        self.count += other.count;
-        self.sum_ns += other.sum_ns;
-        if other.max_ns > self.max_ns {
-            self.max_ns = other.max_ns;
-        }
-        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *mine += theirs;
-        }
-    }
-}
+/// a global collection) is recorded as it happens; per-vproc records merge
+/// losslessly into machine-wide aggregates. This is the shared log2-bucket
+/// [`Histogram`] under a pause-flavoured name — see that type for the
+/// recording, merge, and percentile semantics.
+pub type PauseStats = Histogram;
 
 /// Counters for one vproc's collector activity (or the whole machine's when
 /// aggregated).
@@ -271,107 +158,13 @@ mod tests {
     }
 
     #[test]
-    fn bucket_indices_follow_log2() {
-        assert_eq!(PauseStats::bucket_index(0.0), 0);
-        assert_eq!(PauseStats::bucket_index(1.0), 0);
-        assert_eq!(PauseStats::bucket_index(1.99), 0);
-        assert_eq!(PauseStats::bucket_index(2.0), 1);
-        assert_eq!(PauseStats::bucket_index(3.99), 1);
-        assert_eq!(PauseStats::bucket_index(4.0), 2);
-        assert_eq!(PauseStats::bucket_index(1024.0), 10);
-        assert_eq!(PauseStats::bucket_index(1025.0), 10);
-        // Out-of-range values clamp into the last bucket instead of panicking.
-        assert_eq!(PauseStats::bucket_index(1e30), PAUSE_BUCKETS - 1);
-    }
-
-    #[test]
-    fn record_tracks_count_sum_max() {
+    fn pause_stats_is_the_shared_histogram() {
+        // The alias keeps the established API: construction, recording, and
+        // percentiles all go through `mgc_core::histogram`.
         let mut p = PauseStats::new();
-        assert!(p.is_empty());
         p.record(100.0);
-        p.record(300.0);
-        p.record(200.0);
-        assert_eq!(p.count, 3);
-        assert!((p.sum_ns - 600.0).abs() < 1e-9);
-        assert!((p.max_ns - 300.0).abs() < 1e-9);
-        assert!((p.mean_ns() - 200.0).abs() < 1e-9);
-        // Negative / non-finite clamp to zero but still count.
-        p.record(-5.0);
-        p.record(f64::NAN);
-        assert_eq!(p.count, 5);
-        assert!((p.sum_ns - 600.0).abs() < 1e-9);
-        assert_eq!(p.buckets[0], 2);
-    }
-
-    #[test]
-    fn percentile_edge_cases() {
-        let empty = PauseStats::new();
-        assert_eq!(empty.percentile(50.0), 0.0);
-        assert_eq!(empty.percentile(100.0), 0.0);
-
-        let mut one = PauseStats::new();
-        one.record(1000.0);
-        // A single observation is every percentile, and the cap keeps the
-        // bucket upper bound from over-reporting it.
-        assert!((one.percentile(0.0) - 1000.0).abs() < 1e-9);
-        assert!((one.percentile(50.0) - 1000.0).abs() < 1e-9);
-        assert!((one.percentile(100.0) - 1000.0).abs() < 1e-9);
-        // Out-of-range p clamps instead of panicking.
-        assert!((one.percentile(-3.0) - 1000.0).abs() < 1e-9);
-        assert!((one.percentile(250.0) - 1000.0).abs() < 1e-9);
-
-        // 99 short pauses in [64, 128) and one huge outlier: p50 reads the
-        // short bucket's upper bound, p100 the exact max, and p99 still the
-        // short bucket (rank 99 of 100).
-        let mut p = PauseStats::new();
-        for _ in 0..99 {
-            p.record(100.0);
-        }
-        p.record(1e9);
-        assert!((p.percentile(50.0) - 128.0).abs() < 1e-9);
-        assert!((p.percentile(99.0) - 128.0).abs() < 1e-9);
-        assert!((p.percentile(100.0) - 1e9).abs() < 1e-3);
-    }
-
-    #[test]
-    fn percentile_never_exceeds_max() {
-        let mut p = PauseStats::new();
-        for i in 1..=17u32 {
-            p.record(f64::from(i) * 37.0);
-        }
-        for q in [0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
-            assert!(p.percentile(q) <= p.max_ns);
-        }
-    }
-
-    #[test]
-    fn merge_is_associative_and_commutative() {
-        let mut a = PauseStats::new();
-        let mut b = PauseStats::new();
-        let mut c = PauseStats::new();
-        for (stats, base) in [(&mut a, 10.0), (&mut b, 1e4), (&mut c, 3e6)] {
-            for i in 0..7u32 {
-                stats.record(base * f64::from(i + 1));
-            }
-        }
-
-        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
-        let mut left = a;
-        left.merge(&b);
-        left.merge(&c);
-        let mut bc = b;
-        bc.merge(&c);
-        let mut right = a;
-        right.merge(&bc);
-        assert_eq!(left, right);
-
-        // a ⊕ b == b ⊕ a
-        let mut ab = a;
-        ab.merge(&b);
-        let mut ba = b;
-        ba.merge(&a);
-        assert_eq!(ab, ba);
-
-        assert_eq!(left.count, 21);
+        let h: Histogram = p;
+        assert_eq!(h.count, 1);
+        assert_eq!(PAUSE_BUCKETS, HISTOGRAM_BUCKETS);
     }
 }

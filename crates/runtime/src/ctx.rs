@@ -171,6 +171,52 @@ impl<'a> TaskCtx<'a> {
     }
 
     // ------------------------------------------------------------------
+    // Time and latency
+    // ------------------------------------------------------------------
+
+    /// This vproc's current time in nanoseconds: deterministic virtual time
+    /// on the simulated backend (the machine clock plus the compute charged
+    /// so far this round), wall-clock time since the machine's start on the
+    /// threaded backend. Monotone over a task's execution on both; readings
+    /// from different vprocs share one time axis, which is what lets an
+    /// open-loop arrival schedule and end-to-end latency samples make sense
+    /// machine-wide.
+    pub fn now_ns(&mut self) -> f64 {
+        match &self.state {
+            CtxState::Sim(state) => state.now_ns(self.vproc),
+            CtxState::Threaded(worker) => worker.now_ns(),
+        }
+    }
+
+    /// Blocks this vproc until [`now_ns`](Self::now_ns) reaches
+    /// `target_ns` — the open-loop load generator's pacing primitive.
+    /// On the simulated backend the gap is charged as idle virtual time (so
+    /// the wait is free of real time and fully deterministic); on the
+    /// threaded backend the worker polls the wall clock, servicing steal
+    /// requests and pending global collections at every poll so waiting
+    /// never stalls the rest of the machine. Returns immediately when the
+    /// target is already past.
+    pub fn wait_until_ns(&mut self, target_ns: f64) {
+        match &mut self.state {
+            CtxState::Sim(state) => state.wait_until_ns(self.vproc, target_ns),
+            CtxState::Threaded(worker) => worker.wait_until_ns(target_ns, self.roots),
+        }
+    }
+
+    /// Records one end-to-end request latency of `ns` nanoseconds into this
+    /// vproc's [`LatencyStats`](crate::LatencyStats) series. Serving
+    /// programs call this once per completed request; the per-vproc series
+    /// merge into the run-wide latency histogram that
+    /// [`RunReport::latency_stats`](crate::RunReport::latency_stats),
+    /// `requests_served`, and `throughput_rps` report from.
+    pub fn record_latency_ns(&mut self, ns: f64) {
+        match &mut self.state {
+            CtxState::Sim(state) => state.vprocs[self.vproc].stats.latency.record(ns),
+            CtxState::Threaded(worker) => worker.stats.latency.record(ns),
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Allocation
     // ------------------------------------------------------------------
 

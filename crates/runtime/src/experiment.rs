@@ -125,6 +125,13 @@ pub enum ConfigError {
         /// The rejected value, in microseconds.
         budget_us: u64,
     },
+    /// A serving program's run duration resolved to zero seconds (nothing
+    /// would be served; `MGC_SERVE_SECONDS` and the builder both demand a
+    /// positive duration).
+    ZeroServeSeconds,
+    /// A serving program's open-loop arrival rate resolved to zero requests
+    /// per second (the generator would never emit a request).
+    ZeroServeRps,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -156,6 +163,15 @@ impl std::fmt::Display for ConfigError {
                 f,
                 "the GC pause budget must be positive, got {budget_us} us \
                  (leave it unset for unbounded pauses)"
+            ),
+            ConfigError::ZeroServeSeconds => write!(
+                f,
+                "a serving program's duration must be a positive number of seconds"
+            ),
+            ConfigError::ZeroServeRps => write!(
+                f,
+                "a serving program's arrival rate must be a positive number of requests \
+                 per second"
             ),
         }
     }
@@ -545,6 +561,16 @@ impl RunRecord {
             "global_pause_max_ns",
             self.report.global_pause_stats().max_ns,
         );
+        let latency = self.report.latency_stats();
+        json.raw("requests_served", self.report.requests_served());
+        json.raw(
+            "throughput_rps",
+            format_args!("{:.3}", self.report.throughput_rps()),
+        );
+        json.ns("latency_p50_ns", latency.percentile(50.0));
+        json.ns("latency_p99_ns", latency.percentile(99.0));
+        json.ns("latency_p999_ns", latency.percentile(99.9));
+        json.ns("latency_max_ns", latency.max_ns);
         json.finish()
     }
 }
@@ -840,6 +866,8 @@ mod tests {
             placement: Some(PlacementPolicy::Interleave),
             max_rounds: None,
             pause_budget_us: Some(500),
+            serve_seconds: None,
+            serve_rps: None,
         };
         let config = Experiment::new(Constant(1))
             .env_overrides(env)
@@ -1008,6 +1036,12 @@ mod tests {
             "\"pause_p50_ns\": ",
             "\"pause_p99_ns\": ",
             "\"global_pause_max_ns\": ",
+            "\"requests_served\": 0",
+            "\"throughput_rps\": 0.000",
+            "\"latency_p50_ns\": 0",
+            "\"latency_p99_ns\": 0",
+            "\"latency_p999_ns\": 0",
+            "\"latency_max_ns\": 0",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

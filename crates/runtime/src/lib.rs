@@ -101,6 +101,6 @@ pub use mgc_core::GcConfig;
 // without depending on `mgc-numa` directly.
 pub use mgc_numa::PlacementPolicy;
 pub use program::{Checksum, Program};
-pub use stats::{RunReport, VprocRunStats};
+pub use stats::{LatencyStats, RunReport, VprocRunStats};
 pub use task::{Handle, TaskResult, TaskSpec};
 pub use threaded::ThreadedMachine;

@@ -178,6 +178,12 @@ pub(crate) struct RuntimeState {
     pub(crate) mutator_costs: MutatorCostModel,
     pub(crate) traffic: TrafficStats,
     pub(crate) ns_per_op: f64,
+    /// The machine's virtual clock as of the **start** of the current round
+    /// (the scheduler advances the real clock only at round close). A vproc's
+    /// mid-round "now" is this base plus the compute it has charged so far
+    /// this round — monotone, deterministic, and good enough for open-loop
+    /// arrival schedules and latency sampling.
+    pub(crate) clock_base_ns: f64,
     pub(crate) root_result: Option<(Word, bool)>,
     /// One hysteresis controller per vproc under
     /// [`PlacementPolicy::Adaptive`]; `None` under the static policies.
@@ -211,6 +217,23 @@ impl RuntimeState {
     pub(crate) fn charge_work(&mut self, vproc: usize, ops: u64) {
         let ns = ops as f64 * self.ns_per_op;
         self.vprocs[vproc].round_cost.add_cpu_ns(ns);
+    }
+
+    /// `vproc`'s current virtual time: the machine clock at the start of the
+    /// round plus the compute this vproc has charged so far within it.
+    /// Monotone over a vproc's execution and fully deterministic.
+    pub(crate) fn now_ns(&self, vproc: usize) -> f64 {
+        self.clock_base_ns + self.vprocs[vproc].round_cost.cpu_ns
+    }
+
+    /// Advances `vproc`'s virtual time to `target_ns` by charging the gap as
+    /// idle compute — how an open-loop load generator waits out an arrival
+    /// gap on the simulated backend. A no-op when the target is already past.
+    pub(crate) fn wait_until_ns(&mut self, vproc: usize, target_ns: f64) {
+        let now = self.now_ns(vproc);
+        if target_ns > now {
+            self.vprocs[vproc].round_cost.add_cpu_ns(target_ns - now);
+        }
     }
 
     /// Charges a mutator access of `bytes` bytes at `addr` by `vproc`,
@@ -771,6 +794,7 @@ impl Machine {
                 mutator_costs: config.mutator_costs,
                 traffic: TrafficStats::new(),
                 ns_per_op,
+                clock_base_ns: 0.0,
                 root_result: None,
                 adaptive: (config.placement == PlacementPolicy::Adaptive).then(|| {
                     (0..config.num_vprocs)
@@ -1021,6 +1045,7 @@ impl Machine {
         }
         let breakdown = self.model.round_duration(&costs);
         self.clock_ns += breakdown.duration_ns;
+        self.state.clock_base_ns = self.clock_ns;
         self.rounds += 1;
         for (vproc, cost) in costs.iter().enumerate() {
             self.state.vprocs[vproc].stats.busy_ns += self.model.serial_cost_ns(cost);

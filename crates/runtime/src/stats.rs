@@ -1,8 +1,17 @@
 //! Run-level statistics and reports.
 
-use mgc_core::{GcStats, PauseStats};
+use mgc_core::{GcStats, Histogram, PauseStats};
 use mgc_numa::{PlacementDecision, TrafficStats};
 use serde::{Deserialize, Serialize};
+
+/// A summary of the end-to-end request latencies a serving program recorded
+/// via [`TaskCtx::record_latency_ns`](crate::TaskCtx::record_latency_ns).
+///
+/// This is the shared log2-bucket [`Histogram`] under a latency-flavoured
+/// name — the same tested code as [`PauseStats`], so pause and latency
+/// percentiles have identical semantics and merge the same way across
+/// vprocs.
+pub type LatencyStats = Histogram;
 
 /// Statistics for one vproc over a whole run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -57,6 +66,11 @@ pub struct VprocRunStats {
     /// kind-classified split lives in the aggregated
     /// [`GcStats`](mgc_core::GcStats).
     pub pauses: PauseStats,
+    /// End-to-end latencies of the requests this vproc completed, recorded
+    /// by serving programs via
+    /// [`TaskCtx::record_latency_ns`](crate::TaskCtx::record_latency_ns)
+    /// (empty for batch programs that never record one).
+    pub latency: LatencyStats,
 }
 
 /// The result of running a program on either execution backend.
@@ -216,6 +230,33 @@ impl RunReport {
     pub fn global_pause_stats(&self) -> PauseStats {
         self.gc.global_pauses
     }
+
+    /// Every recorded request latency across every vproc, merged into one
+    /// machine-wide series — what a serving run's p50/p99/p999 numbers are
+    /// computed from. Empty for batch programs.
+    pub fn latency_stats(&self) -> LatencyStats {
+        let mut all = LatencyStats::new();
+        for v in &self.per_vproc {
+            all.merge(&v.latency);
+        }
+        all
+    }
+
+    /// Number of requests served (latency samples recorded) across all
+    /// vprocs. Zero for batch programs.
+    pub fn requests_served(&self) -> u64 {
+        self.latency_stats().count
+    }
+
+    /// Requests served per second of run time (zero when no requests were
+    /// served or the run recorded no elapsed time).
+    pub fn throughput_rps(&self) -> f64 {
+        let secs = self.elapsed_seconds();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.requests_served() as f64 / secs
+    }
 }
 
 #[cfg(test)]
@@ -285,5 +326,37 @@ mod tests {
         assert!((report.max_pause_ns() - 20_000.0).abs() < 1e-9);
         assert_eq!(report.global_pause_stats().count, 2);
         assert!((report.gc_fraction() - 34_000.0 / 1e9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_accessors_merge_per_vproc_series() {
+        let mut a = VprocRunStats::default();
+        a.latency.record(1_000.0);
+        a.latency.record(3_000.0);
+        let mut b = VprocRunStats::default();
+        b.latency.record(9_000.0);
+        let report = RunReport {
+            elapsed_ns: 2e9,
+            wall_clock_ns: None,
+            rounds: 0,
+            vprocs: 2,
+            allocated_objects: 0,
+            allocated_words: 0,
+            per_vproc: vec![a, b],
+            gc: GcStats::default(),
+            traffic: TrafficStats::default(),
+            placement_decisions: Vec::new(),
+        };
+        assert_eq!(report.requests_served(), 3);
+        assert!((report.latency_stats().max_ns - 9_000.0).abs() < 1e-9);
+        assert!((report.throughput_rps() - 1.5).abs() < 1e-9);
+
+        // Batch programs record nothing: zero served, zero throughput.
+        let batch = RunReport {
+            per_vproc: vec![VprocRunStats::default()],
+            ..report
+        };
+        assert_eq!(batch.requests_served(), 0);
+        assert_eq!(batch.throughput_rps(), 0.0);
     }
 }

@@ -236,6 +236,10 @@ pub(crate) struct Shared {
     pub(crate) root_result: Mutex<Option<(Word, bool)>>,
     global: Arc<SharedGlobalHeap>,
     gc: GcControl,
+    /// The machine's time origin: every `TaskCtx::now_ns` reading on this
+    /// backend is wall-clock nanoseconds since this instant, so arrival
+    /// deadlines and latency samples from different workers share one axis.
+    epoch: Instant,
 }
 
 impl std::fmt::Debug for Shared {
@@ -353,6 +357,24 @@ impl std::fmt::Debug for WorkerState {
 impl WorkerState {
     pub(crate) fn num_vprocs(&self) -> usize {
         self.shared.num_vprocs
+    }
+
+    /// Wall-clock nanoseconds since the machine's epoch — the shared time
+    /// axis for arrival deadlines and latency samples.
+    pub(crate) fn now_ns(&self) -> f64 {
+        self.shared.epoch.elapsed().as_nanos() as f64
+    }
+
+    /// Spins until the machine clock reaches `target_ns`, servicing steal
+    /// requests and pending global collections at every poll so an open-loop
+    /// load generator waiting out an arrival gap never stalls the rest of
+    /// the machine. Yields the OS thread between polls; returns immediately
+    /// when the target is already past.
+    pub(crate) fn wait_until_ns(&mut self, target_ns: f64, roots: &mut [Addr]) {
+        while self.now_ns() < target_ns {
+            self.safe_point(roots);
+            std::thread::yield_now();
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1318,6 +1340,7 @@ impl ThreadedMachine {
                 total_copied_bytes: AtomicU64::new(0),
                 collections: AtomicU64::new(0),
             },
+            epoch: Instant::now(),
         });
 
         let mut root = Some(root);
