@@ -1,15 +1,20 @@
-//! The CI perf gate: compares a fresh `BENCH_threaded.json` sweep against
-//! the checked-in baseline and exits non-zero on a regression.
+//! The CI perf gate: compares a fresh sweep against the checked-in
+//! baseline and exits non-zero on a regression.
 //!
 //! ```text
 //! perfdiff --baseline results/baseline/BENCH_threaded.json \
-//!          --current  results/BENCH_threaded.json \
+//!          --current  results/store \
 //!          [--speedup-thresholds results/baseline/speedup-thresholds.json] \
 //!          [--pause-thresholds results/baseline/pause-thresholds.json] \
 //!          [--latency-thresholds results/baseline/latency-thresholds.json] \
 //!          [--max-wall-ratio 2.5] [--max-promoted-ratio 1.5] \
 //!          [--min-wall-ms 5] [--min-promoted-kb 64]
 //! ```
+//!
+//! `--baseline` and `--current` each accept either a **results store
+//! directory** (read as the latest record per run-point key through the
+//! `mgc-store` query API) or a **legacy flat `RunRecord` JSON file**
+//! (accepted for one PR cycle via the store's ingest shim).
 //!
 //! With `--speedup-thresholds`, the per-program parallel-speedup gate also
 //! runs: for every pinned program, the current sweep's 1-vproc wall-clock
@@ -32,9 +37,9 @@
 //! `$GITHUB_STEP_SUMMARY`); the exit code is the gate.
 
 use mgc_bench::perfdiff::{
-    compare, latency_markdown, latency_rows, markdown, missing_latency_pinned_programs,
-    missing_pause_pinned_programs, missing_pinned_programs, parse_latency_thresholds,
-    parse_pause_thresholds, parse_run_records, parse_speedup_thresholds, pause_markdown,
+    compare, latency_markdown, latency_rows, load_points, markdown,
+    missing_latency_pinned_programs, missing_pause_pinned_programs, missing_pinned_programs,
+    parse_latency_thresholds, parse_pause_thresholds, parse_speedup_thresholds, pause_markdown,
     pause_rows, speedup_markdown, speedup_rows, Thresholds,
 };
 
@@ -90,9 +95,9 @@ fn main() {
     let read = |path: &str| -> String {
         std::fs::read_to_string(path).unwrap_or_else(|err| panic!("could not read {path}: {err}"))
     };
-    let baseline = parse_run_records(&read(&baseline_path))
+    let baseline = load_points(std::path::Path::new(&baseline_path))
         .unwrap_or_else(|err| panic!("{baseline_path}: {err}"));
-    let current = parse_run_records(&read(&current_path))
+    let current = load_points(std::path::Path::new(&current_path))
         .unwrap_or_else(|err| panic!("{current_path}: {err}"));
 
     let cmp = compare(&baseline, &current, thresholds);

@@ -33,7 +33,12 @@
 //!   bounded-pause threaded point), printing the throughput/latency table
 //!   and writing `results/SERVE_threaded.json`. `MGC_SCALE=bench` selects
 //!   the benchmark preset (4 workers, 2,000 req/s for 5 s);
-//!   `MGC_SERVE_SECONDS` and `MGC_SERVE_RPS` override the stream shape.
+//!   `MGC_SERVE_SECONDS` and `MGC_SERVE_RPS` override the stream shape;
+//! * `--corpus <manifest.json>` — instead of the baseline, sweep the run
+//!   points a corpus manifest describes (see `corpus/ci-smoke.json`) and
+//!   append them to the results store as one batch of kind
+//!   `corpus:<name>`. `--store <dir>` overrides the store directory
+//!   (default `results/store`).
 
 use mgc_numa::PlacementPolicy;
 use mgc_workloads::churn::ChurnParams;
@@ -55,6 +60,8 @@ fn main() {
     let mut figure8 = false;
     let mut host_smoke = false;
     let mut serve = false;
+    let mut corpus: Option<String> = None;
+    let mut store_dir = mgc_bench::STORE_DIR.to_string();
     let mut churn_requested = false;
     let mut churn_params = ChurnParams::at_scale(mgc_bench::scale_from_env());
     let mut iter = args.iter();
@@ -77,6 +84,19 @@ fn main() {
             "--figure8" => figure8 = true,
             "--host-smoke" => host_smoke = true,
             "--serve" => serve = true,
+            "--corpus" => {
+                corpus = Some(
+                    iter.next()
+                        .expect("--corpus requires a manifest path")
+                        .clone(),
+                );
+            }
+            "--store" => {
+                store_dir = iter
+                    .next()
+                    .expect("--store requires a directory path")
+                    .clone();
+            }
             "--churn" => churn_requested = true,
             "--churn-workers" => {
                 churn_params.workers = positive(iter.next(), "--churn-workers");
@@ -97,13 +117,20 @@ fn main() {
             other => panic!(
                 "unknown argument `{other}` (expected --backend <simulated|threaded>, \
                  --placement <node-local|interleave|first-touch|adaptive>, --figure8, \
-                 --host-smoke, --serve, --churn, or \
+                 --host-smoke, --serve, --corpus <manifest>, --store <dir>, --churn, or \
                  --churn-{{workers,objects,survive,words}} <n>)"
             ),
         }
     }
     let churn = churn_requested.then_some(churn_params);
 
+    if let Some(manifest) = corpus {
+        mgc_bench::corpus::run_corpus_and_report(
+            std::path::Path::new(&manifest),
+            std::path::Path::new(&store_dir),
+        );
+        return;
+    }
     if figure8 {
         mgc_bench::run_figure8_and_report();
         return;

@@ -1,0 +1,42 @@
+//! The `trend` report: per-program performance trajectories read from the
+//! results store and printed as Markdown (the CI `trend-report` job tees
+//! this into `$GITHUB_STEP_SUMMARY`).
+//!
+//! ```text
+//! trend [--store results/store] [--program Quicksort]
+//! ```
+//!
+//! For every program in the store (or the one named by `--program`), the
+//! report prints one row per batch: the batch's provenance (sequence, git
+//! revision, scale, sweep kind), its representative point's wall clock,
+//! p99 GC pause, and p99 request latency, and the wall-clock ratio against
+//! the previous batch. Reading happens entirely through the `mgc-store`
+//! query API; this binary never parses result JSON itself.
+
+use mgc_bench::trend::trend_markdown;
+use mgc_store::Store;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut store_dir = mgc_bench::STORE_DIR.to_string();
+    let mut program: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--store" => {
+                store_dir = iter
+                    .next()
+                    .expect("--store requires a directory path")
+                    .clone();
+            }
+            "--program" => {
+                program = Some(iter.next().expect("--program requires a name").clone());
+            }
+            other => {
+                panic!("unknown argument `{other}` (expected --store <dir> or --program <name>)")
+            }
+        }
+    }
+    let store = Store::open(&store_dir).unwrap_or_else(|err| panic!("could not open store: {err}"));
+    print!("{}", trend_markdown(&store, program.as_deref()));
+}

@@ -22,6 +22,7 @@ use mgc_heap::HeapConfig;
 use mgc_numa::{AllocPolicy, PlacementPolicy, Topology};
 use mgc_runtime::{run_records_json, Backend, EnvOverrides, Experiment, Program, RunRecord};
 use mgc_server::{ServeParams, ServerProgram, SERVE_QUANTUM_NS};
+use mgc_store::{RunMeta, Store};
 use mgc_workloads::churn::{Churn, ChurnParams};
 use mgc_workloads::{speedup_series, Scale, SpeedupPoint, Workload};
 use std::fmt::Write as _;
@@ -402,24 +403,70 @@ pub fn promoted_bytes_summary(points: &[RunRecord]) -> String {
     out
 }
 
-/// Runs the baseline sweep, prints the side-by-side table, and writes
-/// `results/BENCH_threaded.json` — an array of [`RunRecord`] JSON objects,
-/// the CI `bench-baseline` artifact.
-pub fn run_baseline_and_report(churn: Option<ChurnParams>, placement: PlacementPolicy) {
-    let scale = scale_from_env();
-    let points = run_baseline(scale, churn, placement);
-    println!("{}", format_baseline(&points));
-    println!("{}", promoted_bytes_summary(&points));
+/// Default results-store directory the sweeps append to, relative to the
+/// repo root.
+pub const STORE_DIR: &str = "results/store";
+
+/// The ambient `MGC_SCALE` name (defaulting like [`scale_from_env`] does),
+/// for recording in batch metadata.
+pub fn scale_name_from_env() -> String {
+    match std::env::var("MGC_SCALE") {
+        Ok(name) if ["tiny", "small", "bench", "paper"].contains(&name.as_str()) => name,
+        _ => "tiny".to_string(),
+    }
+}
+
+/// Persists a sweep's records both ways: appends one batch of `kind` to
+/// the results store, then writes the legacy flat array
+/// `results/<flat_name>` as an **export of that batch**
+/// ([`Batch::flat_records_json`](mgc_store::Batch::flat_records_json)) —
+/// the flat artifact is generated through the store, so the two can never
+/// drift apart. If the store append fails the flat file is still written
+/// directly, so CI artifacts survive a read-only store directory.
+fn persist_points(kind: &str, flat_name: &str, points: &[RunRecord]) {
+    let store_dir = std::path::Path::new(STORE_DIR);
+    let meta = RunMeta::capture(kind, &scale_name_from_env());
+    let flat = match Store::append(store_dir, &meta, points) {
+        Ok(seq) => {
+            println!(
+                "appended batch {seq} ({} records) to {}",
+                points.len(),
+                store_dir.display()
+            );
+            Store::open(store_dir)
+                .ok()
+                .and_then(|store| store.batch(seq).map(|b| b.flat_records_json()))
+                .unwrap_or_else(|| run_records_json(points))
+        }
+        Err(err) => {
+            eprintln!(
+                "warning: could not append to {}: {err}",
+                store_dir.display()
+            );
+            run_records_json(points)
+        }
+    };
     let dir = std::path::Path::new("results");
     if let Err(err) = std::fs::create_dir_all(dir) {
         eprintln!("warning: could not create {}: {err}", dir.display());
         return;
     }
-    let path = dir.join("BENCH_threaded.json");
-    match std::fs::write(&path, run_records_json(&points)) {
+    let path = dir.join(flat_name);
+    match std::fs::write(&path, flat) {
         Ok(()) => println!("wrote {}", path.display()),
         Err(err) => eprintln!("warning: could not write {}: {err}", path.display()),
     }
+}
+
+/// Runs the baseline sweep, prints the side-by-side table, appends the
+/// records to the results store, and writes `results/BENCH_threaded.json`
+/// (the flat export of that batch — the CI `bench-baseline` artifact).
+pub fn run_baseline_and_report(churn: Option<ChurnParams>, placement: PlacementPolicy) {
+    let scale = scale_from_env();
+    let points = run_baseline(scale, churn, placement);
+    println!("{}", format_baseline(&points));
+    println!("{}", promoted_bytes_summary(&points));
+    persist_points("bench-baseline", "BENCH_threaded.json", &points);
 }
 
 // ----------------------------------------------------------------------
@@ -731,26 +778,20 @@ pub fn format_serve(points: &[RunRecord]) -> String {
     out
 }
 
-/// Runs the serve sweep end-to-end, printing the latency table and writing
-/// `results/SERVE_threaded.json` (an array of [`RunRecord`] JSON objects —
-/// the CI `serve-smoke` artifact).
+/// Runs the serve sweep end-to-end, printing the latency table, appending
+/// the records to the results store, and writing
+/// `results/SERVE_threaded.json` (the flat export of that batch — the CI
+/// `serve-smoke` artifact).
 pub fn run_serve_and_report() {
     let params = serve_params_from_env();
     let points = run_serve(params);
     println!("{}", format_serve(&points));
-    let dir = std::path::Path::new("results");
-    if let Err(err) = std::fs::create_dir_all(dir) {
-        eprintln!("warning: could not create {}: {err}", dir.display());
-        return;
-    }
-    let path = dir.join("SERVE_threaded.json");
-    match std::fs::write(&path, run_records_json(&points)) {
-        Ok(()) => println!("wrote {}", path.display()),
-        Err(err) => eprintln!("warning: could not write {}: {err}", path.display()),
-    }
+    persist_points("serve", "SERVE_threaded.json", &points);
 }
 
+pub mod corpus;
 pub mod perfdiff;
+pub mod trend;
 
 /// Reads the workload scale from the `MGC_SCALE` environment variable
 /// (`paper`, `small`, `bench`, or `tiny`; default `tiny` so the harness

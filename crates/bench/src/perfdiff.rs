@@ -2,8 +2,13 @@
 //! reference (`results/baseline/BENCH_threaded.json`) and fails on real
 //! regressions while tolerating runner noise.
 //!
-//! Both files are arrays of `RunRecord` JSON objects (one per line, as
-//! written by [`mgc_runtime::run_records_json`]). Records are matched by
+//! Inputs are read through the typed [`mgc_store`] query API — no JSON is
+//! parsed by hand here. Each side of the comparison is either a **results
+//! store directory** (`results/store/`), read as the latest record per
+//! run-point key via [`mgc_store::Query::latest_per_key`], or a **legacy
+//! flat file**: an array of `RunRecord` JSON objects (one per line, as
+//! written by [`mgc_runtime::run_records_json`]), accepted for one PR
+//! cycle through the store's ingest shim. Records are matched by
 //! `(program, backend, vprocs, placement, pause_budget_us)` — a budgeted
 //! run is a different experiment from an unbudgeted one, so the two never
 //! compare against each other. For each matched pair two quantities are
@@ -44,8 +49,11 @@
 //! straight into `$GITHUB_STEP_SUMMARY`.
 
 use std::fmt::Write as _;
+use std::path::Path;
 
-/// One record's perf-relevant fields, extracted from its JSON line.
+use mgc_store::{Query, Store, StoredRecord};
+
+/// One record's perf-relevant fields, extracted from a stored record.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PerfPoint {
     /// Program name.
@@ -91,88 +99,99 @@ impl PerfPoint {
             self.pause_budget_us,
         )
     }
-}
 
-/// Extracts the raw text of field `key` from one JSON object line (the
-/// records are machine-written, one per line, `"key": value` separated by
-/// `, ` — not a general JSON parser).
-fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
-    let needle = format!("\"{key}\": ");
-    let start = line.find(&needle)? + needle.len();
-    let rest = &line[start..];
-    let end = if let Some(quoted) = rest.strip_prefix('"') {
-        // A quoted string: scan to the closing quote (our field values never
-        // contain escaped quotes — program names and labels are plain).
-        quoted.find('"').map(|i| i + 2)?
-    } else {
-        rest.find([',', '}']).unwrap_or(rest.len())
-    };
-    Some(rest[..end].trim())
-}
-
-fn unquote(raw: &str) -> String {
-    raw.trim_matches('"').to_string()
-}
-
-/// Parses the `RunRecord` JSON array text into perf points. Lines that do
-/// not contain a record (the `[` / `]` array brackets) are skipped; a line
-/// that looks like a record but lacks a required field is an error.
-pub fn parse_run_records(json: &str) -> Result<Vec<PerfPoint>, String> {
-    let mut points = Vec::new();
-    for line in json.lines() {
-        let line = line.trim().trim_end_matches(',');
-        if !line.starts_with('{') {
-            continue;
-        }
-        let require = |key: &str| {
-            field(line, key).ok_or_else(|| format!("record is missing \"{key}\": {line}"))
-        };
+    /// Extracts the gate-relevant fields from one stored record.
+    ///
+    /// Field semantics are unchanged from the old line parser: a missing
+    /// `wall_clock_ns` key or `promoted_bytes` is an error; pause and
+    /// latency telemetry, the budget knob, and the placement label are all
+    /// newer than the oldest records the gate still reads, so absent (or
+    /// `null`) values degrade to `None` / the historical default instead
+    /// of failing.
+    pub fn from_record(record: &StoredRecord) -> Result<PerfPoint, String> {
+        let missing = |key: &str| format!("record is missing \"{key}\": {}", record.raw());
+        let bad = |key: &str| format!("bad {key}: {}", record.raw());
         // Pause telemetry is newer than the record schema: absent or null
-        // fields parse as `None` so old baselines still load.
-        let optional_f64 = |key: &str| match field(line, key) {
-            None => Ok(None),
-            Some("null") => Ok(None),
-            Some(raw) => raw.parse().map(Some).map_err(|e| format!("bad {key}: {e}")),
+        // fields read as `None` so old baselines still load.
+        let optional_f64 = |key: &str| -> Result<Option<f64>, String> {
+            match record.field(key) {
+                None => Ok(None),
+                Some(v) if v.is_null() => Ok(None),
+                Some(v) => v.as_f64().map(Some).ok_or_else(|| bad(key)),
+            }
         };
-        let wall = require("wall_clock_ns")?;
-        points.push(PerfPoint {
-            program: unquote(require("program")?),
-            backend: unquote(require("backend")?),
-            vprocs: require("vprocs")?
-                .parse()
-                .map_err(|e| format!("bad vprocs: {e}"))?,
-            // Older baselines predate the placement field; default it so the
-            // gate still matches their points.
-            placement: field(line, "placement")
-                .map(unquote)
-                .unwrap_or_else(|| "node-local".to_string()),
-            wall_clock_ns: if wall == "null" {
+        let wall = record
+            .field("wall_clock_ns")
+            .ok_or_else(|| missing("wall_clock_ns"))?;
+        Ok(PerfPoint {
+            program: record
+                .str_field("program")
+                .ok_or_else(|| missing("program"))?
+                .to_string(),
+            backend: record
+                .str_field("backend")
+                .ok_or_else(|| missing("backend"))?
+                .to_string(),
+            vprocs: record.u64_field("vprocs").ok_or_else(|| bad("vprocs"))?,
+            // Older baselines predate the placement field; the accessor
+            // defaults it so the gate still matches their points.
+            placement: record.placement().to_string(),
+            wall_clock_ns: if wall.is_null() {
                 None
             } else {
-                Some(
-                    wall.parse()
-                        .map_err(|e| format!("bad wall_clock_ns: {e}"))?,
-                )
+                Some(wall.as_f64().ok_or_else(|| bad("wall_clock_ns"))?)
             },
-            promoted_bytes: require("promoted_bytes")?
-                .parse()
-                .map_err(|e| format!("bad promoted_bytes: {e}"))?,
+            promoted_bytes: record
+                .field("promoted_bytes")
+                .ok_or_else(|| missing("promoted_bytes"))?
+                .as_u64()
+                .ok_or_else(|| bad("promoted_bytes"))?,
             pause_max_ns: optional_f64("pause_max_ns")?,
             pause_p99_ns: optional_f64("pause_p99_ns")?,
             // Like the pause telemetry, the budget knob is newer than the
-            // schema: absent or null parses as `None` (an unbudgeted run).
-            pause_budget_us: match field(line, "pause_budget_us") {
-                None | Some("null") => None,
-                Some(raw) => Some(
-                    raw.parse()
-                        .map_err(|e| format!("bad pause_budget_us: {e}"))?,
-                ),
+            // schema: absent or null reads as `None` (an unbudgeted run).
+            pause_budget_us: match record.field("pause_budget_us") {
+                None => None,
+                Some(v) if v.is_null() => None,
+                Some(v) => Some(v.as_u64().ok_or_else(|| bad("pause_budget_us"))?),
             },
             latency_p99_ns: optional_f64("latency_p99_ns")?,
             latency_p999_ns: optional_f64("latency_p999_ns")?,
-        });
+        })
     }
-    Ok(points)
+}
+
+/// Converts stored records — a store query result or a flat-file ingest —
+/// into perf points, preserving record order.
+pub fn points_from_records<'a>(
+    records: impl IntoIterator<Item = &'a StoredRecord>,
+) -> Result<Vec<PerfPoint>, String> {
+    records.into_iter().map(PerfPoint::from_record).collect()
+}
+
+/// Parses legacy flat `RunRecord` JSON array text into perf points via the
+/// store's ingest shim (every record, in file order — flat files carry no
+/// history, so there is nothing to deduplicate).
+pub fn parse_run_records(json: &str) -> Result<Vec<PerfPoint>, String> {
+    let records = mgc_store::parse_flat_records(json, "run records").map_err(|e| e.to_string())?;
+    points_from_records(&records)
+}
+
+/// Loads perf points from either results source:
+///
+/// * a **store directory** — opened with [`Store::open`]; the comparison
+///   set is the latest record per run-point key, so re-running a sweep
+///   appends a batch and the gate reads the fresh numbers;
+/// * a **legacy flat file** — a `RunRecord` JSON array, read through the
+///   one-PR-cycle ingest shim.
+pub fn load_points(path: &Path) -> Result<Vec<PerfPoint>, String> {
+    if path.is_dir() {
+        let store = Store::open(path).map_err(|e| e.to_string())?;
+        points_from_records(Query::new().latest_per_key(&store))
+    } else {
+        let records = mgc_store::ingest_flat_file(path).map_err(|e| e.to_string())?;
+        points_from_records(&records)
+    }
 }
 
 /// Regression thresholds; the defaults are the CI gate's contract.
@@ -833,12 +852,12 @@ mod tests {
             "  {{\"program\": \"{program}\", \"params\": {{}}, \"backend\": \"{backend}\", \
              \"vprocs\": {vprocs}, \"topology\": \"test-dual-node\", \"policy\": \"local\", \
              \"placement\": \"node-local\", \"wall_clock_ns\": {wall}, \
-             \"promoted_bytes\": {promoted}, \"steals\": 0}},"
+             \"promoted_bytes\": {promoted}, \"steals\": 0}}"
         )
     }
 
     fn json(lines: &[String]) -> String {
-        format!("[\n{}\n]\n", lines.join("\n"))
+        format!("[\n{}\n]\n", lines.join(",\n"))
     }
 
     fn record_line_with_pauses(
@@ -852,7 +871,7 @@ mod tests {
              \"vprocs\": {vprocs}, \"placement\": \"node-local\", \
              \"wall_clock_ns\": 50000000, \"promoted_bytes\": 0, \
              \"pause_count\": 12, \"pause_max_ns\": {pause_max}, \
-             \"pause_p50_ns\": 1000, \"pause_p99_ns\": {pause_p99}}},"
+             \"pause_p50_ns\": 1000, \"pause_p99_ns\": {pause_p99}}}"
         )
     }
 
@@ -1149,7 +1168,7 @@ mod tests {
             "  {{\"program\": \"{program}\", \"params\": {{}}, \"backend\": \"threaded\", \
              \"vprocs\": {vprocs}, \"placement\": \"node-local\", \
              \"wall_clock_ns\": 50000000, \"promoted_bytes\": 0, \
-             \"pause_budget_us\": {budget}}},"
+             \"pause_budget_us\": {budget}}}"
         )
     }
 
@@ -1204,7 +1223,7 @@ mod tests {
              \"pause_budget_us\": {budget}, \"requests_served\": 10000, \
              \"throughput_rps\": 1999.2, \"latency_p50_ns\": 700000, \
              \"latency_p99_ns\": {p99}, \"latency_p999_ns\": {p999}, \
-             \"latency_max_ns\": 9000000}},"
+             \"latency_max_ns\": 9000000}}"
         )
     }
 
@@ -1333,5 +1352,204 @@ mod tests {
         assert_eq!(cmp.regressions()[0].verdict, Verdict::Missing);
         assert_eq!(cmp.new_points.len(), 1);
         assert_eq!(cmp.new_points[0].program, "Raytracer");
+    }
+
+    // ------------------------------------------------------------------
+    // Store-backed queries: the same gates, fed from a results-store
+    // directory through `load_points` instead of a flat file.
+    // ------------------------------------------------------------------
+
+    fn store_line(program: &str, vprocs: u64, promoted: u64, extra: &str) -> String {
+        format!(
+            "{{\"schema_version\": 2, \"program\": \"{program}\", \"params\": {{}}, \
+             \"backend\": \"threaded\", \"vprocs\": {vprocs}, \
+             \"placement\": \"node-local\", \"promoted_bytes\": {promoted}{extra}}}"
+        )
+    }
+
+    /// Appends each batch to a fresh temp store and loads it back through
+    /// the directory path of `load_points`.
+    fn load_store(tag: &str, batches: &[Vec<String>]) -> Vec<PerfPoint> {
+        let dir = std::env::temp_dir().join(format!("mgc-perfdiff-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let meta = mgc_store::RunMeta {
+            git_rev: "test".to_string(),
+            timestamp_unix: 0,
+            host_nodes: 1,
+            host_cores: 1,
+            scale: "tiny".to_string(),
+            kind: "test".to_string(),
+        };
+        for lines in batches {
+            mgc_store::Store::append_lines(&dir, &meta, lines).expect("append succeeds");
+        }
+        let points = load_points(&dir).expect("the store loads");
+        let _ = std::fs::remove_dir_all(&dir);
+        points
+    }
+
+    #[test]
+    fn store_directories_load_the_latest_record_per_key() {
+        let points = load_store(
+            "latest",
+            &[
+                vec![
+                    store_line("Quicksort", 1, 100000, ", \"wall_clock_ns\": 90000000"),
+                    store_line("Quicksort", 4, 100000, ", \"wall_clock_ns\": 40000000"),
+                ],
+                vec![store_line(
+                    "Quicksort",
+                    4,
+                    100000,
+                    ", \"wall_clock_ns\": 34000000",
+                )],
+            ],
+        );
+        assert_eq!(points.len(), 2, "re-run keys collapse to one point each");
+        assert_eq!(points[0].wall_clock_ns, Some(90000000.0));
+        assert_eq!(
+            points[1].wall_clock_ns,
+            Some(34000000.0),
+            "the newer batch shadows the older one"
+        );
+    }
+
+    fn healthy_sweep() -> Vec<String> {
+        vec![
+            store_line(
+                "Dmm",
+                1,
+                100000,
+                ", \"wall_clock_ns\": 100000000, \"pause_max_ns\": 2000000, \
+                 \"pause_p99_ns\": 1000000",
+            ),
+            store_line(
+                "Dmm",
+                4,
+                100000,
+                ", \"wall_clock_ns\": 40000000, \"pause_max_ns\": 2500000, \
+                 \"pause_p99_ns\": 1200000",
+            ),
+            store_line(
+                "Request-Server",
+                4,
+                100000,
+                ", \"wall_clock_ns\": 5000000000, \"pause_budget_us\": null, \
+                 \"latency_p99_ns\": 2000000, \"latency_p999_ns\": 4000000",
+            ),
+        ]
+    }
+
+    fn gate_pins() -> (
+        Vec<SpeedupThreshold>,
+        Vec<PauseThreshold>,
+        Vec<LatencyThreshold>,
+    ) {
+        (
+            vec![SpeedupThreshold {
+                program: "Dmm".to_string(),
+                min_speedup: 2.0,
+            }],
+            vec![PauseThreshold {
+                program: "Dmm".to_string(),
+                max_pause_ms: 20.0,
+            }],
+            vec![LatencyThreshold {
+                program: "Request-Server".to_string(),
+                max_p99_ms: 25.0,
+            }],
+        )
+    }
+
+    #[test]
+    fn all_five_gates_pass_on_a_healthy_store() {
+        let baseline = load_store("healthy-base", &[healthy_sweep()]);
+        let current = load_store("healthy-cur", &[healthy_sweep()]);
+        let (speedup_pins, pause_pins, latency_pins) = gate_pins();
+
+        // Gates 1+2: wall-clock and promoted-bytes ratios.
+        let cmp = compare(&baseline, &current, Thresholds::default());
+        assert!(cmp.regressions().is_empty());
+        // Gate 3: parallel speedup (2.5× measured vs a 2.0× pin).
+        let rows = speedup_rows(&current, &speedup_pins);
+        assert!(rows.iter().all(|r| !r.failed()));
+        assert!(missing_pinned_programs(&rows, &speedup_pins).is_empty());
+        // Gate 4: max pause (2.5 ms vs a 20 ms pin).
+        let rows = pause_rows(&current, &pause_pins);
+        assert!(rows.iter().all(|r| !r.failed()));
+        // Gate 5: p99 request latency (2 ms vs a 25 ms pin).
+        let rows = latency_rows(&current, &latency_pins);
+        assert!(rows.iter().all(|r| !r.failed()));
+    }
+
+    /// The exit-1 scenarios, through the store: one appended batch injects
+    /// a regression for every gate, and each gate catches its own.
+    #[test]
+    fn injected_regressions_fail_every_gate_from_the_store() {
+        let baseline = load_store("inject-base", &[healthy_sweep()]);
+        let regressed = vec![
+            // 2.5× promoted bytes (gate 2), well above the 64 KiB floor.
+            store_line(
+                "Dmm",
+                1,
+                250000,
+                ", \"wall_clock_ns\": 100000000, \"pause_max_ns\": 2000000, \
+                 \"pause_p99_ns\": 1000000",
+            ),
+            // 7.5× wall clock (gate 1), which also collapses the 4v/1v
+            // speedup to 0.33× against the 2× pin (gate 3), and a 50 ms
+            // max pause against the 20 ms pin (gate 4).
+            store_line(
+                "Dmm",
+                4,
+                100000,
+                ", \"wall_clock_ns\": 300000000, \"pause_max_ns\": 50000000, \
+                 \"pause_p99_ns\": 12000000",
+            ),
+            // An 80 ms p99 request latency against the 25 ms pin (gate 5).
+            store_line(
+                "Request-Server",
+                4,
+                100000,
+                ", \"wall_clock_ns\": 5000000000, \"pause_budget_us\": null, \
+                 \"latency_p99_ns\": 80000000, \"latency_p999_ns\": 120000000",
+            ),
+        ];
+        // The regressed batch rides on top of the healthy one: latest-per-
+        // key means the gate sees only the regressed records.
+        let current = load_store("inject-cur", &[healthy_sweep(), regressed]);
+        let (speedup_pins, pause_pins, latency_pins) = gate_pins();
+
+        let cmp = compare(&baseline, &current, Thresholds::default());
+        let verdicts: Vec<Verdict> = cmp.regressions().iter().map(|r| r.verdict).collect();
+        assert!(verdicts.contains(&Verdict::WallRegression), "{verdicts:?}");
+        assert!(
+            verdicts.contains(&Verdict::PromotedRegression),
+            "{verdicts:?}"
+        );
+
+        let rows = speedup_rows(&current, &speedup_pins);
+        assert!(rows.iter().any(|r| r.failed()), "0.33× must fail a 2× pin");
+        let rows = pause_rows(&current, &pause_pins);
+        assert!(
+            rows.iter().any(|r| r.failed()),
+            "50 ms must fail a 20 ms pin"
+        );
+        let rows = latency_rows(&current, &latency_pins);
+        assert!(
+            rows.iter().any(|r| r.failed()),
+            "80 ms must fail a 25 ms pin"
+        );
+    }
+
+    #[test]
+    fn future_schema_versions_are_rejected_at_load() {
+        let err = parse_run_records(
+            "[\n  {\"schema_version\": 99, \"program\": \"Dmm\", \"backend\": \"threaded\", \
+             \"vprocs\": 1, \"wall_clock_ns\": 1, \"promoted_bytes\": 0}\n]\n",
+        )
+        .unwrap_err();
+        assert!(err.contains("\"schema_version\""), "{err}");
+        assert!(err.contains("99"), "{err}");
     }
 }

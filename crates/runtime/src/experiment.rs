@@ -457,6 +457,15 @@ impl<P: Program> Experiment<P> {
     }
 }
 
+/// Version of the flat JSON object emitted by [`RunRecord::to_json`],
+/// carried in every record as its leading `schema_version` field. Records
+/// that predate the field (the flat baselines written before the results
+/// store existed) are implicitly version 1; the store's ingest accepts
+/// exactly the versions it knows how to read and rejects anything else with
+/// a typed error naming the field. Bump this when a field is added, removed,
+/// or changes meaning.
+pub const RUN_RECORD_SCHEMA_VERSION: u64 = 2;
+
 /// The complete, self-describing result of one experiment run: the resolved
 /// configuration, the program identity, the root result, and the full
 /// [`RunReport`]. This is the one output format shared by the sweep JSON,
@@ -506,6 +515,7 @@ impl RunRecord {
     pub fn to_json(&self) -> String {
         let pauses = self.report.pause_stats();
         let mut json = JsonFields::new();
+        json.raw("schema_version", RUN_RECORD_SCHEMA_VERSION);
         json.string("program", &self.program);
         json.raw("params", &self.params);
         json.string("backend", self.backend);
@@ -1008,6 +1018,7 @@ mod tests {
         let record = pinned(Constant(5)).run().unwrap();
         let json = record.to_json();
         for key in [
+            "\"schema_version\": 2",
             "\"program\": \"constant\"",
             "\"params\": {\"value\": 5}",
             "\"backend\": \"simulated\"",

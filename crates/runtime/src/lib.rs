@@ -92,6 +92,7 @@ pub use env::EnvOverrides;
 pub use executor::{Backend, Executor};
 pub use experiment::{
     run_records_json, ConfigError, Experiment, ExperimentConfig, RunRecord, DEFAULT_QUANTUM_NS,
+    RUN_RECORD_SCHEMA_VERSION,
 };
 pub use machine::{Machine, MachineConfig, MutatorCostModel};
 // Re-exported so backend users can tune the collector (e.g. the
